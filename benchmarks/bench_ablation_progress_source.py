@@ -1,0 +1,60 @@
+"""Ablation: heartbeat-based progress vs. hardware counters.
+
+The paper measures progress with retired-instruction counters but notes
+"more abstract metrics can also be used" (Application Heartbeats).  This
+ablation drives the predictor from a heartbeat bridge at two beat
+granularities and verifies accuracy degrades gracefully with coarser
+beats.
+"""
+
+from repro.core.heartbeats import ProcessHeartbeatBridge
+from repro.core.policies import BASELINE
+from repro.core.runtime import DirigentRuntime, ManagedTask, RuntimeOptions
+from repro.experiments.harness import build_machine, get_profile
+from repro.experiments.mixes import mix_by_name
+from repro.sim.config import MachineConfig
+from benchmarks.conftest import run_once
+
+
+def _run_with_beats(executions, beat_instructions):
+    config = MachineConfig()
+    mix = mix_by_name("ferret rs")
+    machine, fg_procs, bg_procs = build_machine(mix, config)
+    fg = fg_procs[0]
+    profile = get_profile(mix.fg_name, config)
+    bridge = ProcessHeartbeatBridge(lambda: fg.progress, beat_instructions)
+    task = ManagedTask(
+        pid=fg.pid, core=fg.core, profile=profile, deadline_s=10.0,
+        ema_weight=0.2, progress_fn=bridge.progress,
+    )
+    options = RuntimeOptions(enable_fine=False, enable_coarse=False)
+    runtime = DirigentRuntime(machine, [task], [p.pid for p in bg_procs],
+                              options=options)
+
+    def on_complete(proc, record):
+        if proc.pid == fg.pid:
+            bridge.on_execution_complete()
+            runtime.on_fg_completion(
+                proc.pid, record.end_s, record.duration_s,
+                record.instructions, record.llc_misses,
+            )
+
+    machine.add_completion_listener(on_complete)
+    runtime.start()
+    while len(task.prediction_log) < executions:
+        machine.tick()
+    errors = [r.relative_error for r in task.prediction_log]
+    return sum(errors) / len(errors)
+
+
+def test_heartbeat_progress_source(benchmark, executions):
+    def run():
+        return {
+            "fine_beats": _run_with_beats(executions, beat_instructions=5e6),
+            "coarse_beats": _run_with_beats(executions, beat_instructions=1e8),
+        }
+
+    errors = run_once(benchmark, run)
+    assert errors["fine_beats"] < 0.10
+    assert errors["coarse_beats"] < 0.25
+    assert errors["fine_beats"] <= errors["coarse_beats"] + 0.02

@@ -1,0 +1,41 @@
+"""Ablation: reservation-based packing density (Figure 2 in numbers).
+
+Section 3.1's scheduling argument: with a 95%-latency guarantee, a
+reservation-based scheduler must reserve the distribution's tail per
+task, so Dirigent's low-variance completion times let more task streams
+be packed onto the same capacity than Baseline's high-variance ones.
+"""
+
+from repro.core.policies import DIRIGENT
+from repro.experiments.harness import measure_baseline, run_policy
+from repro.experiments.mixes import mix_by_name
+from repro.sched.reservation import max_streams, reservation_for
+from benchmarks.conftest import run_once
+
+
+def test_reservation_packing(benchmark, executions):
+    mix = mix_by_name("ferret rs")
+
+    def run():
+        baseline = measure_baseline(mix, executions=executions)
+        dirigent = run_policy(mix, DIRIGENT, executions=executions)
+        period = reservation_for(baseline.all_durations, 0.95) * 1.05
+        return {
+            "baseline_reservation": reservation_for(
+                baseline.all_durations, 0.95
+            ),
+            "dirigent_reservation": reservation_for(
+                dirigent.all_durations, 0.95
+            ),
+            "baseline_streams": max_streams(
+                baseline.all_durations, period, capacity_cores=8.0
+            ),
+            "dirigent_streams": max_streams(
+                dirigent.all_durations, period, capacity_cores=8.0
+            ),
+        }
+
+    rows = run_once(benchmark, run)
+    # Lower variance => smaller tail reservation => denser packing.
+    assert rows["dirigent_reservation"] < rows["baseline_reservation"]
+    assert rows["dirigent_streams"] >= rows["baseline_streams"]

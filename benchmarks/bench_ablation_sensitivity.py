@@ -1,0 +1,59 @@
+"""Ablation: predictor sensitivity to EMA weight and sampling period.
+
+The paper reports (Section 4.2) that Dirigent is robust to EMA weights in
+0.1-0.3 and that even ~40 samples per execution suffice for accurate
+completion-time prediction; the <100 us invocation overhead is what lets
+it sample at 5 ms anyway.
+"""
+
+from repro.core.policies import BASELINE
+from repro.core.runtime import RuntimeOptions
+from repro.experiments.harness import run_policy
+from repro.experiments.mixes import mix_by_name
+from benchmarks.conftest import run_once
+
+
+def _mean_error(result):
+    errors = [r.relative_error for r in result.prediction_logs[0]]
+    return sum(errors) / len(errors)
+
+
+def test_ema_weight_robustness(benchmark, executions):
+    mix = mix_by_name("ferret rs")
+
+    def sweep():
+        errors = {}
+        for weight in (0.1, 0.2, 0.3):
+            result = run_policy(
+                mix, BASELINE, executions=executions,
+                observe_predictor=True,
+                runtime_options=RuntimeOptions(ema_weight=weight),
+            )
+            errors[weight] = _mean_error(result)
+        return errors
+
+    errors = run_once(benchmark, sweep)
+    assert all(err < 0.10 for err in errors.values())
+    # Robust: the weight choice barely moves the accuracy.
+    assert max(errors.values()) - min(errors.values()) < 0.05
+
+
+def test_sampling_period_robustness(benchmark, executions):
+    # ferret runs ~1.2 s contended; a 30 ms period is ~40 samples per
+    # execution, the coarsest setting the paper validates.
+    mix = mix_by_name("ferret rs")
+
+    def sweep():
+        errors = {}
+        for period in (2.5e-3, 5e-3, 15e-3, 30e-3):
+            result = run_policy(
+                mix, BASELINE, executions=executions,
+                observe_predictor=True,
+                runtime_options=RuntimeOptions(sampling_period_s=period),
+            )
+            errors[period] = _mean_error(result)
+        return errors
+
+    errors = run_once(benchmark, sweep)
+    assert all(err < 0.12 for err in errors.values())
+    assert errors[30e-3] < errors[5e-3] + 0.05  # coarse stays usable

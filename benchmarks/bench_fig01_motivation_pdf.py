@@ -1,0 +1,36 @@
+"""Figure 1: the motivating completion-time pdfs, from measured data.
+
+Paper shape: standalone execution finishes far before the deadline
+(wasted headroom); free contention pushes a large mass past the deadline;
+Dirigent realizes the "ideal" curve — concentrated just below the
+deadline.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def _stats(rows, curve):
+    pts = [(t, d) for c, t, d in rows if c == curve and d > 0]
+    total = sum(d for _, d in pts)
+    mean = sum(t * d for t, d in pts) / total
+    var = sum(d * (t - mean) ** 2 for t, d in pts) / total
+    return mean, var ** 0.5
+
+
+def test_fig1_motivation(benchmark, executions):
+    result = run_once(benchmark, figures.fig1, executions=executions)
+    deadline = float(result.notes[0].split(":")[1].strip().split()[0])
+
+    alone_mean, alone_sigma = _stats(result.rows, "Standalone")
+    cont_mean, cont_sigma = _stats(result.rows, "Contention")
+    ideal_mean, ideal_sigma = _stats(result.rows, "Ideal(Dirigent)")
+
+    # Standalone: fast, well ahead of the deadline (headroom).
+    assert alone_mean < 0.85 * deadline
+    # Contention: slow and wide.
+    assert cont_mean > alone_mean * 1.15
+    assert cont_sigma > 2 * alone_sigma
+    # Ideal: just below the deadline with a tight distribution.
+    assert alone_mean < ideal_mean <= deadline * 1.02
+    assert ideal_sigma < 0.5 * cont_sigma

@@ -1,0 +1,18 @@
+"""Figure 2: reservation-based scheduler efficiency vs. task variance.
+
+Paper shape: high-variance (type A) task streams force larger per-task
+reservations, so fewer of them fit on the same capacity than low-variance
+(type B) streams.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig2_reservation(benchmark, executions):
+    result = run_once(benchmark, figures.fig2, executions=executions)
+    rows = {row[0]: row for row in result.rows}
+    type_a = rows["TypeA(Baseline)"]
+    type_b = rows["TypeB(Dirigent)"]
+    assert type_b[1] < type_a[1]      # smaller reservation
+    assert type_b[2] > type_a[2]      # more streams admitted

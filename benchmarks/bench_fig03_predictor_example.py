@@ -1,0 +1,18 @@
+"""Figure 3: the predictor's worked example (Equations 1-2)."""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig3_worked_example(benchmark):
+    result = run_once(benchmark, figures.fig3)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        __, profiled, measured, alpha, penalty = row
+        assert measured > profiled          # contended run is slower
+        assert alpha == round(measured / profiled, 3)
+        assert penalty == round(measured - profiled, 4)  # Equation 1
+    note = result.notes[0]
+    predicted = float(note.split(":")[1].strip().split()[0])
+    actual = float(note.split(":")[2].strip().split()[0])
+    assert abs(predicted - actual) / actual < 0.10

@@ -1,0 +1,28 @@
+"""Figure 4: FG workload overview — exec time and MPKI, alone vs contended.
+
+Paper shape: standalone completion times span roughly 0.5-1.6 s; running
+against five bwaves tasks inflates both execution time and MPKI for every
+FG benchmark, with streamcluster degraded the most.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig4_fg_overview(benchmark, executions):
+    result = run_once(benchmark, figures.fig4, executions=executions)
+    rows = {row[0]: row for row in result.rows}
+    assert len(rows) == 5
+
+    alone_times = [row[1] for row in rows.values()]
+    assert 0.3 < min(alone_times) < 0.7
+    assert 1.0 < max(alone_times) < 2.0
+
+    for name, row in rows.items():
+        __, alone, contended, mpki_alone, mpki_contended = row
+        assert contended > alone, name
+        assert mpki_contended > mpki_alone, name
+
+    slowdown = {n: r[2] / r[1] for n, r in rows.items()}
+    assert slowdown["streamcluster"] == max(slowdown.values())
+    assert slowdown["streamcluster"] > 1.4

@@ -1,0 +1,28 @@
+"""Figure 5: BG workload overview — total L3 misses per kilo-FG-instruction.
+
+Paper shape: the seven BG workloads cover a wide spectrum of contention
+pressure, and the FG share of total misses shrinks as BG pressure grows.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig5_bg_overview(benchmark, executions):
+    result = run_once(benchmark, figures.fig5, executions=executions)
+    assert len(result.rows) == 7
+
+    totals = [row[1] for row in result.rows]
+    shares = [row[2] for row in result.rows]
+    # Wide spectrum of BG pressure (paper: ~3 to ~13 MPK-FG-I; the
+    # synthetic catalog spans a somewhat narrower but still clearly
+    # differentiated range).
+    assert max(totals) / min(totals) > 1.5
+    assert max(totals) > 10.0
+    assert min(totals) < 8.0
+    # FG generates only a minority of misses under heavy BG pressure.
+    assert min(shares) < 0.3
+    assert all(0.0 < s < 1.0 for s in shares)
+    # Heavier BG pressure leaves the FG a smaller share of the misses:
+    # the heaviest mix must have a smaller FG share than the lightest.
+    assert result.rows[-1][2] < result.rows[0][2]

@@ -1,0 +1,26 @@
+"""Figure 6: prediction trace for raytrace with RS.
+
+Paper shape: midpoint predictions closely track actual completion times
+across 50 consecutive executions under Baseline.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig6_prediction_trace(benchmark):
+    result = run_once(benchmark, figures.fig6, executions=50)
+    assert len(result.rows) == 50
+    errors = [row[3] for row in result.rows]
+    mean_error = sum(errors) / len(errors)
+    assert mean_error < 0.06  # paper: a few percent
+    # Predictions track the actual trace, not just its mean: correlation
+    # between predicted and actual must be clearly positive.
+    actual = [row[1] for row in result.rows]
+    predicted = [row[2] for row in result.rows]
+    ma = sum(actual) / len(actual)
+    mp = sum(predicted) / len(predicted)
+    cov = sum((a - ma) * (p - mp) for a, p in zip(actual, predicted))
+    va = sum((a - ma) ** 2 for a in actual)
+    vp = sum((p - mp) ** 2 for p in predicted)
+    assert cov / (va * vp) ** 0.5 > 0.5

@@ -1,0 +1,32 @@
+"""Figure 7: predictor accuracy over all 35 single-FG mixes.
+
+Paper shape: overall average midpoint error of a few percent; every
+high-error mix has streamcluster as the FG (worst: rs); the completion
+time standard deviation is much larger than the prediction error.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig7_prediction_accuracy(benchmark, executions):
+    result = run_once(benchmark, figures.fig7, executions=executions)
+    assert len(result.rows) == 35
+    by_mix = {row[0]: row for row in result.rows}
+
+    overall = sum(row[1] for row in result.rows) / 35
+    assert overall < 0.08  # paper: 2.4%
+
+    high_error = [row[0] for row in result.rows if row[1] > 0.08]
+    assert all("streamcluster" in name for name in high_error)
+
+    # streamcluster+rs is the hardest combination (paper: 12.5%).
+    sc_errors = {
+        name: row[1] for name, row in by_mix.items() if "streamcluster" in name
+    }
+    assert max(sc_errors, key=sc_errors.get) == "streamcluster rs"
+
+    # Variation dwarfs prediction error for the volatile mixes.
+    volatile = [row for row in result.rows if row[2] > 0.10]
+    assert volatile, "expected some high-variation mixes"
+    assert all(row[2] > 1.5 * row[1] for row in volatile)

@@ -1,0 +1,36 @@
+"""Figure 8: exhaustive cache-partition sweep, streamcluster with PCA.
+
+Paper shape: FG performance improves as its partition grows, with a knee
+(5 ways on the paper's machine); Dirigent's coarse controller converges
+to a partition near the knee within a few tens of executions.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig8_partition_sweep(benchmark):
+    result = run_once(
+        benchmark, figures.fig8, executions=10, dirigent_executions=60
+    )
+    ways = [row[0] for row in result.rows]
+    means = [row[1] for row in result.rows]
+    assert ways[0] == 2 and ways[-1] == 18
+
+    # Growing the FG partition helps overall.
+    assert means[-1] < means[0] * 0.9
+
+    # Knee: most of the total improvement arrives by mid-sweep.
+    best = min(means)
+    knee_idx = next(
+        i for i, m in enumerate(means) if m <= best * 1.07
+    )
+    assert ways[knee_idx] <= 10
+
+    # The coarse controller converged to a nontrivial partition within
+    # the sweep's useful range.
+    converged = next(
+        int(note.split(":")[1]) for note in result.notes
+        if note.startswith("Converged")
+    )
+    assert 2 <= converged <= ways[knee_idx] + 3

@@ -1,0 +1,34 @@
+"""Figure 9a: FG success and BG throughput, 15 single-BG mixes x 5 policies.
+
+Paper shape per mix: Baseline has full BG throughput but poor FG success;
+the static schemes fix FG at a steep BG cost; Dirigent simultaneously
+reaches near-perfect FG success and the best managed BG throughput.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def _by_policy(result):
+    table = {}
+    for mix, policy, success, bg, mean, std in result.rows:
+        table.setdefault(policy, []).append((mix, success, bg, mean, std))
+    return table
+
+
+def test_fig9a_single_bg(benchmark, executions):
+    result = run_once(benchmark, figures.fig9a, executions=executions)
+    assert len(result.rows) == 15 * 5
+    table = _by_policy(result)
+
+    def avg(policy, idx):
+        rows = table[policy]
+        return sum(r[idx] for r in rows) / len(rows)
+
+    assert avg("Baseline", 1) < 0.8              # poor FG success
+    assert avg("Baseline", 2) == 1.0             # BG reference
+    assert avg("StaticBoth", 1) > 0.95           # static partition fixes FG
+    assert avg("StaticBoth", 2) < 0.8            # ... at heavy BG cost
+    assert avg("Dirigent", 1) > 0.93
+    assert avg("Dirigent", 2) > avg("StaticBoth", 2) + 0.1
+    assert avg("Dirigent", 2) > avg("DirigentFreq", 2)

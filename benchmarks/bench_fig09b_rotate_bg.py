@@ -1,0 +1,25 @@
+"""Figure 9b: FG success and BG throughput, 20 rotate-BG mixes x 5 policies.
+
+Paper shape: same ordering as the single-BG mixes under context-switch
+style interference.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig9b_rotate_bg(benchmark, executions):
+    result = run_once(benchmark, figures.fig9b, executions=executions)
+    assert len(result.rows) == 20 * 5
+    table = {}
+    for mix, policy, success, bg, mean, std in result.rows:
+        table.setdefault(policy, []).append((success, bg))
+
+    def avg(policy, idx):
+        rows = table[policy]
+        return sum(r[idx] for r in rows) / len(rows)
+
+    assert avg("Baseline", 0) < 0.8
+    assert avg("Dirigent", 0) > 0.93
+    assert avg("Dirigent", 1) > avg("StaticBoth", 1)
+    assert avg("DirigentFreq", 0) > avg("Baseline", 0)

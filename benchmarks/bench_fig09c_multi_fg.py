@@ -1,0 +1,25 @@
+"""Figure 9c: FG success and BG throughput with 1-3 concurrent FG copies.
+
+Paper shape: trends match the single-FG mixes; with more FG copies the
+fine-grain-only controller gets more conservative (lower BG throughput),
+which cache partitioning alleviates.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig9c_multi_fg(benchmark, executions):
+    result = run_once(benchmark, figures.fig9c, executions=executions)
+    assert len(result.rows) == 15 * 5
+    table = {}
+    for mix, policy, success, bg, mean, std in result.rows:
+        table.setdefault(policy, []).append((mix, success, bg))
+
+    def avg(policy, idx):
+        rows = table[policy]
+        return sum(r[idx] for r in rows) / len(rows)
+
+    assert avg("Baseline", 1) < 0.85
+    assert avg("Dirigent", 1) > 0.9
+    assert avg("Dirigent", 2) > avg("StaticBoth", 2)

@@ -1,0 +1,38 @@
+"""Figure 10: summary over all 35 single-FG mixes.
+
+Paper values: Baseline ~0.59 FG / 1.00 BG; StaticFreq ~0.87/0.60;
+StaticBoth ~0.99/0.61; DirigentFreq ~0.95/0.85; Dirigent ~0.99/0.92.
+The reproduction asserts the ordering and rough factors.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig10_summary(benchmark, executions):
+    result = run_once(benchmark, figures.fig10, executions=executions)
+    rows = {row[0]: row for row in result.rows}
+
+    baseline = rows["Baseline"]
+    static_freq = rows["StaticFreq"]
+    static_both = rows["StaticBoth"]
+    dirigent_freq = rows["DirigentFreq"]
+    dirigent = rows["Dirigent"]
+
+    # FG success ordering: Baseline worst; Dirigent and StaticBoth best.
+    assert baseline[1] < 0.75
+    assert static_freq[1] > baseline[1]
+    assert static_both[1] > 0.95
+    assert dirigent_freq[1] > 0.88
+    assert dirigent[1] > 0.95
+
+    # BG throughput ordering: Baseline is the reference; static schemes
+    # pay heavily; Dirigent keeps most of it.
+    assert baseline[2] == 1.0
+    assert static_freq[2] < 0.8
+    assert static_both[2] < 0.8
+    assert dirigent[2] > 0.85
+    assert dirigent[2] > dirigent_freq[2] > static_both[2]
+
+    # Headline: ~30% better BG throughput than the coarse scheme.
+    assert dirigent[2] / static_both[2] > 1.15

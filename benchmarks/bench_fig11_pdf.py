@@ -1,0 +1,29 @@
+"""Figure 11: execution-time pdf, ferret with five RS tasks.
+
+Paper shape: Baseline/StaticFreq spread wide; Dirigent concentrates the
+distribution just below the deadline (the "ideal" curve of Figure 1).
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def _spread(rows, policy):
+    pts = [(t, d) for p, t, d in rows if p == policy and d > 0]
+    total = sum(d for _, d in pts)
+    mean = sum(t * d for t, d in pts) / total
+    var = sum(d * (t - mean) ** 2 for t, d in pts) / total
+    return mean, var ** 0.5
+
+
+def test_fig11_pdf(benchmark, executions):
+    result = run_once(benchmark, figures.fig11, executions=executions)
+    base_mean, base_sigma = _spread(result.rows, "Baseline")
+    dirigent_mean, dirigent_sigma = _spread(result.rows, "Dirigent")
+    freq_mean, freq_sigma = _spread(result.rows, "DirigentFreq")
+
+    assert dirigent_sigma < 0.5 * base_sigma
+    assert freq_sigma < 0.7 * base_sigma
+    # Dirigent's mass sits near the Baseline mean (the deadline region),
+    # not far below it like over-provisioned static schemes.
+    assert abs(dirigent_mean - base_mean) < 0.15 * base_mean

@@ -1,0 +1,29 @@
+"""Figure 12: BG core frequency distribution, DirigentFreq vs Dirigent.
+
+Paper shape: with cache partitioning, BG cores spend far more time at
+high frequency because the FG no longer needs them throttled.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def _mean_freq(rows, policy):
+    pts = [(float(f[:-3]), p) for name, f, p in rows if name == policy]
+    return sum(f * p for f, p in pts)
+
+
+def test_fig12_freq_distribution(benchmark, executions):
+    result = run_once(benchmark, figures.fig12, executions=executions)
+    mean_df = _mean_freq(result.rows, "DirigentFreq")
+    mean_d = _mean_freq(result.rows, "Dirigent")
+    assert mean_d > mean_df + 0.1  # partitioning frees BG frequency
+
+    top_share_d = [
+        p for name, f, p in result.rows if name == "Dirigent" and f == "2.0GHz"
+    ][0]
+    top_share_df = [
+        p for name, f, p in result.rows
+        if name == "DirigentFreq" and f == "2.0GHz"
+    ][0]
+    assert top_share_d > top_share_df

@@ -1,0 +1,18 @@
+"""Figure 13: summary over the multi-FG mixes.
+
+Paper shape: same ordering as Figure 10; Dirigent keeps very high success
+rates (>98% in the paper) with the best managed BG throughput.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig13_summary(benchmark, executions):
+    result = run_once(benchmark, figures.fig13, executions=executions)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["Baseline"][1] < 0.85
+    assert rows["Dirigent"][1] > 0.9
+    assert rows["StaticBoth"][1] > 0.95
+    assert rows["Dirigent"][2] > rows["StaticBoth"][2]
+    assert rows["Dirigent"][2] > rows["DirigentFreq"][2]

@@ -1,0 +1,33 @@
+"""Figure 14: normalized sigma of the multi-FG mixes per configuration.
+
+Paper shape: because all FG copies share one cache partition, adding FG
+tasks increases their variation (the paper calls this out explicitly),
+yet both Dirigent configurations still reduce sigma far below Baseline
+and below the static frequency scheme.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig14_multi_fg_std(benchmark, executions):
+    result = run_once(benchmark, figures.fig14, executions=executions)
+    table = {}
+    for mix, policy, ratio in result.rows:
+        table.setdefault(policy, []).append((mix, ratio))
+
+    def avg(policy):
+        rows = table[policy]
+        return sum(r for _, r in rows) / len(rows)
+
+    assert avg("Baseline") == 1.0
+    assert avg("Dirigent") < 0.5
+    assert avg("DirigentFreq") < 0.55
+    assert avg("StaticFreq") > avg("DirigentFreq")
+    assert avg("StaticFreq") > avg("Dirigent")
+
+    # The paper's multi-FG caveat: with more FG copies sharing the
+    # partition, Dirigent's normalized sigma tends upward (x1 -> x3).
+    x1 = [r for m, r in table["Dirigent"] if " x1 " in m]
+    x3 = [r for m, r in table["Dirigent"] if " x3 " in m]
+    assert sum(x3) / len(x3) > sum(x1) / len(x1) - 0.1

@@ -1,0 +1,32 @@
+"""Figure 15: FG-throughput / BG-performance tradeoff, raytrace + bwaves.
+
+Paper shape: Dirigent tracks the target completion time across the sweep
+(at 1.00x standalone there is no collocation slack, so BG throughput
+collapses and deadlines are missed) and converts every grant of FG slack
+into BG throughput.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig15_tradeoff(benchmark, executions):
+    result = run_once(benchmark, figures.fig15, executions=executions)
+    targets = [float(row[0][:-1]) for row in result.rows]
+    fg_means = [row[1] for row in result.rows]
+    bg = [row[3] for row in result.rows]
+    success = [row[4] for row in result.rows]
+
+    # FG completion stays at or below the target across the sweep and
+    # stretches upward as the target loosens.
+    for target, mean in zip(targets[1:], fg_means[1:]):
+        assert mean < target + 0.02
+    assert fg_means[-1] > fg_means[0] + 0.03
+
+    # Looser targets buy BG throughput, monotonically in trend.
+    assert bg[0] < 0.2            # no slack at standalone-speed target
+    assert bg[-1] > 0.6
+    assert bg[-1] > bg[1] + 0.3
+
+    # High success once the target is feasible for collocation.
+    assert all(s > 0.9 for s in success[3:])

@@ -1,0 +1,29 @@
+"""Headline claims of the paper's abstract and conclusion.
+
+Paper: Dirigent achieves an 85% reduction in FG completion-time sigma at
+a 9% BG performance cost (DirigentFreq: 70% at 15%), and ~30% better BG
+throughput than coarse time scale schemes.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_headline(benchmark, executions):
+    result = run_once(benchmark, figures.headline, executions=executions)
+    rows = {row[0]: row for row in result.rows}
+
+    dirigent_red, dirigent_cost = rows["Dirigent"][1], rows["Dirigent"][2]
+    freq_red, freq_cost = rows["DirigentFreq"][1], rows["DirigentFreq"][2]
+
+    assert dirigent_red > 0.75          # paper: 85%
+    assert dirigent_cost < 0.20         # paper: 9%
+    assert freq_red > 0.6               # paper: 70%
+    assert dirigent_cost < freq_cost    # partitioning recovers BG loss
+    assert dirigent_red >= freq_red - 0.03
+
+    gain = float(
+        [n for n in result.notes if "StaticBoth" in n][0].split(":")[1]
+        .strip().rstrip("x")
+    )
+    assert gain > 1.15                  # paper: ~1.3x

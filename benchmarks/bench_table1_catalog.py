@@ -1,0 +1,12 @@
+"""Table 1: benchmark inventory."""
+
+from repro.experiments import figures
+from benchmarks.conftest import run_once
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, figures.table1)
+    kinds = [row[0] for row in result.rows]
+    assert kinds.count("FG") == 5
+    assert kinds.count("Single BG") == 3
+    assert kinds.count("Rotate BG") == 4

@@ -1,0 +1,110 @@
+"""Scenario: cluster-level consolidation with per-node Dirigent.
+
+The paper argues Dirigent is orthogonal to QoS-aware cluster schedulers
+(Paragon, Quasar, ...) and "can be integrated with these schemes to
+manage performance on each node".  This example plays the cluster
+scheduler's role:
+
+1. measure the completion-time distribution of a latency-critical task
+   stream under Baseline and under Dirigent;
+2. let a reservation-based dispatcher pack as many streams as possible
+   onto a rack of nodes for each distribution (Figure 2 at rack scale);
+3. run a small mixed cluster — one unmanaged node, one Dirigent node —
+   in lockstep and report per-node and cluster-wide outcomes.
+
+Run with::
+
+    python examples/cluster_consolidation.py
+"""
+
+from repro.cluster import (
+    Cluster,
+    ClusterNode,
+    ReservationDispatcher,
+    StreamRequest,
+)
+from repro.core import BASELINE, DIRIGENT
+from repro.experiments import measure_baseline, mix_by_name, run_policy
+from repro.sched.reservation import reservation_for
+
+EXECUTIONS = 25
+RACK_NODES = 4
+
+
+def main() -> None:
+    mix = mix_by_name("ferret rs")
+    baseline = measure_baseline(mix, executions=EXECUTIONS)
+    dirigent = run_policy(mix, DIRIGENT, executions=EXECUTIONS)
+
+    print("Task: %s (deadline %.3f s)" % (mix.fg_name, baseline.deadlines_s[0]))
+    print(
+        "95%% reservation per task: Baseline %.3f s, Dirigent %.3f s"
+        % (
+            reservation_for(baseline.all_durations, 0.95),
+            reservation_for(dirigent.all_durations, 0.95),
+        )
+    )
+
+    # Rack-scale packing: three latency-critical cores per node.
+    period = reservation_for(baseline.all_durations, 0.95) * 1.1
+    for label, durations in (
+        ("Baseline", baseline.all_durations),
+        ("Dirigent", dirigent.all_durations),
+    ):
+        dispatcher = ReservationDispatcher(
+            num_nodes=RACK_NODES, capacity_cores=3.0
+        )
+        requests = [
+            StreamRequest(
+                name="stream-%d" % i,
+                period_s=period,
+                durations_s=tuple(durations),
+            )
+            for i in range(4 * RACK_NODES)
+        ]
+        admitted = dispatcher.place_all(requests)
+        print(
+            "%s distributions: %2d streams admitted on %d nodes "
+            "(mean reserved utilization %.0f%%)"
+            % (
+                label,
+                admitted,
+                RACK_NODES,
+                100
+                * sum(dispatcher.utilization())
+                / (len(dispatcher.utilization()) * 3.0),
+            )
+        )
+
+    # A small mixed cluster in lockstep.
+    print()
+    print("Running a 2-node cluster (one unmanaged, one Dirigent)...")
+    cluster = Cluster(
+        [
+            ClusterNode("unmanaged", mix, BASELINE, executions=EXECUTIONS),
+            ClusterNode("dirigent", mix, DIRIGENT, executions=EXECUTIONS,
+                        seed=1),
+        ]
+    )
+    outcome = cluster.run()
+    for name, result in outcome.node_results.items():
+        print(
+            "  %-9s FG success %3.0f%%  sigma %.4f s  batch %.2f Ginstr/s"
+            % (
+                name,
+                100 * result.fg_success_ratio,
+                result.fg_stats.std_s,
+                result.bg_instr_per_s / 1e9,
+            )
+        )
+    print(
+        "  cluster-wide FG success: %.0f%%, total batch %.2f Ginstr/s"
+        % (
+            100 * outcome.fg_success_ratio,
+            outcome.total_bg_instr_per_s / 1e9,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Visualize one Dirigent control episode with the telemetry tracer.
+
+Runs ``streamcluster`` against five ``bwaves`` batch tasks under the full
+Dirigent runtime while :class:`repro.sim.MachineTracer` samples the
+node's management state, then prints ascii sparklines of
+
+* memory-bandwidth utilization (the interference the BG phases inject),
+* the FG core's effective LLC ways (the coarse controller growing the
+  partition),
+* a BG core's frequency (the fine controller throttling and releasing),
+* the number of paused BG tasks (the controller's last resort).
+
+Run with::
+
+    python examples/control_episode_trace.py
+"""
+
+from repro.core import DirigentRuntime, ManagedTask, RuntimeOptions
+from repro.experiments import deadlines_for, get_profile, mix_by_name
+from repro.experiments.harness import build_machine
+from repro.sim import MachineConfig, MachineTracer, sparkline
+
+EXECUTIONS = 30
+
+
+def main() -> None:
+    config = MachineConfig()
+    mix = mix_by_name("streamcluster bwaves")
+    deadline = deadlines_for(mix, executions=EXECUTIONS)[0]
+
+    machine, fg_procs, bg_procs = build_machine(mix, config)
+    fg = fg_procs[0]
+    task = ManagedTask(
+        pid=fg.pid, core=fg.core,
+        profile=get_profile(mix.fg_name, config),
+        deadline_s=deadline, ema_weight=0.2,
+    )
+    runtime = DirigentRuntime(
+        machine, [task], [p.pid for p in bg_procs], options=RuntimeOptions()
+    )
+    machine.add_completion_listener(
+        lambda proc, record: runtime.on_fg_completion(
+            proc.pid, record.end_s, record.duration_s,
+            record.instructions, record.llc_misses,
+        )
+    )
+    tracer = MachineTracer(machine, period_s=10e-3)
+    runtime.start()
+    tracer.start()
+
+    durations = []
+    machine.add_completion_listener(
+        lambda proc, record: durations.append(record.duration_s)
+    )
+    while len(durations) < EXECUTIONS:
+        machine.tick()
+
+    met = sum(1 for d in durations if d <= deadline)
+    steady = durations[10:]
+    steady_met = sum(1 for d in steady if d <= deadline)
+    print(
+        "streamcluster + 5x bwaves under Dirigent (deadline %.3f s)"
+        % deadline
+    )
+    print(
+        "deadlines met: %d/%d overall, %d/%d after the controllers "
+        "converge" % (met, len(durations), steady_met, len(steady))
+    )
+    print()
+    width = 72
+    bg_core = bg_procs[0].core
+    print("memory utilization  |%s|" % sparkline(tracer.series("rho"), width))
+    print("FG cache ways       |%s|" % sparkline(tracer.series("ways", core=0), width))
+    print("BG core frequency   |%s|" % sparkline(
+        tracer.series("frequency", core=bg_core), width))
+    print("paused BG tasks     |%s|" % sparkline(tracer.series("paused"), width))
+    print()
+    print(
+        "low '.' = low value, high '@' = high value; time runs left to "
+        "right over ~%.0f s" % machine.now()
+    )
+    print(
+        "Watch the FG ways ramp up as the coarse controller converges, "
+        "and BG frequency dip\nwherever utilization spikes while the FG "
+        "is predicted to be behind."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: enforce QoS for one latency-critical task with Dirigent.
+
+Collocates the ``ferret`` content-similarity-search task (latency
+critical) with five ``rs`` (MLPack Range Search) batch tasks on the
+simulated 6-core node, then compares free contention (Baseline) against
+the full Dirigent runtime.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import BASELINE, DIRIGENT
+from repro.experiments import measure_baseline, mix_by_name, run_policy
+from repro.experiments.metrics import std_reduction
+
+EXECUTIONS = 30
+
+
+def main() -> None:
+    mix = mix_by_name("ferret rs")
+    print("Workload mix: 1x %s (FG) + 5x %s (BG)" % (mix.fg_name, mix.bg_name))
+
+    # Baseline: every core at maximum frequency, free contention.  Its
+    # statistics also define the deadline (mu + 0.3 sigma, as in the paper).
+    baseline = measure_baseline(mix, executions=EXECUTIONS)
+    deadline = baseline.deadlines_s[0]
+    print("\nBaseline (no management)")
+    print("  FG mean completion : %.3f s" % baseline.fg_stats.mean_s)
+    print("  FG sigma           : %.4f s" % baseline.fg_stats.std_s)
+    print("  deadline (mu+0.3s) : %.3f s" % deadline)
+    print("  FG success ratio   : %.0f%%" % (100 * baseline.fg_success_ratio))
+
+    # Dirigent: offline profile + online prediction + fine (DVFS, pausing)
+    # and coarse (cache partitioning) control.
+    dirigent = run_policy(mix, DIRIGENT, executions=EXECUTIONS)
+    print("\nDirigent")
+    print("  FG mean completion : %.3f s" % dirigent.fg_stats.mean_s)
+    print("  FG sigma           : %.4f s" % dirigent.fg_stats.std_s)
+    print("  FG success ratio   : %.0f%%" % (100 * dirigent.fg_success_ratio))
+    print(
+        "  sigma reduction    : %.0f%%"
+        % (100 * std_reduction(baseline.fg_stats.std_s, dirigent.fg_stats.std_s))
+    )
+    print(
+        "  BG throughput      : %.0f%% of Baseline"
+        % (100 * dirigent.bg_instr_per_s / baseline.bg_instr_per_s)
+    )
+    print(
+        "  LLC ways given to FG over time: %s"
+        % (dirigent.partition_history,)
+    )
+
+    errors = [r.relative_error for r in dirigent.prediction_logs[0]]
+    print(
+        "  completion-time predictor mean error: %.1f%%"
+        % (100 * sum(errors) / len(errors))
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Calibration sweep: standalone vs. contended FG behaviour per mix.
+
+A development tool used while tuning the workload catalog and contention
+model against the paper's Figures 4/5/7: prints, for every FG benchmark,
+its standalone time and MPKI plus the contended slowdown factor and
+coefficient of variation against each single-BG workload and two rotate
+pairs.
+
+Usage::
+
+    python scripts/calibrate.py [--seconds 80] [--seed 11]
+"""
+
+import argparse
+import statistics
+import sys
+
+from repro.sim import Machine, MachineConfig
+from repro.workloads import (
+    FOREGROUND_WORKLOADS,
+    ROTATE_PAIRS,
+    SINGLE_BG_WORKLOADS,
+    spawn_rotating_background,
+)
+
+
+def run(fg_name, seed, bg=None, rotate=None, seconds=80.0):
+    """Run one mix and return post-warmup durations plus the machine."""
+    machine = Machine(MachineConfig(seed=seed))
+    machine.spawn(FOREGROUND_WORKLOADS[fg_name], core=0, nice=-5)
+    if bg is not None:
+        for core in range(1, 6):
+            machine.spawn(SINGLE_BG_WORKLOADS[bg], core=core, nice=5)
+    if rotate is not None:
+        spawn_rotating_background(
+            machine, ROTATE_PAIRS[rotate], cores=range(1, 6), seed=seed
+        )
+    records = []
+    machine.add_completion_listener(lambda p, r: records.append(r))
+    machine.run_seconds(seconds)
+    return [r.duration_s for r in records][2:], machine
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seconds", type=float, default=80.0)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    for fg in FOREGROUND_WORKLOADS:
+        alone, machine = run(fg, args.seed, seconds=min(args.seconds, 30.0))
+        mean_alone = statistics.mean(alone)
+        cells = [
+            "%-13s alone %.3fs mpki %.2f |"
+            % (fg, mean_alone, machine.read_counters(0).mpki)
+        ]
+        for bg in SINGLE_BG_WORKLOADS:
+            durs, _ = run(fg, args.seed, bg=bg, seconds=args.seconds)
+            mu, sd = statistics.mean(durs), statistics.stdev(durs)
+            cells.append("%s x%.2f c%.2f |" % (bg, mu / mean_alone, sd / mu))
+        for rot in list(ROTATE_PAIRS)[:2]:
+            durs, _ = run(fg, args.seed, rotate=rot, seconds=args.seconds)
+            mu, sd = statistics.mean(durs), statistics.stdev(durs)
+            cells.append("%s x%.2f c%.2f |" % (rot, mu / mean_alone, sd / mu))
+        print(" ".join(cells))
+        sys.stdout.flush()
+
+
+if __name__ == "__main__":
+    main()

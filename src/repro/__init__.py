@@ -1,0 +1,89 @@
+"""Reproduction of Dirigent (Zhu & Erez, ASPLOS 2016).
+
+Dirigent is a lightweight performance-management runtime that enforces
+QoS for latency-critical (foreground) tasks collocated with batch
+(background) tasks on a shared multicore node, by predicting task
+completion times at millisecond granularity and steering per-core DVFS,
+task pausing, and LLC way-partitioning.
+
+This package contains:
+
+* :mod:`repro.core` — the Dirigent runtime itself (offline profiler,
+  online completion-time predictor, fine and coarse time scale
+  controllers), written against an OS/hardware abstraction.
+* :mod:`repro.sim` — a simulated 6-core machine substrate standing in
+  for the paper's Xeon E5-2618L v3 testbed.
+* :mod:`repro.workloads` — phase-structured synthetic analogues of the
+  paper's PARSEC / SPEC / MLPack workloads.
+* :mod:`repro.experiments` — the evaluation harness and one driver per
+  paper figure.
+
+Quickstart::
+
+    from repro.experiments import mix_by_name, run_policy, measure_baseline
+    from repro.core import DIRIGENT
+
+    mix = mix_by_name("ferret rs")
+    baseline = measure_baseline(mix, executions=20)
+    managed = run_policy(mix, DIRIGENT, executions=20)
+    print(managed.fg_success_ratio, managed.bg_instr_per_s / baseline.bg_instr_per_s)
+"""
+
+from repro.core import (
+    BASELINE,
+    DIRIGENT,
+    DIRIGENT_FREQ,
+    PAPER_POLICIES,
+    STATIC_BOTH,
+    STATIC_FREQ,
+    CompletionTimePredictor,
+    DirigentRuntime,
+    ExecutionProfile,
+    ManagedTask,
+    OfflineProfiler,
+    Policy,
+    RuntimeOptions,
+)
+from repro.errors import (
+    ConfigurationError,
+    ControlError,
+    ExperimentError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.sim import Machine, MachineConfig, SystemInterface
+from repro.workloads import PhaseSpec, WorkloadSpec, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Machine",
+    "MachineConfig",
+    "SystemInterface",
+    "OfflineProfiler",
+    "ExecutionProfile",
+    "CompletionTimePredictor",
+    "DirigentRuntime",
+    "ManagedTask",
+    "RuntimeOptions",
+    "Policy",
+    "PAPER_POLICIES",
+    "BASELINE",
+    "STATIC_FREQ",
+    "STATIC_BOTH",
+    "DIRIGENT_FREQ",
+    "DIRIGENT",
+    "PhaseSpec",
+    "WorkloadSpec",
+    "get_workload",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "WorkloadError",
+    "ProfileError",
+    "ControlError",
+    "ExperimentError",
+]

@@ -1,0 +1,59 @@
+"""Command-line entry point: regenerate paper figures as text tables.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure fig10 [--executions 40] [--seed 0] [--max-rows 40]
+    python -m repro table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import FIGURES
+from repro.experiments.report import render
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures of the Dirigent (ASPLOS 2016) paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available figures")
+    fig = sub.add_parser("figure", help="run one figure driver")
+    fig.add_argument("name", choices=sorted(FIGURES))
+    fig.add_argument("--executions", type=int, default=None,
+                     help="FG executions per run (default: REPRO_EXECUTIONS or 40)")
+    fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--max-rows", type=int, default=0,
+                     help="truncate output to this many rows (0 = all)")
+    sub.add_parser("table1", help="print the benchmark inventory")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(FIGURES):
+            print(name)
+        return 0
+    if args.command == "table1":
+        print(render(FIGURES["table1"]()))
+        return 0
+    driver = FIGURES[args.name]
+    kwargs = {}
+    if args.executions is not None:
+        kwargs["executions"] = args.executions
+    result = driver(seed=args.seed, **kwargs)
+    print(render(result, max_rows=args.max_rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Cluster integration layer: per-node Dirigent under a cluster scheduler."""
+
+from repro.cluster.dispatch import (
+    Cluster,
+    ClusterNode,
+    ClusterResult,
+    ReservationDispatcher,
+    StreamRequest,
+)
+
+__all__ = [
+    "ClusterNode",
+    "Cluster",
+    "ClusterResult",
+    "StreamRequest",
+    "ReservationDispatcher",
+]

@@ -1,0 +1,206 @@
+"""Multi-node cluster layer.
+
+The paper positions Dirigent as orthogonal to cluster schedulers
+(Paragon, Quasar, Bubble-Up, ...): "Dirigent can be integrated with these
+schemes to manage performance on each node".  This module provides that
+integration point on the simulated substrate:
+
+* :class:`ClusterNode` — one node running a mix under a policy (a
+  wrapped :class:`repro.experiments.harness.PolicySession`);
+* :class:`Cluster` — steps many nodes in lockstep and aggregates FG
+  success and batch throughput cluster-wide;
+* :class:`ReservationDispatcher` — admission control that places FG task
+  streams onto nodes using the tail reservations of their measured
+  completion-time distributions (:mod:`repro.sched`), the hand-off a
+  QoS-aware cluster scheduler would perform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.policies import Policy
+from repro.errors import ExperimentError
+from repro.experiments.harness import PolicySession, RunResult
+from repro.experiments.mixes import Mix
+from repro.sched.reservation import ReservationScheduler, TaskStream
+from repro.sim.config import MachineConfig
+
+
+class ClusterNode:
+    """One node of the cluster: a named policy session."""
+
+    def __init__(
+        self,
+        name: str,
+        mix: Mix,
+        policy: Policy,
+        executions: int,
+        config: Optional[MachineConfig] = None,
+        seed: int = 0,
+        warmup: int = 5,
+    ) -> None:
+        self.name = name
+        self.session = PolicySession(
+            mix,
+            policy,
+            executions=executions,
+            warmup=warmup,
+            config=config,
+            seed=seed,
+        )
+
+    @property
+    def done(self) -> bool:
+        """True once the node finished its measured executions."""
+        return self.session.done
+
+    def tick(self) -> None:
+        """Advance the node by one simulator tick."""
+        self.session.tick()
+
+    def result(self) -> RunResult:
+        """The node's measured results (valid once done)."""
+        return self.session.result()
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Aggregated outcome of a cluster run.
+
+    Attributes:
+        node_results: Per-node results keyed by node name.
+        fg_success_ratio: Execution-weighted FG success over all nodes.
+        total_bg_instr_per_s: Sum of BG instruction rates over all nodes.
+    """
+
+    node_results: Dict[str, RunResult]
+    fg_success_ratio: float
+    total_bg_instr_per_s: float
+
+
+class Cluster:
+    """A set of nodes driven in lockstep."""
+
+    def __init__(self, nodes: Sequence[ClusterNode]) -> None:
+        if not nodes:
+            raise ExperimentError("cluster needs at least one node")
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise ExperimentError("node names must be unique")
+        self._nodes = list(nodes)
+
+    @property
+    def nodes(self) -> List[ClusterNode]:
+        """The cluster's nodes."""
+        return list(self._nodes)
+
+    def run(self) -> ClusterResult:
+        """Step all nodes until each finished its executions."""
+        pending = list(self._nodes)
+        while pending:
+            for node in pending:
+                node.tick()
+            pending = [node for node in pending if not node.done]
+        results = {node.name: node.result() for node in self._nodes}
+        met = 0
+        total = 0
+        bg_rate = 0.0
+        for result in results.values():
+            for deadline, durations in zip(
+                result.deadlines_s, result.durations_s
+            ):
+                total += len(durations)
+                met += sum(1 for d in durations if d <= deadline)
+            bg_rate += result.bg_instr_per_s
+        if total == 0:
+            raise ExperimentError("cluster produced no measured executions")
+        return ClusterResult(
+            node_results=results,
+            fg_success_ratio=met / total,
+            total_bg_instr_per_s=bg_rate,
+        )
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """An FG task stream a tenant asks the cluster to host.
+
+    Attributes:
+        name: Stream label.
+        period_s: Task inter-arrival period.
+        durations_s: Measured completion-time distribution of the task
+            under the management policy the nodes will run.
+    """
+
+    name: str
+    period_s: float
+    durations_s: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ExperimentError("period must be positive")
+        if not self.durations_s:
+            raise ExperimentError("stream needs a duration distribution")
+
+
+class ReservationDispatcher:
+    """First-fit placement of task streams onto nodes by reservation.
+
+    Each node offers ``capacity_cores`` of latency-critical capacity; a
+    stream's footprint is the tail reservation of its duration
+    distribution divided by its period.  Streams that fit nowhere are
+    rejected (the cluster scheduler would look for another rack).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        capacity_cores: float = 1.0,
+        target_percentile: float = 0.95,
+    ) -> None:
+        if num_nodes < 1:
+            raise ExperimentError("need at least one node")
+        self._schedulers = [
+            ReservationScheduler(capacity_cores) for _ in range(num_nodes)
+        ]
+        self._percentile = target_percentile
+        self.placements: Dict[str, int] = {}
+        self.rejected: List[str] = []
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes being packed."""
+        return len(self._schedulers)
+
+    def place(self, request: StreamRequest) -> Optional[int]:
+        """Place one stream; returns the node index or None if rejected."""
+        from repro.sched.reservation import reservation_for
+
+        reservation = reservation_for(
+            list(request.durations_s), self._percentile
+        )
+        stream = TaskStream(
+            name=request.name,
+            period_s=request.period_s,
+            reservation_s=reservation,
+        )
+        for index, scheduler in enumerate(self._schedulers):
+            if scheduler.try_admit(stream):
+                self.placements[request.name] = index
+                return index
+        self.rejected.append(request.name)
+        return None
+
+    def place_all(self, requests: Sequence[StreamRequest]) -> int:
+        """Place many streams; returns how many were admitted."""
+        admitted = 0
+        for request in requests:
+            if self.place(request) is not None:
+                admitted += 1
+        return admitted
+
+    def utilization(self) -> List[float]:
+        """Reserved utilization per node."""
+        return [s.reserved_utilization for s in self._schedulers]

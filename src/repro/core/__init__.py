@@ -1,0 +1,87 @@
+"""Dirigent: the paper's contribution — profiler, predictor, controllers."""
+
+from repro.core.coarse import CoarseGrainController, ExecutionSample
+from repro.core.fine import (
+    DEFAULT_AHEAD_MARGIN,
+    DEFAULT_PAUSE_MARGIN,
+    Decision,
+    FgStatus,
+    FineGrainController,
+)
+from repro.core.policies import (
+    BASELINE,
+    COARSE_ONLY,
+    DIRIGENT,
+    DIRIGENT_FREQ,
+    PAPER_POLICIES,
+    STATIC_BOTH,
+    STATIC_FREQ,
+    Policy,
+    policy_by_name,
+)
+from repro.core.predictor import (
+    ALPHA_CLAMP,
+    DEFAULT_EMA_WEIGHT,
+    CompletionTimePredictor,
+)
+from repro.core.heartbeats import HeartbeatCounter, ProcessHeartbeatBridge
+from repro.core.online_profile import OnlineProfiler
+from repro.core.profile import (
+    DEFAULT_SAMPLING_PERIOD_S,
+    ExecutionProfile,
+    OfflineProfiler,
+    ProfileSegment,
+    segments_from_samples,
+)
+from repro.core.runtime import (
+    DirigentRuntime,
+    ManagedTask,
+    PredictionRecord,
+    RuntimeOptions,
+)
+from repro.core.stats import (
+    ExponentialMovingAverage,
+    harmonic_mean,
+    mean,
+    pearson_correlation,
+    stddev,
+)
+
+__all__ = [
+    "OfflineProfiler",
+    "OnlineProfiler",
+    "HeartbeatCounter",
+    "ProcessHeartbeatBridge",
+    "segments_from_samples",
+    "ExecutionProfile",
+    "ProfileSegment",
+    "DEFAULT_SAMPLING_PERIOD_S",
+    "CompletionTimePredictor",
+    "DEFAULT_EMA_WEIGHT",
+    "ALPHA_CLAMP",
+    "FineGrainController",
+    "FgStatus",
+    "Decision",
+    "DEFAULT_AHEAD_MARGIN",
+    "DEFAULT_PAUSE_MARGIN",
+    "CoarseGrainController",
+    "ExecutionSample",
+    "DirigentRuntime",
+    "ManagedTask",
+    "RuntimeOptions",
+    "PredictionRecord",
+    "Policy",
+    "policy_by_name",
+    "PAPER_POLICIES",
+    "BASELINE",
+    "STATIC_FREQ",
+    "STATIC_BOTH",
+    "DIRIGENT_FREQ",
+    "DIRIGENT",
+    "COARSE_ONLY",
+    "ExponentialMovingAverage",
+    "mean",
+    "stddev",
+    "pearson_correlation",
+    "harmonic_mean",
+]

@@ -1,0 +1,194 @@
+"""Coarse time scale QoS controller (Section 4.3, cache partitioning).
+
+Because of cache inertia, repartitioning the LLC only pays off over many
+FG executions, so this controller works on statistics gathered across a
+window of recent executions (the paper uses the last 10) and adjusts the
+FG way-partition with three heuristics:
+
+1. **Correlation**: if FG execution time correlates strongly (>0.75) with
+   FG LLC misses and deadlines were recently missed, growing the FG
+   partition is likely to help — add one way.
+2. **Hit-rate check**: if a recent grow did not lower FG misses, shrink
+   the partition back; this stops anomalous executions from ratcheting
+   the partition up forever.
+3. **Throttle pressure**: if the fine time scale controller's history
+   shows BG tasks heavily throttled or paused, grow the FG partition even
+   without miss correlation — partitioning may isolate the interference
+   more cheaply than throttling (heuristic 2 later undoes it if not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.fine import Decision
+from repro.core.stats import mean, pearson_correlation
+from repro.errors import ControlError
+from repro.sim.osal import SystemInterface
+
+#: Correlation threshold the paper "somewhat arbitrarily" chose.
+DEFAULT_CORRELATION_THRESHOLD = 0.75
+
+#: Executions per controller invocation; with the 10-execution statistics
+#: window this gives the paper's ~32-execution convergence (5 invocations).
+DEFAULT_DECISION_EVERY = 7
+
+#: Statistics window (the paper's "history of 10 last executions").
+DEFAULT_WINDOW = 10
+
+#: Fraction of fine-grain decisions showing hard BG throttling that
+#: triggers heuristic 3.
+DEFAULT_PRESSURE_THRESHOLD = 0.5
+
+#: Required relative miss improvement for a grow to be kept (heuristic 2).
+DEFAULT_MISS_IMPROVEMENT = 0.02
+
+
+@dataclass(frozen=True)
+class ExecutionSample:
+    """Per-execution statistics fed to the coarse controller.
+
+    Attributes:
+        duration_s: FG execution time.
+        llc_misses: LLC misses suffered by the FG task.
+        instructions: Instructions retired by the FG task.
+        missed_deadline: Whether the execution exceeded its target.
+    """
+
+    duration_s: float
+    llc_misses: float
+    instructions: float
+    missed_deadline: bool
+
+    @property
+    def mpki(self) -> float:
+        """Misses per kilo-instruction of the execution."""
+        if self.instructions <= 0:
+            return 0.0
+        return self.llc_misses / self.instructions * 1000.0
+
+
+class CoarseGrainController:
+    """Adjusts the FG LLC partition from cross-execution statistics."""
+
+    def __init__(
+        self,
+        system: SystemInterface,
+        fg_cores: Sequence[int],
+        initial_fg_ways: int = 2,
+        window: int = DEFAULT_WINDOW,
+        decision_every: int = DEFAULT_DECISION_EVERY,
+        correlation_threshold: float = DEFAULT_CORRELATION_THRESHOLD,
+        pressure_threshold: float = DEFAULT_PRESSURE_THRESHOLD,
+        miss_improvement: float = DEFAULT_MISS_IMPROVEMENT,
+    ) -> None:
+        if window < 2:
+            raise ControlError("window must be >= 2")
+        if decision_every < 1:
+            raise ControlError("decision_every must be >= 1")
+        self._sys = system
+        self._fg_cores = list(fg_cores)
+        max_ways = system.llc_ways() - 1
+        if not 1 <= initial_fg_ways <= max_ways:
+            raise ControlError(
+                "initial_fg_ways must be in [1, %d]" % max_ways
+            )
+        self._window = window
+        self._decision_every = decision_every
+        self._corr_threshold = correlation_threshold
+        self._pressure_threshold = pressure_threshold
+        self._miss_improvement = miss_improvement
+        self._fg_ways = initial_fg_ways
+        self._samples: List[ExecutionSample] = []
+        self._since_decision = 0
+        self._last_action: Optional[str] = None
+        self._mpki_before_grow: Optional[float] = None
+        self.partition_history: List[int] = [initial_fg_ways]
+        self._sys.set_fg_partition(self._fg_cores, self._fg_ways)
+
+    @property
+    def fg_ways(self) -> int:
+        """Current FG partition size in ways."""
+        return self._fg_ways
+
+    def on_execution(
+        self,
+        sample: ExecutionSample,
+        recent_decisions: Sequence[Decision] = (),
+    ) -> Optional[str]:
+        """Feed one completed FG execution; maybe adjust the partition.
+
+        Args:
+            sample: Statistics of the completed execution.
+            recent_decisions: Fine-grain decisions made since the last
+                coarse invocation (throttle-pressure input).
+
+        Returns:
+            The action taken at a decision boundary (``"grow"``,
+            ``"shrink"``, ``"hold"``), or None between boundaries.
+        """
+        self._samples.append(sample)
+        if len(self._samples) > self._window:
+            self._samples.pop(0)
+        self._since_decision += 1
+        if self._since_decision < self._decision_every:
+            return None
+        self._since_decision = 0
+        return self._decide(recent_decisions)
+
+    def _decide(self, recent_decisions: Sequence[Decision]) -> str:
+        if len(self._samples) < 2:
+            return "hold"
+        durations = [s.duration_s for s in self._samples]
+        misses = [s.llc_misses for s in self._samples]
+        window_mpki = mean([s.mpki for s in self._samples])
+
+        # Heuristic 2: a recent grow must have lowered misses, else revert.
+        if self._last_action == "grow" and self._mpki_before_grow is not None:
+            improved = window_mpki < self._mpki_before_grow * (
+                1.0 - self._miss_improvement
+            )
+            if not improved:
+                self._apply(self._fg_ways - 1, "shrink")
+                self._mpki_before_grow = None
+                return "shrink"
+            self._mpki_before_grow = None
+
+        correlation = pearson_correlation(durations, misses)
+        missed_any = any(s.missed_deadline for s in self._samples)
+
+        # Heuristic 1: strong time/miss correlation plus missed deadlines.
+        if correlation > self._corr_threshold and missed_any:
+            if self._apply(self._fg_ways + 1, "grow"):
+                self._mpki_before_grow = window_mpki
+                return "grow"
+
+        # Heuristic 3: BG heavily throttled -> try isolating with ways.
+        if recent_decisions:
+            pressured = sum(
+                1
+                for d in recent_decisions
+                if d.bg_paused > 0
+                or (d.bg_grades and max(d.bg_grades.values()) == 0)
+            )
+            if pressured / len(recent_decisions) >= self._pressure_threshold:
+                if self._apply(self._fg_ways + 1, "grow"):
+                    self._mpki_before_grow = window_mpki
+                    return "grow"
+
+        self._last_action = "hold"
+        self.partition_history.append(self._fg_ways)
+        return "hold"
+
+    def _apply(self, fg_ways: int, action: str) -> bool:
+        max_ways = self._sys.llc_ways() - 1
+        if not 1 <= fg_ways <= max_ways:
+            self._last_action = "hold"
+            self.partition_history.append(self._fg_ways)
+            return False
+        self._fg_ways = fg_ways
+        self._sys.set_fg_partition(self._fg_cores, fg_ways)
+        self._last_action = action
+        self.partition_history.append(fg_ways)
+        return True

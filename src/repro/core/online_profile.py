@@ -1,0 +1,129 @@
+"""Online (in-place) profiling — the paper's proposed extension.
+
+The published Dirigent relies on offline profiles.  Section 7 notes that
+"because of the short profiling duration it can be performed online,
+though it will require pausing all BG tasks while profiling".  This
+module implements exactly that: the profiler pauses every BG task on the
+live node, samples the FG task's progress counters through the same
+``SystemInterface`` the runtime uses for a configurable number of
+executions, resumes the BG tasks, and hands back an
+:class:`repro.core.profile.ExecutionProfile` ready for the predictor.
+
+Like the runtime, it learns about execution boundaries from the
+application side via :meth:`on_fg_completion`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.profile import (
+    DEFAULT_SAMPLING_PERIOD_S,
+    ExecutionProfile,
+    segments_from_samples,
+)
+from repro.errors import ProfileError
+from repro.sim.osal import SystemInterface
+
+ProfileReadyCallback = Callable[[ExecutionProfile], None]
+
+
+class OnlineProfiler:
+    """Profiles a running FG task while BG tasks are paused.
+
+    Args:
+        system: The node's control/observation surface.
+        fg_core: Core of the FG task being profiled.
+        bg_pids: BG tasks to pause during profiling.
+        workload_name: Name recorded in the resulting profile.
+        sampling_period_s: Sampling period (the paper's 5 ms default).
+        warmup_executions: Executions discarded before the recorded one
+            (lets the cache refill after the BG tasks stop).
+        on_ready: Invoked with the finished profile; BG tasks are resumed
+            just before the callback runs.
+    """
+
+    def __init__(
+        self,
+        system: SystemInterface,
+        fg_core: int,
+        bg_pids: Sequence[int],
+        workload_name: str = "online",
+        sampling_period_s: float = DEFAULT_SAMPLING_PERIOD_S,
+        warmup_executions: int = 1,
+        on_ready: Optional[ProfileReadyCallback] = None,
+    ) -> None:
+        if sampling_period_s <= 0:
+            raise ProfileError("sampling period must be > 0")
+        if warmup_executions < 0:
+            raise ProfileError("warmup_executions must be >= 0")
+        self._sys = system
+        self._fg_core = fg_core
+        self._bg_pids = list(bg_pids)
+        self._name = workload_name
+        self._period = sampling_period_s
+        self._warmup = warmup_executions
+        self._on_ready = on_ready
+        self._samples: List[Tuple[float, float]] = []
+        self._completions_seen = 0
+        self._active = False
+        self._resumable: List[int] = []
+        self.profile: Optional[ExecutionProfile] = None
+
+    @property
+    def active(self) -> bool:
+        """True while profiling is in progress."""
+        return self._active
+
+    @property
+    def done(self) -> bool:
+        """True once a profile has been recorded."""
+        return self.profile is not None
+
+    def start(self) -> None:
+        """Pause BG tasks and begin sampling."""
+        if self._active:
+            raise ProfileError("online profiler already started")
+        if self.done:
+            raise ProfileError("online profiler already finished")
+        self._active = True
+        self._resumable = [
+            pid for pid in self._bg_pids if not self._sys.is_paused(pid)
+        ]
+        for pid in self._resumable:
+            self._sys.pause(pid)
+        self._sys.schedule_wakeup(self._period, self._sample)
+
+    def on_fg_completion(
+        self, end_s: float, duration_s: float, instructions: float
+    ) -> None:
+        """Record an FG execution boundary (application-side event)."""
+        if not self._active:
+            return
+        self._completions_seen += 1
+        if self._completions_seen <= self._warmup:
+            return
+        start_s = end_s - duration_s
+        segments = segments_from_samples(
+            self._samples, start_s, end_s, instructions
+        )
+        self.profile = ExecutionProfile(
+            workload_name=self._name,
+            sampling_period_s=self._period,
+            segments=tuple(segments),
+        )
+        self._finish()
+
+    def _sample(self) -> None:
+        if not self._active:
+            return
+        snap = self._sys.read_counters(self._fg_core)
+        self._samples.append((snap.time_s, snap.instructions))
+        self._sys.schedule_wakeup(self._period, self._sample)
+
+    def _finish(self) -> None:
+        self._active = False
+        for pid in self._resumable:
+            self._sys.resume(pid)
+        if self._on_ready is not None and self.profile is not None:
+            self._on_ready(self.profile)

@@ -1,0 +1,84 @@
+"""Evaluation policies (Section 5.4's five configurations).
+
+* **Baseline** — all cores at maximum frequency, free contention.
+* **StaticFreq** — FG cores at maximum, BG cores at minimum frequency.
+* **StaticBoth** — StaticFreq plus the best *static* cache partition
+  (the paper verified Dirigent's heuristic partition is near-optimal);
+  representative of coarse-grained schemes such as Heracles for these
+  short tasks.
+* **DirigentFreq** — fine time scale control only (no partitioning).
+* **Dirigent** — full system: fine control plus coarse cache partitioning.
+* **CoarseOnly** — static partition without frequency management; the
+  paper omits it ("performs just slightly worse than StaticBoth"), kept
+  here as an ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A resource-management configuration the harness can run.
+
+    Attributes:
+        name: Display name used in figures and tables.
+        fine_control: Run the Dirigent fine time scale controller.
+        coarse_control: Run the Dirigent coarse cache-partition controller.
+        static_bg_grade: Fixed DVFS grade for BG cores (None = maximum).
+        static_fg_grade: Fixed DVFS grade for FG cores (None = maximum).
+        static_partition: Apply a fixed FG cache partition for the whole
+            run (size chosen per mix by the harness).
+        initial_fg_ways: Starting FG partition for the coarse controller.
+    """
+
+    name: str
+    fine_control: bool = False
+    coarse_control: bool = False
+    static_bg_grade: Optional[int] = None
+    static_fg_grade: Optional[int] = None
+    static_partition: bool = False
+    initial_fg_ways: int = 2
+
+    def __post_init__(self) -> None:
+        if self.coarse_control and self.static_partition:
+            raise ConfigurationError(
+                "policy %r: coarse control and a static partition are "
+                "mutually exclusive" % self.name
+            )
+        if self.initial_fg_ways < 1:
+            raise ConfigurationError("initial_fg_ways must be >= 1")
+
+    @property
+    def uses_runtime(self) -> bool:
+        """True when the Dirigent runtime daemon must run."""
+        return self.fine_control or self.coarse_control
+
+
+BASELINE = Policy(name="Baseline")
+STATIC_FREQ = Policy(name="StaticFreq", static_bg_grade=0)
+STATIC_BOTH = Policy(name="StaticBoth", static_bg_grade=0, static_partition=True)
+DIRIGENT_FREQ = Policy(name="DirigentFreq", fine_control=True)
+DIRIGENT = Policy(name="Dirigent", fine_control=True, coarse_control=True)
+COARSE_ONLY = Policy(name="CoarseOnly", static_partition=True)
+
+#: The paper's five evaluated configurations, in Figure 9/10 order.
+PAPER_POLICIES: Tuple[Policy, ...] = (
+    BASELINE,
+    STATIC_FREQ,
+    STATIC_BOTH,
+    DIRIGENT_FREQ,
+    DIRIGENT,
+)
+
+
+def policy_by_name(name: str) -> Policy:
+    """Look a policy up by display name (case-insensitive)."""
+    for policy in PAPER_POLICIES + (COARSE_ONLY,):
+        if policy.name.lower() == name.lower():
+            return policy
+    raise ConfigurationError("unknown policy %r" % name)

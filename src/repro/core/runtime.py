@@ -1,0 +1,355 @@
+"""The Dirigent runtime daemon (Section 4).
+
+Ties profiler output, the online predictor, and the two controllers into
+the periodic sampling loop the paper describes: a lightweight thread
+pinned to a core shared with a BG task, waking every ``dT = 5 ms`` via a
+(jittered) sleep, reading performance counters, updating per-task
+completion-time predictions, making a fine time scale control decision
+every few segments, and invoking the coarse cache-partition controller
+across executions.  Each invocation charges its (<100 us) overhead to the
+core the runtime is pinned to.
+
+The runtime only touches the machine through
+:class:`repro.sim.osal.SystemInterface`; completion notifications arrive
+from the application side (the paper measures task boundaries inside the
+FG process via PARSEC's ROI interface) through :meth:`on_fg_completion`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.coarse import CoarseGrainController, ExecutionSample
+from repro.core.fine import (
+    DEFAULT_AHEAD_MARGIN,
+    DEFAULT_DEADLINE_GUARD,
+    DEFAULT_PAUSE_MARGIN,
+    FgStatus,
+    FineGrainController,
+)
+from repro.core.predictor import CompletionTimePredictor, DEFAULT_EMA_WEIGHT
+from repro.core.profile import DEFAULT_SAMPLING_PERIOD_S, ExecutionProfile
+from repro.errors import ControlError
+from repro.sim.osal import SystemInterface
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """Tunables of the Dirigent runtime (defaults follow the paper).
+
+    Attributes:
+        sampling_period_s: Predictor sampling period ``dT``.
+        decision_every: Prediction segments per fine-grain decision.
+        ema_weight: Weight of the penalty and rate-factor EMAs.
+        predictor_scaling: Equation 2 scaling interpretation
+            ("penalty-ratio" or the literal "alpha").
+        ahead_margin: Fine controller's ahead threshold (fraction).
+        pause_margin: Fine controller's pause threshold (fraction).
+        deadline_guard: Safety band below the deadline the controller
+            steers toward (sized to the predictor's typical error).
+        invocation_overhead_s: CPU time charged to the runtime's core per
+            wakeup (measured <100 us on the paper's machine).
+        enable_fine: Run the fine time scale controller.
+        enable_coarse: Run the coarse cache-partition controller.
+        initial_fg_ways: Starting FG partition for coarse control.
+        coarse_window: Execution-statistics window of the coarse
+            controller.
+        coarse_decision_every: FG executions per coarse invocation.
+        record_predictions: Capture one midpoint prediction per execution
+            (used by the accuracy experiments, Figures 6 and 7).
+    """
+
+    sampling_period_s: float = DEFAULT_SAMPLING_PERIOD_S
+    decision_every: int = 5
+    ema_weight: float = DEFAULT_EMA_WEIGHT
+    predictor_scaling: str = "penalty-ratio"
+    ahead_margin: float = DEFAULT_AHEAD_MARGIN
+    pause_margin: float = DEFAULT_PAUSE_MARGIN
+    deadline_guard: float = DEFAULT_DEADLINE_GUARD
+    invocation_overhead_s: float = 100e-6
+    enable_fine: bool = True
+    enable_coarse: bool = True
+    initial_fg_ways: int = 2
+    coarse_window: int = 10
+    coarse_decision_every: int = 7
+    record_predictions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sampling_period_s <= 0:
+            raise ControlError("sampling_period_s must be > 0")
+        if self.decision_every < 1:
+            raise ControlError("decision_every must be >= 1")
+        if self.invocation_overhead_s < 0:
+            raise ControlError("invocation_overhead_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """Midpoint prediction vs. measured outcome of one execution.
+
+    Attributes:
+        execution_index: FG execution number.
+        predicted_total_s: Total time predicted at roughly half progress.
+        actual_total_s: Measured execution time.
+    """
+
+    execution_index: int
+    predicted_total_s: float
+    actual_total_s: float
+
+    @property
+    def relative_error(self) -> float:
+        """``|predicted - actual| / actual`` (Equation 3)."""
+        return abs(self.predicted_total_s - self.actual_total_s) / self.actual_total_s
+
+
+class ManagedTask:
+    """Per-FG-task runtime state.
+
+    Args:
+        pid: Process id of the FG task.
+        core: Core the task is pinned to.
+        profile: Offline (or online) execution profile.
+        deadline_s: Target completion time.
+        ema_weight: Predictor EMA weight.
+        progress_fn: Optional alternative progress source (e.g. an
+            Application Heartbeats bridge) returning progress within the
+            current execution; when None, per-core instruction counters
+            are used, as in the paper.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        core: int,
+        profile: ExecutionProfile,
+        deadline_s: float,
+        ema_weight: float,
+        progress_fn: Optional[Callable[[], float]] = None,
+        predictor_scaling: str = "penalty-ratio",
+    ) -> None:
+        if deadline_s <= 0:
+            raise ControlError("deadline must be positive")
+        self.pid = pid
+        self.core = core
+        self.deadline_s = deadline_s
+        self.predictor = CompletionTimePredictor(
+            profile, ema_weight=ema_weight, scaling=predictor_scaling
+        )
+        self.progress_fn = progress_fn
+        self.instruction_base = 0.0
+        self.execution_index = 0
+        self.midpoint_prediction: Optional[float] = None
+        self.prediction_log: List[PredictionRecord] = []
+
+
+class DirigentRuntime:
+    """The periodic monitoring and control loop."""
+
+    def __init__(
+        self,
+        system: SystemInterface,
+        tasks: Sequence[ManagedTask],
+        bg_pids: Sequence[int],
+        options: Optional[RuntimeOptions] = None,
+    ) -> None:
+        if not tasks:
+            raise ControlError("DirigentRuntime needs at least one FG task")
+        self._sys = system
+        self._tasks = list(tasks)
+        self._tasks_by_pid = {task.pid: task for task in self._tasks}
+        self._bg_pids = list(bg_pids)
+        self._opts = options or RuntimeOptions()
+        self._fine: Optional[FineGrainController] = None
+        if self._opts.enable_fine:
+            self._fine = FineGrainController(
+                system,
+                bg_pids,
+                ahead_margin=self._opts.ahead_margin,
+                pause_margin=self._opts.pause_margin,
+                deadline_guard=self._opts.deadline_guard,
+            )
+        self._coarse: Optional[CoarseGrainController] = None
+        if self._opts.enable_coarse:
+            self._coarse = CoarseGrainController(
+                system,
+                fg_cores=[task.core for task in self._tasks],
+                initial_fg_ways=self._opts.initial_fg_ways,
+                window=self._opts.coarse_window,
+                decision_every=self._opts.coarse_decision_every,
+            )
+        # The runtime thread is pinned to a core shared with a BG task.
+        self._pinned_core = (
+            system.core_of(self._bg_pids[0]) if self._bg_pids else 0
+        )
+        self._running = False
+        self._sample_count = 0
+        self._decisions_at_last_coarse = 0
+        self._bg_miss_base: Dict[int, float] = {}
+        #: Histogram of BG core DVFS grades observed at each sample
+        #: (paused cores are excluded), for Figure 12.
+        self.bg_grade_histogram: Dict[int, int] = {}
+        self.invocations = 0
+
+    @property
+    def options(self) -> RuntimeOptions:
+        """The runtime's configuration."""
+        return self._opts
+
+    @property
+    def tasks(self) -> List[ManagedTask]:
+        """Managed FG tasks."""
+        return list(self._tasks)
+
+    @property
+    def fine_controller(self) -> Optional[FineGrainController]:
+        """The fine time scale controller, when enabled."""
+        return self._fine
+
+    @property
+    def coarse_controller(self) -> Optional[CoarseGrainController]:
+        """The coarse time scale controller, when enabled."""
+        return self._coarse
+
+    def start(self) -> None:
+        """Begin the sampling loop."""
+        if self._running:
+            raise ControlError("runtime already started")
+        self._running = True
+        now = self._sys.now()
+        for task in self._tasks:
+            task.instruction_base = self._sys.read_counters(
+                task.core
+            ).instructions
+            task.predictor.start_execution(now)
+        for pid in self._bg_pids:
+            core = self._sys.core_of(pid)
+            self._bg_miss_base[pid] = self._sys.read_counters(core).llc_misses
+        self._sys.schedule_wakeup(self._opts.sampling_period_s, self._on_wakeup)
+
+    def stop(self) -> None:
+        """Stop scheduling further wakeups."""
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Periodic sampling
+    # ------------------------------------------------------------------
+
+    def _on_wakeup(self) -> None:
+        if not self._running:
+            return
+        self._sys.charge_overhead(
+            self._pinned_core, self._opts.invocation_overhead_s
+        )
+        self.invocations += 1
+        now = self._sys.now()
+
+        for task in self._tasks:
+            snap = self._sys.read_counters(task.core)
+            if task.progress_fn is not None:
+                progress = task.progress_fn()
+            else:
+                progress = snap.instructions - task.instruction_base
+            if progress >= 0 and task.predictor.in_execution:
+                task.predictor.observe(snap.time_s, progress)
+                if (
+                    self._opts.record_predictions
+                    and task.midpoint_prediction is None
+                    and task.predictor.progress_fraction >= 0.5
+                ):
+                    task.midpoint_prediction = task.predictor.predict(now)
+
+        self._record_bg_grades()
+        self._sample_count += 1
+        if (
+            self._fine is not None
+            and self._sample_count % self._opts.decision_every == 0
+        ):
+            statuses = [
+                FgStatus(
+                    pid=task.pid,
+                    core=task.core,
+                    predicted_total_s=task.predictor.predict(now),
+                    deadline_s=task.deadline_s,
+                )
+                for task in self._tasks
+                if task.predictor.in_execution
+            ]
+            if statuses:
+                self._fine.decide(statuses, self._bg_intrusiveness())
+
+        self._sys.schedule_wakeup(self._opts.sampling_period_s, self._on_wakeup)
+
+    def _record_bg_grades(self) -> None:
+        for pid in self._bg_pids:
+            if self._sys.is_paused(pid):
+                continue
+            grade = self._sys.frequency_grade(self._sys.core_of(pid))
+            self.bg_grade_histogram[grade] = (
+                self.bg_grade_histogram.get(grade, 0) + 1
+            )
+
+    def _bg_intrusiveness(self) -> Dict[int, float]:
+        """LLC misses per BG task since the previous decision."""
+        result: Dict[int, float] = {}
+        for pid in self._bg_pids:
+            core = self._sys.core_of(pid)
+            misses = self._sys.read_counters(core).llc_misses
+            result[pid] = misses - self._bg_miss_base.get(pid, 0.0)
+            self._bg_miss_base[pid] = misses
+        return result
+
+    # ------------------------------------------------------------------
+    # Application-side notifications
+    # ------------------------------------------------------------------
+
+    def on_fg_completion(
+        self,
+        pid: int,
+        end_s: float,
+        duration_s: float,
+        instructions: float,
+        llc_misses: float,
+    ) -> None:
+        """Handle an FG task-execution boundary reported by the app.
+
+        Finalizes the predictor for the completed execution, logs the
+        midpoint prediction, feeds the coarse controller, and starts
+        tracking the next execution (tasks run back to back).
+        """
+        task = self._tasks_by_pid.get(pid)
+        if task is None:
+            return
+        if task.predictor.in_execution:
+            task.predictor.finish_execution(end_s)
+        if task.midpoint_prediction is not None:
+            task.prediction_log.append(
+                PredictionRecord(
+                    execution_index=task.execution_index,
+                    predicted_total_s=task.midpoint_prediction,
+                    actual_total_s=duration_s,
+                )
+            )
+        task.midpoint_prediction = None
+        task.execution_index += 1
+        task.instruction_base += instructions
+
+        if self._coarse is not None:
+            recent: Sequence = ()
+            if self._fine is not None:
+                recent = self._fine.decisions[self._decisions_at_last_coarse:]
+            action = self._coarse.on_execution(
+                ExecutionSample(
+                    duration_s=duration_s,
+                    llc_misses=llc_misses,
+                    instructions=instructions,
+                    missed_deadline=duration_s > task.deadline_s,
+                ),
+                recent_decisions=recent,
+            )
+            if action is not None and self._fine is not None:
+                self._decisions_at_last_coarse = len(self._fine.decisions)
+
+        if self._running:
+            task.predictor.start_execution(end_s)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, workload, or policy configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is malformed or unknown."""
+
+
+class ProfileError(ReproError):
+    """An execution profile is missing, empty, or incompatible."""
+
+
+class ControlError(ReproError):
+    """A controller was asked to perform an illegal action."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured or driven incorrectly."""

@@ -1,0 +1,637 @@
+"""Experiment harness: run a workload mix under a policy, collect metrics.
+
+The harness mirrors the paper's methodology:
+
+1. FG tasks are pinned one per core starting at core 0 (lowest niceness);
+   BG tasks fill the remaining cores (highest niceness); the Dirigent
+   runtime is pinned to a core shared with a BG task.
+2. Each FG benchmark's deadline is ``mu + 0.3 sigma`` of its completion
+   time under the **Baseline** configuration (free contention, all cores
+   at maximum frequency).
+3. FG metrics are computed over ``executions`` completions per FG task
+   after a warmup; BG performance is total BG instructions per second
+   over the same measurement window, normalized to Baseline.
+
+Baseline runs, offline profiles, and static-partition sweeps are cached
+per (mix, machine-config) so figure drivers can share them.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import zlib
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.policies import BASELINE, Policy
+from repro.core.profile import ExecutionProfile, OfflineProfiler
+from repro.core.runtime import (
+    DirigentRuntime,
+    ManagedTask,
+    PredictionRecord,
+    RuntimeOptions,
+)
+from repro.errors import ExperimentError
+from repro.experiments.metrics import (
+    DEADLINE_SIGMA_FACTOR,
+    DurationStats,
+    deadline_for,
+    duration_stats,
+    success_ratio,
+)
+from repro.experiments.mixes import Mix
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.process import ExecutionRecord, Process
+from repro.workloads.catalog import get_rotate_pair, get_workload
+from repro.workloads.rotate import spawn_rotating_background
+
+#: Default executions measured per FG task; override with the
+#: REPRO_EXECUTIONS environment variable (the paper uses 100).
+DEFAULT_EXECUTIONS = int(os.environ.get("REPRO_EXECUTIONS", "40"))
+
+#: Executions discarded before measurement begins.
+DEFAULT_WARMUP = 5
+
+_PROFILE_CACHE: Dict[Tuple[str, MachineConfig, float], ExecutionProfile] = {}
+_BASELINE_CACHE: Dict[Tuple[str, MachineConfig, int, int, int], "RunResult"] = {}
+_PARTITION_CACHE: Dict[Tuple[str, MachineConfig, int], int] = {}
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of running one mix under one policy.
+
+    Attributes:
+        mix: The workload mix.
+        policy_name: Name of the policy that ran.
+        deadlines_s: Deadline per FG task (same benchmark => same value).
+        durations_s: Measured execution times per FG task, post-warmup.
+        bg_instr_per_s: BG instructions per second in the measurement
+            window.
+        elapsed_s: Length of the measurement window.
+        fg_instr: FG instructions retired in the window (all FG cores).
+        fg_misses: FG LLC misses in the window.
+        bg_misses: BG LLC misses in the window.
+        bg_instr: BG instructions in the window.
+        prediction_logs: Midpoint prediction records per FG task (empty
+            unless a runtime with prediction recording ran).
+        bg_grade_histogram: Histogram of BG core DVFS grades sampled by
+            the runtime (empty without a runtime).
+        partition_history: FG partition sizes chosen by the coarse
+            controller over time (empty without coarse control).
+    """
+
+    mix: Mix
+    policy_name: str
+    deadlines_s: Tuple[float, ...]
+    durations_s: Tuple[Tuple[float, ...], ...]
+    bg_instr_per_s: float
+    elapsed_s: float
+    fg_instr: float
+    fg_misses: float
+    bg_misses: float
+    bg_instr: float
+    prediction_logs: Tuple[Tuple[PredictionRecord, ...], ...] = ()
+    bg_grade_histogram: Dict[int, int] = field(default_factory=dict)
+    partition_history: Tuple[int, ...] = ()
+
+    @property
+    def all_durations(self) -> List[float]:
+        """Execution times pooled over all FG tasks."""
+        return [d for task in self.durations_s for d in task]
+
+    @property
+    def fg_stats(self) -> DurationStats:
+        """Duration statistics pooled over all FG tasks."""
+        return duration_stats(self.all_durations)
+
+    @property
+    def fg_success_ratio(self) -> float:
+        """Fraction of FG executions meeting their task's deadline."""
+        total = 0
+        met = 0
+        for deadline, durations in zip(self.deadlines_s, self.durations_s):
+            total += len(durations)
+            met += sum(1 for d in durations if d <= deadline)
+        if total == 0:
+            raise ExperimentError("run produced no measured executions")
+        return met / total
+
+    @property
+    def fg_mpki(self) -> float:
+        """FG misses per kilo-instruction over the window."""
+        if self.fg_instr <= 0:
+            return 0.0
+        return self.fg_misses / self.fg_instr * 1000.0
+
+
+def fg_cores_of(mix: Mix, config: MachineConfig) -> List[int]:
+    """Cores assigned to FG tasks (0 .. fg_count-1)."""
+    if mix.fg_count >= config.num_cores:
+        raise ExperimentError(
+            "mix %r needs at least one BG core on a %d-core machine"
+            % (mix.name, config.num_cores)
+        )
+    return list(range(mix.fg_count))
+
+
+def bg_cores_of(mix: Mix, config: MachineConfig) -> List[int]:
+    """Cores assigned to BG tasks (the rest of the machine)."""
+    return list(range(mix.fg_count, config.num_cores))
+
+
+def build_machine(
+    mix: Mix, config: MachineConfig, seed: int = 0
+) -> Tuple[Machine, List[Process], List[Process]]:
+    """Create a machine with the mix's processes pinned and ready."""
+    machine = Machine(config.with_seed(_derive_seed(config.seed, mix.name, seed)))
+    fg_spec = get_workload(mix.fg_name)
+    fg_procs = [
+        machine.spawn(fg_spec, core=core, nice=-5)
+        for core in fg_cores_of(mix, config)
+    ]
+    bg_cores = bg_cores_of(mix, config)
+    if mix.is_rotate:
+        bg_procs = spawn_rotating_background(
+            machine,
+            get_rotate_pair(mix.rotate_name),
+            cores=bg_cores,
+            nice=5,
+            seed=machine.config.seed,
+        )
+    else:
+        bg_spec = get_workload(mix.bg_name)
+        bg_procs = [machine.spawn(bg_spec, core=core, nice=5) for core in bg_cores]
+    machine.settle_cache()
+    return machine, fg_procs, bg_procs
+
+
+def get_profile(
+    fg_name: str,
+    config: Optional[MachineConfig] = None,
+    sampling_period_s: float = 5e-3,
+) -> ExecutionProfile:
+    """Offline profile of an FG benchmark (cached)."""
+    config = config or MachineConfig()
+    key = (fg_name, config, sampling_period_s)
+    profile = _PROFILE_CACHE.get(key)
+    if profile is None:
+        profiler = OfflineProfiler(
+            machine_config=config, sampling_period_s=sampling_period_s
+        )
+        profile = profiler.profile(get_workload(fg_name))
+        _PROFILE_CACHE[key] = profile
+    return profile
+
+
+def run_policy(
+    mix: Mix,
+    policy: Policy,
+    deadlines_s: Optional[Sequence[float]] = None,
+    executions: int = DEFAULT_EXECUTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    config: Optional[MachineConfig] = None,
+    seed: int = 0,
+    static_fg_ways: Optional[int] = None,
+    observe_predictor: bool = False,
+    runtime_options: Optional[RuntimeOptions] = None,
+) -> RunResult:
+    """Run ``mix`` under ``policy`` and return measured results.
+
+    Args:
+        mix: The workload mix.
+        policy: Resource-management configuration.
+        deadlines_s: Per-FG-task deadlines; required when the policy's
+            fine controller runs (otherwise optional, used for metrics).
+            Computed from the Baseline run when omitted.
+        executions: Measured FG executions per task.
+        warmup: Executions discarded before measurement.
+        config: Machine configuration (defaults to the paper machine).
+        seed: Experiment seed, combined with the config seed and mix name.
+        static_fg_ways: Partition size for static-partition policies
+            (found by :func:`find_static_partition` when omitted).
+        observe_predictor: Run the Dirigent runtime in observe-only mode
+            (sampling and predicting, controlling nothing) — used by the
+            predictor-accuracy experiments on the Baseline configuration.
+        runtime_options: Override the runtime's tunables.
+    """
+    session = PolicySession(
+        mix,
+        policy,
+        deadlines_s=deadlines_s,
+        executions=executions,
+        warmup=warmup,
+        config=config,
+        seed=seed,
+        static_fg_ways=static_fg_ways,
+        observe_predictor=observe_predictor,
+        runtime_options=runtime_options,
+    )
+    while not session.done:
+        session.tick()
+    return session.result()
+
+
+class PolicySession:
+    """An incrementally driven policy run (one node's experiment).
+
+    :func:`run_policy` drives one session to completion; the cluster
+    layer (:mod:`repro.cluster`) steps several sessions in lockstep.
+    Construction performs all setup (machine, static settings, runtime);
+    call :meth:`tick` until :attr:`done`, then :meth:`result`.
+    """
+
+    def __init__(
+        self,
+        mix: Mix,
+        policy: Policy,
+        deadlines_s: Optional[Sequence[float]] = None,
+        executions: int = DEFAULT_EXECUTIONS,
+        warmup: int = DEFAULT_WARMUP,
+        config: Optional[MachineConfig] = None,
+        seed: int = 0,
+        static_fg_ways: Optional[int] = None,
+        observe_predictor: bool = False,
+        runtime_options: Optional[RuntimeOptions] = None,
+    ) -> None:
+        if executions < 1:
+            raise ExperimentError("executions must be >= 1")
+        config = config or MachineConfig()
+        # Non-Baseline policies are judged against the Baseline deadlines;
+        # pass an explicit empty tuple to opt out (e.g. partition sweeps).
+        if deadlines_s is None and policy.name != BASELINE.name:
+            deadlines_s = deadlines_for(
+                mix, executions=executions, warmup=warmup, config=config,
+                seed=seed,
+            )
+        self.mix = mix
+        self.policy = policy
+        self._deadlines = deadlines_s
+        self._executions = executions
+        self._warmup = warmup
+        machine, fg_procs, bg_procs = build_machine(mix, config, seed)
+        self.machine = machine
+        self._fg_procs = fg_procs
+        self._bg_procs = bg_procs
+
+        # Static frequency settings.
+        if policy.static_bg_grade is not None:
+            for proc in bg_procs:
+                machine.set_frequency_grade(proc.core, policy.static_bg_grade)
+        if policy.static_fg_grade is not None:
+            for proc in fg_procs:
+                machine.set_frequency_grade(proc.core, policy.static_fg_grade)
+
+        # Static cache partition.
+        if policy.static_partition:
+            ways = static_fg_ways
+            if ways is None:
+                ways = find_static_partition(mix, config=config, seed=seed)
+            machine.set_fg_partition([p.core for p in fg_procs], ways)
+
+        self.runtime: Optional[DirigentRuntime] = None
+        if policy.uses_runtime or observe_predictor:
+            task_deadlines = list(deadlines_s) if deadlines_s else [
+                math.inf
+            ] * len(fg_procs)
+            base_opts = runtime_options or RuntimeOptions()
+            opts = dc_replace(
+                base_opts,
+                enable_fine=policy.fine_control,
+                enable_coarse=policy.coarse_control,
+                initial_fg_ways=policy.initial_fg_ways,
+            )
+            tasks = [
+                ManagedTask(
+                    pid=proc.pid,
+                    core=proc.core,
+                    profile=get_profile(
+                        mix.fg_name, config, opts.sampling_period_s
+                    ),
+                    deadline_s=deadline,
+                    ema_weight=opts.ema_weight,
+                    predictor_scaling=opts.predictor_scaling,
+                )
+                for proc, deadline in zip(fg_procs, task_deadlines)
+            ]
+            runtime = DirigentRuntime(
+                machine, tasks, [p.pid for p in bg_procs], options=opts
+            )
+            machine.add_completion_listener(
+                lambda proc, record: runtime.on_fg_completion(
+                    proc.pid,
+                    record.end_s,
+                    record.duration_s,
+                    record.instructions,
+                    record.llc_misses,
+                )
+            )
+            runtime.start()
+            self.runtime = runtime
+
+        # Collect execution records per FG task.
+        self._records: Dict[int, List[ExecutionRecord]] = {
+            p.pid: [] for p in fg_procs
+        }
+
+        def collect(proc: Process, record: ExecutionRecord) -> None:
+            bucket = self._records.get(proc.pid)
+            if bucket is not None:
+                bucket.append(record)
+
+        machine.add_completion_listener(collect)
+
+        self._target = warmup + executions
+        self._fg_cores = [p.core for p in fg_procs]
+        self._bg_cores = [p.core for p in bg_procs]
+        self._meas_start: Optional[Dict[str, float]] = None
+        est_duration = get_workload(mix.fg_name).total_instructions / 1.5e9
+        self._max_ticks = int(
+            (self._target * est_duration * 12 + 60.0) / config.tick_s
+        )
+        self._ticks = 0
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """True once every FG task has completed its target executions."""
+        return self._done
+
+    def completions(self) -> List[int]:
+        """Completed executions per FG task so far."""
+        return [len(self._records[p.pid]) for p in self._fg_procs]
+
+    def tick(self) -> None:
+        """Advance the node by one simulator tick."""
+        if self._done:
+            return
+        self.machine.tick()
+        self._ticks += 1
+        if self._ticks % 32 == 0 or self._meas_start is None:
+            done = self.completions()
+            if self._meas_start is None and all(
+                d >= self._warmup for d in done
+            ):
+                self._meas_start = _counter_totals(
+                    self.machine, self._fg_cores, self._bg_cores
+                )
+            if all(d >= self._target for d in done):
+                self._done = True
+                if self.runtime is not None:
+                    self.runtime.stop()
+                return
+            if self._ticks > self._max_ticks:
+                raise ExperimentError(
+                    "run of %r under %s did not finish within the tick "
+                    "guard (%d completions of %d)"
+                    % (
+                        self.mix.name,
+                        self.policy.name,
+                        min(done),
+                        self._target,
+                    )
+                )
+
+    def result(self) -> RunResult:
+        """Measured results; only valid once :attr:`done`."""
+        if not self._done:
+            raise ExperimentError("session has not finished")
+        if self._meas_start is None:
+            raise ExperimentError("measurement window never opened")
+        meas_end = _counter_totals(
+            self.machine, self._fg_cores, self._bg_cores
+        )
+        meas_start = self._meas_start
+        elapsed = meas_end["time"] - meas_start["time"]
+        bg_instr = meas_end["bg_instr"] - meas_start["bg_instr"]
+
+        warmup, target = self._warmup, self._target
+        durations = tuple(
+            tuple(
+                r.duration_s for r in self._records[p.pid][warmup:target]
+            )
+            for p in self._fg_procs
+        )
+        deadlines_s = self._deadlines
+        if deadlines_s is None:
+            # Baseline (or observe-only) runs define their own deadlines.
+            deadlines_s = [
+                deadline_for(duration_stats(list(task)), DEADLINE_SIGMA_FACTOR)
+                for task in durations
+            ]
+
+        prediction_logs: Tuple[Tuple[PredictionRecord, ...], ...] = ()
+        grade_hist: Dict[int, int] = {}
+        partition_history: Tuple[int, ...] = ()
+        if self.runtime is not None:
+            prediction_logs = tuple(
+                tuple(task.prediction_log) for task in self.runtime.tasks
+            )
+            grade_hist = dict(self.runtime.bg_grade_histogram)
+            if self.runtime.coarse_controller is not None:
+                partition_history = tuple(
+                    self.runtime.coarse_controller.partition_history
+                )
+
+        return RunResult(
+            mix=self.mix,
+            policy_name=self.policy.name,
+            deadlines_s=tuple(deadlines_s),
+            durations_s=durations,
+            bg_instr_per_s=bg_instr / elapsed if elapsed > 0 else 0.0,
+            elapsed_s=elapsed,
+            fg_instr=meas_end["fg_instr"] - meas_start["fg_instr"],
+            fg_misses=meas_end["fg_misses"] - meas_start["fg_misses"],
+            bg_misses=meas_end["bg_misses"] - meas_start["bg_misses"],
+            bg_instr=bg_instr,
+            prediction_logs=prediction_logs,
+            bg_grade_histogram=grade_hist,
+            partition_history=partition_history,
+        )
+
+
+@dataclass(frozen=True)
+class StandaloneResult:
+    """Uncontended FG measurements (used by Figures 4 and 15).
+
+    Attributes:
+        fg_name: The benchmark measured.
+        durations_s: Per-execution completion times (post-warmup).
+        mpki: FG misses per kilo-instruction over the window.
+    """
+
+    fg_name: str
+    durations_s: Tuple[float, ...]
+    mpki: float
+
+    @property
+    def stats(self) -> DurationStats:
+        """Duration statistics of the standalone executions."""
+        return duration_stats(list(self.durations_s))
+
+
+_STANDALONE_CACHE: Dict[Tuple[str, MachineConfig, int, int, int], StandaloneResult] = {}
+
+
+def measure_standalone(
+    fg_name: str,
+    executions: int = DEFAULT_EXECUTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    config: Optional[MachineConfig] = None,
+    seed: int = 0,
+) -> StandaloneResult:
+    """Run an FG benchmark alone at maximum frequency (cached)."""
+    config = config or MachineConfig()
+    key = (fg_name, config, executions, warmup, seed)
+    cached = _STANDALONE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    machine = Machine(
+        config.with_seed(_derive_seed(config.seed, "alone:%s" % fg_name, seed))
+    )
+    proc = machine.spawn(get_workload(fg_name), core=0, nice=-5)
+    machine.settle_cache()
+    records: List[ExecutionRecord] = []
+    machine.add_completion_listener(lambda p, r: records.append(r))
+    target = warmup + executions
+    start_snap = None
+    guard = int(600.0 / config.tick_s)
+    ticks = 0
+    while len(records) < target:
+        machine.tick()
+        ticks += 1
+        if start_snap is None and len(records) >= warmup:
+            start_snap = machine.read_counters(0)
+        if ticks > guard:
+            raise ExperimentError(
+                "standalone run of %r did not finish in time" % fg_name
+            )
+    end_snap = machine.read_counters(0)
+    delta = end_snap.delta(start_snap)
+    result = StandaloneResult(
+        fg_name=fg_name,
+        durations_s=tuple(r.duration_s for r in records[warmup:target]),
+        mpki=delta.mpki,
+    )
+    _STANDALONE_CACHE[key] = result
+    return result
+
+
+def measure_baseline(
+    mix: Mix,
+    executions: int = DEFAULT_EXECUTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    config: Optional[MachineConfig] = None,
+    seed: int = 0,
+) -> RunResult:
+    """Run the Baseline configuration (cached)."""
+    config = config or MachineConfig()
+    key = (mix.name, config, executions, warmup, seed)
+    result = _BASELINE_CACHE.get(key)
+    if result is None:
+        result = run_policy(
+            mix,
+            BASELINE,
+            executions=executions,
+            warmup=warmup,
+            config=config,
+            seed=seed,
+        )
+        _BASELINE_CACHE[key] = result
+    return result
+
+
+def deadlines_for(
+    mix: Mix,
+    executions: int = DEFAULT_EXECUTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    config: Optional[MachineConfig] = None,
+    seed: int = 0,
+) -> Tuple[float, ...]:
+    """Per-FG-task deadlines from the cached Baseline run."""
+    baseline = measure_baseline(
+        mix, executions=executions, warmup=warmup, config=config, seed=seed
+    )
+    return baseline.deadlines_s
+
+
+def find_static_partition(
+    mix: Mix,
+    config: Optional[MachineConfig] = None,
+    seed: int = 0,
+    candidates: Optional[Sequence[int]] = None,
+    executions: int = 10,
+    warmup: int = 3,
+    knee_tolerance: float = 0.03,
+) -> int:
+    """Best static FG partition: the knee of a short exhaustive sweep.
+
+    Mirrors the paper's StaticBoth setup: sweep FG way counts with BG
+    cores at minimum frequency and pick the smallest partition whose mean
+    FG time is within ``knee_tolerance`` of the sweep's best.
+    """
+    config = config or MachineConfig()
+    key = (mix.name, config, seed)
+    cached = _PARTITION_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if candidates is None:
+        candidates = list(range(2, min(17, config.llc_ways - 1), 2))
+    means: List[Tuple[int, float]] = []
+    sweep_policy = Policy(
+        name="PartitionSweep", static_bg_grade=0, static_partition=True
+    )
+    for ways in candidates:
+        result = run_policy(
+            mix,
+            sweep_policy,
+            deadlines_s=(),
+            executions=executions,
+            warmup=warmup,
+            config=config,
+            seed=seed,
+            static_fg_ways=ways,
+        )
+        means.append((ways, result.fg_stats.mean_s))
+    best = min(m for _, m in means)
+    for ways, m in means:
+        if m <= best * (1.0 + knee_tolerance):
+            _PARTITION_CACHE[key] = ways
+            return ways
+    raise ExperimentError("partition sweep produced no knee")  # unreachable
+
+
+def clear_caches() -> None:
+    """Drop all cached profiles, baselines, and partitions (tests)."""
+    _PROFILE_CACHE.clear()
+    _BASELINE_CACHE.clear()
+    _PARTITION_CACHE.clear()
+    _STANDALONE_CACHE.clear()
+
+
+def _counter_totals(machine: Machine, fg_cores, bg_cores) -> Dict[str, float]:
+    now = machine.now()
+    totals = {
+        "time": now,
+        "fg_instr": 0.0,
+        "fg_misses": 0.0,
+        "bg_instr": 0.0,
+        "bg_misses": 0.0,
+    }
+    for core in fg_cores:
+        snap = machine.read_counters(core)
+        totals["fg_instr"] += snap.instructions
+        totals["fg_misses"] += snap.llc_misses
+    for core in bg_cores:
+        snap = machine.read_counters(core)
+        totals["bg_instr"] += snap.instructions
+        totals["bg_misses"] += snap.llc_misses
+    return totals
+
+
+def _derive_seed(config_seed: int, mix_name: str, seed: int) -> int:
+    # zlib.crc32 is stable across processes (unlike hash() on strings).
+    label = "%d|%s|%d" % (config_seed, mix_name, seed)
+    return zlib.crc32(label.encode("utf-8")) & 0x7FFFFFFF

@@ -1,0 +1,126 @@
+"""Metrics for the paper's evaluation (Section 5.4).
+
+* **FG success ratio** — fraction of FG executions completing within the
+  deadline ``mu_baseline + 0.3 * sigma_baseline``.
+* **BG performance** — total BG instructions per second, normalized to
+  the Baseline configuration (unconstrained contention is the BG
+  optimum).
+* **Variation** — standard deviation of FG execution time, absolute and
+  normalized (to the mean, or to Baseline's sigma).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.stats import mean, stddev
+from repro.errors import ExperimentError
+
+#: Deadline slack factor: the paper sets each FG deadline to
+#: ``mu_baseline + 0.3 * sigma_baseline``.
+DEADLINE_SIGMA_FACTOR = 0.3
+
+
+@dataclass(frozen=True)
+class DurationStats:
+    """Summary statistics of a set of FG execution times.
+
+    Attributes:
+        count: Number of executions.
+        mean_s: Mean execution time.
+        std_s: Population standard deviation.
+        min_s: Fastest execution.
+        max_s: Slowest execution.
+    """
+
+    count: int
+    mean_s: float
+    std_s: float
+    min_s: float
+    max_s: float
+
+    @property
+    def normalized_std(self) -> float:
+        """Standard deviation over mean (the paper's "Normalized Std")."""
+        if self.mean_s <= 0:
+            return 0.0
+        return self.std_s / self.mean_s
+
+
+def duration_stats(durations: Sequence[float]) -> DurationStats:
+    """Summarize a sequence of execution times."""
+    if not durations:
+        raise ExperimentError("no durations to summarize")
+    return DurationStats(
+        count=len(durations),
+        mean_s=mean(durations),
+        std_s=stddev(durations),
+        min_s=min(durations),
+        max_s=max(durations),
+    )
+
+
+def deadline_for(stats: DurationStats, factor: float = DEADLINE_SIGMA_FACTOR) -> float:
+    """The paper's deadline definition: ``mu + factor * sigma``."""
+    return stats.mean_s + factor * stats.std_s
+
+
+def success_ratio(durations: Sequence[float], deadline_s: float) -> float:
+    """Fraction of executions completing within ``deadline_s``."""
+    if not durations:
+        raise ExperimentError("no durations for success ratio")
+    if deadline_s <= 0:
+        raise ExperimentError("deadline must be positive")
+    return sum(1 for d in durations if d <= deadline_s) / len(durations)
+
+
+def histogram(
+    durations: Sequence[float],
+    bins: int = 30,
+    lo: float = None,
+    hi: float = None,
+) -> Tuple[List[float], List[float]]:
+    """Probability-density histogram (Figure 11's pdf curves).
+
+    Returns bin centers and densities normalized so the histogram
+    integrates to one.
+    """
+    if not durations:
+        raise ExperimentError("no durations to histogram")
+    if bins < 1:
+        raise ExperimentError("bins must be >= 1")
+    lo = min(durations) if lo is None else lo
+    hi = max(durations) if hi is None else hi
+    if hi <= lo:
+        hi = lo + 1e-9
+    width = (hi - lo) / bins
+    counts = [0] * bins
+    for d in durations:
+        idx = int((d - lo) / width)
+        idx = min(max(idx, 0), bins - 1)
+        counts[idx] += 1
+    total = len(durations)
+    centers = [lo + (i + 0.5) * width for i in range(bins)]
+    densities = [c / (total * width) for c in counts]
+    return centers, densities
+
+
+def std_reduction(baseline_std: float, managed_std: float) -> float:
+    """Relative reduction in execution-time sigma vs. Baseline.
+
+    The paper's headline: Dirigent achieves an 85% reduction on average.
+    """
+    if baseline_std <= 0:
+        return 0.0
+    return 1.0 - managed_std / baseline_std
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ExperimentError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ExperimentError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,130 @@
+"""Workload mixes evaluated in the paper (Section 5.1/5.4).
+
+* 15 **single-BG** mixes: each of the 5 FG benchmarks against 5 copies of
+  one of {bwaves, pca, rs} (Figure 9a).
+* 20 **rotate-BG** mixes: each FG against the four rotate pairs
+  (Figure 9b); together these are the 35 single-FG mixes of Figure 7.
+* 15 **multi-FG** mixes: five FG/BG combinations covering a low-to-high
+  variation range, each with 1-3 concurrent FG copies; the FG+BG process
+  count always equals the 6 cores (Figure 9c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.workloads.catalog import (
+    foreground_names,
+    get_rotate_pair,
+    get_workload,
+    rotate_pair_names,
+    single_bg_names,
+)
+
+
+@dataclass(frozen=True)
+class Mix:
+    """One collocation scenario.
+
+    Attributes:
+        name: Display name, e.g. ``"ferret rs"`` or ``"raytrace x2 rs"``.
+        fg_name: FG benchmark name.
+        fg_count: Number of concurrent FG copies.
+        bg_name: Single-BG benchmark name, or None for rotate mixes.
+        rotate_name: Rotate-pair name, or None for single-BG mixes.
+    """
+
+    name: str
+    fg_name: str
+    fg_count: int = 1
+    bg_name: Optional[str] = None
+    rotate_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.fg_count < 1:
+            raise ExperimentError("fg_count must be >= 1")
+        if (self.bg_name is None) == (self.rotate_name is None):
+            raise ExperimentError(
+                "mix %r must name exactly one of bg_name/rotate_name"
+                % self.name
+            )
+        get_workload(self.fg_name)  # validate
+        if self.bg_name is not None:
+            get_workload(self.bg_name)
+        if self.rotate_name is not None:
+            get_rotate_pair(self.rotate_name)
+
+    @property
+    def is_rotate(self) -> bool:
+        """True for rotate-BG mixes."""
+        return self.rotate_name is not None
+
+    @property
+    def bg_label(self) -> str:
+        """Name of the BG side (workload or rotate pair)."""
+        return self.bg_name if self.bg_name is not None else self.rotate_name
+
+
+def single_bg_mixes() -> List[Mix]:
+    """The 15 single-BG mixes of Figure 9a."""
+    mixes = []
+    for fg in foreground_names():
+        for bg in single_bg_names():
+            mixes.append(Mix(name="%s %s" % (fg, bg), fg_name=fg, bg_name=bg))
+    return mixes
+
+
+def rotate_bg_mixes() -> List[Mix]:
+    """The 20 rotate-BG mixes of Figure 9b."""
+    mixes = []
+    for fg in foreground_names():
+        for pair in rotate_pair_names():
+            mixes.append(
+                Mix(name="%s %s" % (fg, pair), fg_name=fg, rotate_name=pair)
+            )
+    return mixes
+
+
+def all_single_fg_mixes() -> List[Mix]:
+    """All 35 single-FG mixes (Figures 7 and 10)."""
+    return single_bg_mixes() + rotate_bg_mixes()
+
+
+#: The five FG/BG combinations of Figure 9c, in the paper's order.
+MULTI_FG_COMBOS: Tuple[Tuple[str, Optional[str], Optional[str]], ...] = (
+    ("bodytrack", None, "libquantum+soplex"),
+    ("ferret", "bwaves", None),
+    ("fluidanimate", None, "lbm+soplex"),
+    ("raytrace", "rs", None),
+    ("streamcluster", None, "lbm+namd"),
+)
+
+
+def multi_fg_mixes(max_fg: int = 3) -> List[Mix]:
+    """The multi-FG mixes of Figure 9c (1..max_fg FG copies each)."""
+    if max_fg < 1:
+        raise ExperimentError("max_fg must be >= 1")
+    mixes = []
+    for fg, bg, rotate in MULTI_FG_COMBOS:
+        for count in range(1, max_fg + 1):
+            label = rotate if rotate is not None else bg
+            mixes.append(
+                Mix(
+                    name="%s x%d %s" % (fg, count, label),
+                    fg_name=fg,
+                    fg_count=count,
+                    bg_name=bg,
+                    rotate_name=rotate,
+                )
+            )
+    return mixes
+
+
+def mix_by_name(name: str) -> Mix:
+    """Look up any paper mix by display name."""
+    for mix in all_single_fg_mixes() + multi_fg_mixes():
+        if mix.name == name:
+            return mix
+    raise ExperimentError("unknown mix %r" % name)

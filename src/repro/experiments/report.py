@@ -1,0 +1,38 @@
+"""Fixed-width text rendering of figure results."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.figures import FigureResult
+
+
+def render(result: FigureResult, max_rows: int = 0) -> str:
+    """Render a :class:`FigureResult` as an aligned text table.
+
+    Args:
+        result: The figure data to render.
+        max_rows: Truncate to this many rows (0 = no limit).
+    """
+    rows = [tuple(str(cell) for cell in row) for row in result.rows]
+    shown = rows if max_rows <= 0 else rows[:max_rows]
+    headers = tuple(str(h) for h in result.headers)
+    widths = [len(h) for h in headers]
+    for row in shown:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    lines: List[str] = [
+        "%s — %s" % (result.name, result.title),
+        fmt(headers),
+        fmt(tuple("-" * w for w in widths)),
+    ]
+    lines.extend(fmt(row) for row in shown)
+    if max_rows and len(rows) > max_rows:
+        lines.append("... (%d more rows)" % (len(rows) - max_rows))
+    for note in result.notes:
+        lines.append("note: %s" % note)
+    return "\n".join(lines)

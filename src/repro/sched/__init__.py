@@ -1,0 +1,19 @@
+"""Reservation-based scheduling layer (the paper's Figure 2 motivation)."""
+
+from repro.sched.reservation import (
+    ReservationScheduler,
+    TaskStream,
+    max_streams,
+    packing_gain,
+    percentile,
+    reservation_for,
+)
+
+__all__ = [
+    "percentile",
+    "reservation_for",
+    "TaskStream",
+    "ReservationScheduler",
+    "max_streams",
+    "packing_gain",
+]

@@ -1,0 +1,168 @@
+"""Reservation-based task admission (the paper's Figure 2 motivation).
+
+Section 3.1 argues that high completion-time variance wastes capacity
+under reservation-based scheduling: a scheduler that guarantees a latency
+percentile must reserve the *tail* of the distribution per task, so
+low-variance task streams pack far more densely onto a node.  This module
+makes that argument executable:
+
+* :func:`reservation_for` computes the per-task CPU-time reservation that
+  guarantees a target percentile of a measured duration distribution;
+* :class:`ReservationScheduler` admits periodic task streams onto a node
+  of fixed capacity using those reservations;
+* :func:`packing_gain` compares how many streams fit under two different
+  distributions (e.g. Baseline vs. Dirigent completion times).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ExperimentError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 1])."""
+    if not values:
+        raise ExperimentError("percentile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ExperimentError("q must be in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def reservation_for(
+    durations: Sequence[float], target_percentile: float = 0.95
+) -> float:
+    """CPU-time reservation guaranteeing ``target_percentile`` on-time.
+
+    A reservation-based scheduler must budget enough time per task that
+    the target fraction of executions fit inside it (the paper cites
+    statistical rate-monotonic scheduling [1]).
+    """
+    return percentile(durations, target_percentile)
+
+
+@dataclass(frozen=True)
+class TaskStream:
+    """A periodic latency-critical task stream.
+
+    Attributes:
+        name: Stream label.
+        period_s: Task inter-arrival period (one task per period).
+        reservation_s: CPU time reserved per task.
+    """
+
+    name: str
+    period_s: float
+    reservation_s: float
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ExperimentError("period must be positive")
+        if self.reservation_s <= 0:
+            raise ExperimentError("reservation must be positive")
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of one core this stream reserves."""
+        return self.reservation_s / self.period_s
+
+
+class ReservationScheduler:
+    """Admission control for task streams on a node of fixed capacity.
+
+    Utilization-based admission: the sum of admitted streams' reserved
+    utilizations must not exceed ``capacity`` (in core-equivalents).
+    """
+
+    def __init__(self, capacity_cores: float = 1.0) -> None:
+        if capacity_cores <= 0:
+            raise ExperimentError("capacity must be positive")
+        self.capacity_cores = capacity_cores
+        self._admitted: List[TaskStream] = []
+
+    @property
+    def admitted(self) -> List[TaskStream]:
+        """Streams admitted so far."""
+        return list(self._admitted)
+
+    @property
+    def reserved_utilization(self) -> float:
+        """Total reserved utilization in core-equivalents."""
+        return sum(stream.utilization for stream in self._admitted)
+
+    @property
+    def headroom(self) -> float:
+        """Remaining admissible utilization."""
+        return self.capacity_cores - self.reserved_utilization
+
+    def try_admit(self, stream: TaskStream) -> bool:
+        """Admit ``stream`` if its reservation fits; returns success."""
+        if stream.utilization > self.headroom + 1e-12:
+            return False
+        self._admitted.append(stream)
+        return True
+
+    def admit_max(self, stream: TaskStream) -> int:
+        """Admit as many copies of ``stream`` as fit; returns the count."""
+        count = 0
+        while self.try_admit(stream):
+            count += 1
+        return count
+
+
+def max_streams(
+    durations: Sequence[float],
+    period_s: float,
+    capacity_cores: float = 1.0,
+    target_percentile: float = 0.95,
+) -> int:
+    """How many copies of a task stream fit on ``capacity_cores``.
+
+    Args:
+        durations: Measured completion-time distribution of the task.
+        period_s: Stream period (must exceed the reservation).
+        capacity_cores: Node capacity in core-equivalents.
+        target_percentile: Percentile the reservation must guarantee.
+    """
+    reservation = reservation_for(durations, target_percentile)
+    if reservation > period_s:
+        return 0
+    scheduler = ReservationScheduler(capacity_cores)
+    return scheduler.admit_max(
+        TaskStream(name="stream", period_s=period_s, reservation_s=reservation)
+    )
+
+
+def packing_gain(
+    low_variance_durations: Sequence[float],
+    high_variance_durations: Sequence[float],
+    period_s: float,
+    capacity_cores: float = 4.0,
+    target_percentile: float = 0.95,
+) -> float:
+    """Packing-density gain of a low- over a high-variance distribution.
+
+    This is Figure 2 in numbers: type-B (low variance) streams admit more
+    densely than type-A (high variance) ones at the same percentile goal.
+    """
+    low = max_streams(
+        low_variance_durations, period_s, capacity_cores, target_percentile
+    )
+    high = max_streams(
+        high_variance_durations, period_s, capacity_cores, target_percentile
+    )
+    if high == 0:
+        raise ExperimentError(
+            "high-variance streams do not fit at all at this period"
+        )
+    return low / high

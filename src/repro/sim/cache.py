@@ -1,0 +1,190 @@
+"""Way-partitioned shared last-level cache with inertia.
+
+Models Intel Cache Allocation Technology the way Dirigent uses it: each
+core has a bitmask of LLC ways it may allocate into.  Within the ways a
+core can reach, occupancy is contended with every other core whose mask
+overlaps; the model splits each way's capacity proportionally to the
+access intensity (APKI) of the competing cores.
+
+Repartitioning does not take effect instantly.  Actual per-core occupancy
+follows the target with an exponential time constant
+(``cache_inertia_tau_s``), reproducing the "cache inertia" effect the
+paper cites as the reason cache partitioning is only useful for coarse
+time scale control.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.config import MachineConfig
+
+
+def full_mask(num_ways: int) -> int:
+    """Bitmask with all ``num_ways`` ways set."""
+    return (1 << num_ways) - 1
+
+
+def contiguous_mask(first_way: int, count: int) -> int:
+    """Bitmask covering ``count`` ways starting at ``first_way``."""
+    if first_way < 0 or count < 0:
+        raise ConfigurationError("mask bounds must be non-negative")
+    return ((1 << count) - 1) << first_way
+
+
+class SharedCache:
+    """Occupancy model of the way-partitioned LLC."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self._config = config
+        self._num_ways = config.llc_ways
+        self._tau = config.cache_inertia_tau_s
+        all_ways = full_mask(self._num_ways)
+        self._mask: List[int] = [all_ways] * config.num_cores
+        # Start every core at an equal split of the full cache.
+        start = self._num_ways / config.num_cores
+        self._effective: List[float] = [start] * config.num_cores
+        self._target: List[float] = list(self._effective)
+        self._targets_dirty = True
+        self._weights: List[float] = [1.0] * config.num_cores
+
+    @property
+    def num_ways(self) -> int:
+        """Total ways in the LLC."""
+        return self._num_ways
+
+    def mask(self, core: int) -> int:
+        """Current way mask of ``core``."""
+        self._check_core(core)
+        return self._mask[core]
+
+    def mask_ways(self, core: int) -> int:
+        """Number of ways ``core``'s mask allows it to reach."""
+        return bin(self.mask(core)).count("1")
+
+    def set_mask(self, core: int, mask: int) -> None:
+        """Assign a way bitmask to ``core`` (CAT-style)."""
+        self._check_core(core)
+        if mask <= 0 or mask > full_mask(self._num_ways):
+            raise ConfigurationError(
+                "mask %#x invalid for a %d-way cache" % (mask, self._num_ways)
+            )
+        if self._mask[core] != mask:
+            self._mask[core] = mask
+            self._targets_dirty = True
+
+    def set_fg_partition(
+        self, fg_cores: Iterable[int], fg_ways: int
+    ) -> None:
+        """Isolate ``fg_ways`` ways for ``fg_cores``; the rest share the remainder.
+
+        This mirrors the paper's policy of removing the FG partition's ways
+        from the list of ways BG tasks may use.
+        """
+        fg_set = set(fg_cores)
+        if not 1 <= fg_ways <= self._num_ways - 1:
+            raise ConfigurationError(
+                "fg_ways must leave at least one way for BG tasks"
+            )
+        fg_mask = contiguous_mask(0, fg_ways)
+        bg_mask = contiguous_mask(fg_ways, self._num_ways - fg_ways)
+        for core in range(self._config.num_cores):
+            self.set_mask(core, fg_mask if core in fg_set else bg_mask)
+
+    def clear_partitions(self) -> None:
+        """Let every core allocate into every way (no isolation)."""
+        mask = full_mask(self._num_ways)
+        for core in range(self._config.num_cores):
+            self.set_mask(core, mask)
+
+    def set_weights(self, weights: Sequence[float]) -> None:
+        """Set the per-core occupancy weights (phase APKI; 0 when idle/paused)."""
+        if len(weights) != self._config.num_cores:
+            raise SimulationError("need one weight per core")
+        if any(w < 0 for w in weights):
+            raise SimulationError("weights must be >= 0")
+        new = list(weights)
+        if new != self._weights:
+            self._weights = new
+            self._targets_dirty = True
+
+    def target_ways(self, core: int) -> float:
+        """Steady-state occupancy of ``core`` in ways for current masks/weights."""
+        self._refresh_targets()
+        self._check_core(core)
+        return self._target[core]
+
+    def effective_ways(self, core: int) -> float:
+        """Inertia-filtered occupancy of ``core`` in ways."""
+        self._check_core(core)
+        return self._effective[core]
+
+    def step(self, dt_s: float) -> None:
+        """Advance occupancies toward their targets by ``dt_s`` seconds."""
+        if dt_s < 0:
+            raise SimulationError("dt_s must be >= 0")
+        self._refresh_targets()
+        if self._tau <= 0:
+            self._effective = list(self._target)
+            return
+        alpha = 1.0 - math.exp(-dt_s / self._tau)
+        for core in range(self._config.num_cores):
+            gap = self._target[core] - self._effective[core]
+            self._effective[core] += alpha * gap
+
+    def settle(self) -> None:
+        """Snap occupancies to their targets (used for fresh machines)."""
+        self._refresh_targets()
+        self._effective = list(self._target)
+
+    def _refresh_targets(self) -> None:
+        if not self._targets_dirty:
+            return
+        num_cores = self._config.num_cores
+        targets = [0.0] * num_cores
+        # Group active cores by identical mask.  Typical configurations
+        # (fully shared, or a disjoint FG/BG partition) produce groups with
+        # pairwise disjoint masks, for which occupancy splits independently
+        # inside each group; arbitrary overlapping masks take the exact
+        # per-way path.
+        groups = {}
+        for core in range(num_cores):
+            if self._weights[core] > 0:
+                groups.setdefault(self._mask[core], []).append(core)
+        masks = list(groups)
+        disjoint = True
+        for i, left in enumerate(masks):
+            for right in masks[i + 1:]:
+                if left & right:
+                    disjoint = False
+                    break
+            if not disjoint:
+                break
+        if disjoint:
+            for mask, cores in groups.items():
+                ways = bin(mask).count("1")
+                total = 0.0
+                for core in cores:
+                    total += self._weights[core]
+                for core in cores:
+                    targets[core] = ways * self._weights[core] / total
+        else:
+            for way in range(self._num_ways):
+                bit = 1 << way
+                sharers = [
+                    core for core, cores_mask in enumerate(self._mask)
+                    if cores_mask & bit and self._weights[core] > 0
+                ]
+                if not sharers:
+                    continue
+                total = sum(self._weights[core] for core in sharers)
+                for core in sharers:
+                    targets[core] += self._weights[core] / total
+        self._target = targets
+        self._targets_dirty = False
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self._config.num_cores:
+            raise SimulationError("core %d out of range" % core)

@@ -1,0 +1,103 @@
+"""Per-core performance counters, mirroring the MSR events Dirigent reads.
+
+The real runtime samples retired instructions and LLC load misses through
+model-specific performance counters.  The simulated machine accumulates the
+same events per core; readers get immutable snapshots so stale reads cannot
+alias live state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Cumulative event counts of one core at a point in virtual time.
+
+    Attributes:
+        time_s: Virtual time of the snapshot.
+        instructions: Retired instructions since machine start.
+        cycles: Busy core cycles since machine start.
+        llc_accesses: LLC references since machine start.
+        llc_misses: LLC load misses since machine start.
+    """
+
+    time_s: float
+    instructions: float
+    cycles: float
+    llc_accesses: float
+    llc_misses: float
+
+    def delta(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
+        """Return the event deltas between this snapshot and ``earlier``."""
+        if earlier.time_s > self.time_s:
+            raise SimulationError("delta baseline is newer than snapshot")
+        return CounterSnapshot(
+            time_s=self.time_s - earlier.time_s,
+            instructions=self.instructions - earlier.instructions,
+            cycles=self.cycles - earlier.cycles,
+            llc_accesses=self.llc_accesses - earlier.llc_accesses,
+            llc_misses=self.llc_misses - earlier.llc_misses,
+        )
+
+    @property
+    def mpki(self) -> float:
+        """LLC misses per kilo-instruction over the counted window."""
+        if self.instructions <= 0:
+            return 0.0
+        return self.llc_misses / self.instructions * 1000.0
+
+
+class CounterBank:
+    """Mutable accumulator of the counter events for every core."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise SimulationError("num_cores must be >= 1")
+        self.num_cores = num_cores
+        self._instructions: List[float] = [0.0] * num_cores
+        self._cycles: List[float] = [0.0] * num_cores
+        self._llc_accesses: List[float] = [0.0] * num_cores
+        self._llc_misses: List[float] = [0.0] * num_cores
+
+    def record(
+        self,
+        core: int,
+        instructions: float,
+        cycles: float,
+        llc_accesses: float,
+        llc_misses: float,
+    ) -> None:
+        """Accumulate one tick's worth of events for ``core``."""
+        self._check_core(core)
+        self._instructions[core] += instructions
+        self._cycles[core] += cycles
+        self._llc_accesses[core] += llc_accesses
+        self._llc_misses[core] += llc_misses
+
+    def snapshot(self, core: int, time_s: float) -> CounterSnapshot:
+        """Return an immutable snapshot of ``core``'s counters."""
+        self._check_core(core)
+        return CounterSnapshot(
+            time_s=time_s,
+            instructions=self._instructions[core],
+            cycles=self._cycles[core],
+            llc_accesses=self._llc_accesses[core],
+            llc_misses=self._llc_misses[core],
+        )
+
+    def total_instructions(self, cores) -> float:
+        """Sum of retired instructions over an iterable of core ids."""
+        return sum(self._instructions[c] for c in cores)
+
+    def total_llc_misses(self, cores) -> float:
+        """Sum of LLC misses over an iterable of core ids."""
+        return sum(self._llc_misses[c] for c in cores)
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise SimulationError("core %d out of range" % core)

@@ -1,0 +1,130 @@
+"""Per-core energy accounting for the simulated node.
+
+Section 3.1 of the paper argues that frequency-matching alone "falls
+short of maximizing efficiency because the processor itself consumes just
+25-35% of total system power" — Dirigent instead maximizes *utility per
+unit energy* by keeping the whole node busy.  This module provides the
+accounting needed to evaluate that claim on the substrate:
+
+* core **dynamic** power follows the classic cubic law ``k * f^3``
+  (voltage scales with frequency);
+* core **static** power is constant while the core is powered;
+* the **platform** (memory, fans, PSU, board) draws a constant overhead,
+  sized so the CPU is roughly a third of total system power at full tilt.
+
+The :class:`EnergyModel` integrates power over per-core busy/idle time;
+:class:`repro.sim.machine.Machine` feeds it each tick when attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Power-model parameters.
+
+    Defaults approximate a low-power server socket: ~7.5 W dynamic per
+    core at 2 GHz, 1 W static per core, and a platform draw that makes
+    the CPU ~30% of system power when all six cores run flat out.
+
+    Attributes:
+        dynamic_w_per_ghz3: Dynamic power coefficient ``k`` in
+            ``P_dyn = k * f_ghz^3`` watts.
+        static_w_per_core: Leakage/uncore power per powered core.
+        platform_w: Constant rest-of-system power draw.
+    """
+
+    dynamic_w_per_ghz3: float = 0.94
+    static_w_per_core: float = 1.0
+    platform_w: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.dynamic_w_per_ghz3 <= 0:
+            raise ConfigurationError("dynamic_w_per_ghz3 must be positive")
+        if self.static_w_per_core < 0:
+            raise ConfigurationError("static_w_per_core must be >= 0")
+        if self.platform_w < 0:
+            raise ConfigurationError("platform_w must be >= 0")
+
+    def core_power_w(self, freq_ghz: float, busy: bool) -> float:
+        """Power of one core at ``freq_ghz`` (dynamic only while busy)."""
+        if freq_ghz < 0:
+            raise SimulationError("frequency must be >= 0")
+        dynamic = self.dynamic_w_per_ghz3 * freq_ghz**3 if busy else 0.0
+        return dynamic + self.static_w_per_core
+
+
+class EnergyModel:
+    """Integrates core and platform power over simulated time."""
+
+    def __init__(self, num_cores: int, config: EnergyConfig = EnergyConfig()) -> None:
+        if num_cores < 1:
+            raise ConfigurationError("num_cores must be >= 1")
+        self.config = config
+        self._core_joules: List[float] = [0.0] * num_cores
+        self._platform_joules = 0.0
+        self._elapsed_s = 0.0
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total accounted time."""
+        return self._elapsed_s
+
+    def accumulate(
+        self,
+        dt_s: float,
+        freqs_ghz: List[float],
+        busy: List[bool],
+    ) -> None:
+        """Account one tick of power.
+
+        Args:
+            dt_s: Tick length.
+            freqs_ghz: Effective frequency of every core.
+            busy: Whether each core executed work this tick.
+        """
+        if dt_s < 0:
+            raise SimulationError("dt_s must be >= 0")
+        if len(freqs_ghz) != len(self._core_joules) or len(busy) != len(
+            self._core_joules
+        ):
+            raise SimulationError("need one frequency and busy flag per core")
+        for core, (freq, is_busy) in enumerate(zip(freqs_ghz, busy)):
+            self._core_joules[core] += (
+                self.config.core_power_w(freq, is_busy) * dt_s
+            )
+        self._platform_joules += self.config.platform_w * dt_s
+        self._elapsed_s += dt_s
+
+    def core_joules(self, core: int) -> float:
+        """Energy consumed by one core so far."""
+        if not 0 <= core < len(self._core_joules):
+            raise SimulationError("core %d out of range" % core)
+        return self._core_joules[core]
+
+    @property
+    def cpu_joules(self) -> float:
+        """Energy of all cores."""
+        return sum(self._core_joules)
+
+    @property
+    def platform_joules(self) -> float:
+        """Energy of the non-CPU platform."""
+        return self._platform_joules
+
+    @property
+    def system_joules(self) -> float:
+        """Total node energy."""
+        return self.cpu_joules + self._platform_joules
+
+    @property
+    def average_system_power_w(self) -> float:
+        """Mean system power over the accounted window."""
+        if self._elapsed_s <= 0:
+            return 0.0
+        return self.system_joules / self._elapsed_s

@@ -1,0 +1,341 @@
+"""The simulated multicore machine.
+
+Owns the clock, DVFS governor, partitioned LLC, memory system, counters,
+and pinned processes, and advances them in lock-step ticks.  It implements
+:class:`repro.sim.osal.SystemInterface`, so the Dirigent runtime drives it
+exactly as it would drive a real node.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.cache import SharedCache
+from repro.sim.config import MachineConfig
+from repro.sim.counters import CounterBank, CounterSnapshot
+from repro.sim.frequency import FrequencyGovernor
+from repro.sim.memory import MemorySystem
+from repro.sim.process import ExecutionRecord, Process
+from repro.sim.timebase import TimerWheel, VirtualClock, derive_rng
+from repro.workloads.spec import WorkloadSpec
+
+CompletionListener = Callable[[Process, ExecutionRecord], None]
+
+
+class Machine:
+    """Discrete-time multicore node with one pinned process per core."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or MachineConfig()
+        self.clock = VirtualClock(self.config.tick_s)
+        self._timer_rng = derive_rng(self.config.seed, "timer")
+        self.timers = TimerWheel(
+            self.clock, self._timer_rng, self.config.timer_jitter_prob
+        )
+        self.governor = FrequencyGovernor(self.config)
+        self.cache = SharedCache(self.config)
+        self.memory = MemorySystem(self.config)
+        self.counters = CounterBank(self.config.num_cores)
+        self._jitter_rngs = [
+            derive_rng(self.config.seed, "jitter-core-%d" % core)
+            for core in range(self.config.num_cores)
+        ]
+        self._input_rng = derive_rng(self.config.seed, "input")
+        self._procs_by_core: List[Optional[Process]] = (
+            [None] * self.config.num_cores
+        )
+        self._procs_by_pid: Dict[int, Process] = {}
+        self._next_pid = 1
+        self._stolen_s: List[float] = [0.0] * self.config.num_cores
+        self._completion_listeners: List[CompletionListener] = []
+        self._rho = 0.0
+        self._settled = False
+        self._ips_prev: List[float] = [0.0] * self.config.num_cores
+        self._energy = None  # optional EnergyModel
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+
+    def spawn(self, spec: WorkloadSpec, core: int, nice: int = 0) -> Process:
+        """Create a process running ``spec`` pinned to ``core``."""
+        if not 0 <= core < self.config.num_cores:
+            raise ConfigurationError("core %d out of range" % core)
+        if self._procs_by_core[core] is not None:
+            raise ConfigurationError("core %d already has a pinned process" % core)
+        proc = Process(
+            pid=self._next_pid,
+            spec=spec,
+            core=core,
+            nice=nice,
+            input_rng=self._input_rng,
+            start_s=self.clock.now,
+        )
+        self._next_pid += 1
+        self._procs_by_core[core] = proc
+        self._procs_by_pid[proc.pid] = proc
+        self._settled = False
+        return proc
+
+    def process_on_core(self, core: int) -> Optional[Process]:
+        """Process pinned to ``core``, or None when the core is idle."""
+        if not 0 <= core < self.config.num_cores:
+            raise SimulationError("core %d out of range" % core)
+        return self._procs_by_core[core]
+
+    def process_by_pid(self, pid: int) -> Process:
+        """Look a process up by pid."""
+        try:
+            return self._procs_by_pid[pid]
+        except KeyError:
+            raise SimulationError("no process with pid %d" % pid) from None
+
+    @property
+    def processes(self) -> List[Process]:
+        """All spawned processes, in core order."""
+        return [p for p in self._procs_by_core if p is not None]
+
+    @property
+    def foreground_processes(self) -> List[Process]:
+        """All FG processes, in core order."""
+        return [p for p in self.processes if p.is_foreground]
+
+    @property
+    def background_processes(self) -> List[Process]:
+        """All BG processes, in core order."""
+        return [p for p in self.processes if not p.is_foreground]
+
+    def add_completion_listener(self, listener: CompletionListener) -> None:
+        """Register a callback invoked on every FG execution completion."""
+        self._completion_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # SystemInterface implementation
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    def read_counters(self, core: int) -> CounterSnapshot:
+        """Cumulative counters of ``core`` as of now."""
+        return self.counters.snapshot(core, self.clock.now)
+
+    def num_frequency_grades(self) -> int:
+        """Number of DVFS grades on this machine."""
+        return self.config.num_grades
+
+    def frequency_grade(self, core: int) -> int:
+        """Requested grade index of ``core``."""
+        return self.governor.pending_grade(core)
+
+    def set_frequency_grade(self, core: int, grade: int) -> None:
+        """Request a DVFS grade for ``core``."""
+        self.governor.set_grade(core, grade, self.clock.tick)
+
+    def step_frequency(self, core: int, direction: int) -> bool:
+        """Step ``core`` one grade; returns False at a limit."""
+        return self.governor.step(core, direction, self.clock.tick)
+
+    def pause(self, pid: int) -> None:
+        """Stop the process ``pid``."""
+        self.process_by_pid(pid).pause()
+
+    def resume(self, pid: int) -> None:
+        """Continue the process ``pid``."""
+        self.process_by_pid(pid).resume()
+
+    def is_paused(self, pid: int) -> bool:
+        """True when ``pid`` is stopped."""
+        return not self.process_by_pid(pid).is_running
+
+    def core_of(self, pid: int) -> int:
+        """Core the process ``pid`` is pinned to."""
+        return self.process_by_pid(pid).core
+
+    def llc_ways(self) -> int:
+        """Total LLC ways."""
+        return self.config.llc_ways
+
+    def set_fg_partition(self, fg_cores, fg_ways: int) -> None:
+        """Isolate ``fg_ways`` ways for ``fg_cores``."""
+        self.cache.set_fg_partition(fg_cores, fg_ways)
+
+    def clear_partitions(self) -> None:
+        """Remove all cache isolation."""
+        self.cache.clear_partitions()
+
+    def schedule_wakeup(self, delay_s: float, callback) -> None:
+        """Schedule ``callback`` through the jittered timer wheel."""
+        self.timers.schedule(delay_s, callback)
+
+    def charge_overhead(self, core: int, seconds: float) -> None:
+        """Steal ``seconds`` of the current tick from ``core``'s process."""
+        if seconds < 0:
+            raise SimulationError("overhead must be >= 0")
+        if not 0 <= core < self.config.num_cores:
+            raise SimulationError("core %d out of range" % core)
+        self._stolen_s[core] += seconds
+
+    # ------------------------------------------------------------------
+    # Simulation loop
+    # ------------------------------------------------------------------
+
+    def settle_cache(self) -> None:
+        """Snap cache occupancy to steady state for the current tasks."""
+        self.cache.set_weights(self._occupancy_weights())
+        self.cache.settle()
+        self._settled = True
+
+    def run_ticks(self, ticks: int) -> None:
+        """Advance the machine by ``ticks`` ticks."""
+        if ticks < 0:
+            raise SimulationError("ticks must be >= 0")
+        for _ in range(ticks):
+            self.tick()
+
+    def run_seconds(self, seconds: float) -> None:
+        """Advance the machine by approximately ``seconds``."""
+        if seconds < 0:
+            raise SimulationError("seconds must be >= 0")
+        self.run_ticks(int(round(seconds / self.config.tick_s)))
+
+    def tick(self) -> None:
+        """Advance the machine by one tick."""
+        if not self._settled:
+            self.settle_cache()
+        self.governor.tick(self.clock.tick)
+        for callback in self.timers.due():
+            callback()
+
+        config = self.config
+        dt = config.tick_s
+        sigma = config.os_jitter_sigma
+        mu = -0.5 * sigma * sigma
+
+        # Gather per-core model inputs (one phase lookup per process).
+        active: List[Tuple[int, Process, object, float, float, float]] = []
+        for core in range(config.num_cores):
+            proc = self._procs_by_core[core]
+            if proc is None or not proc.is_running:
+                continue
+            phase = proc.current_phase()
+            mpki = phase.mpki(self.cache.effective_ways(core))
+            jitter = (
+                math.exp(self._jitter_rngs[core].gauss(mu, sigma))
+                if sigma > 0
+                else 1.0
+            )
+            freq = self.governor.frequency_ghz(core)
+            active.append((core, proc, phase, mpki, jitter, freq))
+
+        # Inline fixed point over memory utilization (see repro.sim.perf).
+        memory = self.memory
+        base_ns = memory.base_latency_ns
+        scale = memory.contention_scale
+        rho_cap = memory.rho_cap
+        inv_peak = memory.seconds_per_miss_at_peak
+        rho = self._rho
+        ips_list = [0.0] * len(active)
+        for _ in range(3):
+            penalty_ns = base_ns * (1.0 + scale * rho / (1.0 - rho))
+            total_miss_rate = 0.0
+            for idx, (core, proc, phase, mpki, jitter, freq) in enumerate(active):
+                stall = mpki * 1e-3 * penalty_ns * phase.mem_sensitivity * freq
+                ips = freq * 1e9 / (phase.base_cpi + stall) * jitter
+                ips_list[idx] = ips
+                total_miss_rate += ips * mpki * 1e-3
+            new_rho = total_miss_rate * inv_peak
+            rho = new_rho if new_rho < rho_cap else rho_cap
+        memory.observe(rho)
+        self._rho = rho
+
+        completions: List[Tuple[Process, ExecutionRecord]] = []
+        weights = [0.0] * config.num_cores
+        for idx, (core, proc, phase, mpki, jitter, freq) in enumerate(active):
+            ips = ips_list[idx]
+            self._ips_prev[core] = ips
+            weights[core] = phase.apki * ips
+            stolen = self._stolen_s[core]
+            if stolen:
+                self._stolen_s[core] = 0.0
+            dt_eff = dt - stolen
+            if dt_eff <= 0.0:
+                continue
+            instructions = ips * dt_eff
+            misses = ips * mpki * 1e-3 * dt_eff
+            accesses = instructions * phase.apki * 1e-3 if phase.apki > 0 else misses
+            self.counters.record(
+                core,
+                instructions=instructions,
+                cycles=freq * 1e9 * jitter * dt_eff,
+                llc_accesses=accesses,
+                llc_misses=misses,
+            )
+            if proc.is_foreground:
+                remaining = proc.target_instructions - proc.progress
+                if instructions >= remaining > 0:
+                    # Interpolate the completion instant inside the tick.
+                    dt_to_finish = remaining / ips
+                    end_s = self.clock.now + dt_to_finish
+                    miss_share = misses * (remaining / instructions)
+                    proc.advance(remaining, miss_share)
+                    record = proc.complete_execution(end_s)
+                    completions.append((proc, record))
+                    # The tick's leftover time feeds the next execution.
+                    leftover = instructions - remaining
+                    proc.advance(leftover, misses - miss_share)
+                    continue
+            proc.advance(instructions, misses)
+
+        if self._energy is not None:
+            busy = [False] * config.num_cores
+            freqs = [0.0] * config.num_cores
+            for core in range(config.num_cores):
+                freqs[core] = self.governor.frequency_ghz(core)
+            for core, proc, phase, mpki, jitter, freq in active:
+                busy[core] = True
+            self._energy.accumulate(dt, freqs, busy)
+
+        self.cache.set_weights(weights)
+        self.cache.step(dt)
+        self.clock.advance()
+
+        for proc, record in completions:
+            for listener in self._completion_listeners:
+                listener(proc, record)
+
+    @property
+    def rho(self) -> float:
+        """Memory bandwidth utilization of the last tick."""
+        return self._rho
+
+    @property
+    def energy(self):
+        """The attached :class:`repro.sim.energy.EnergyModel`, if any."""
+        return self._energy
+
+    def attach_energy_model(self, model) -> None:
+        """Attach an energy model to be fed every subsequent tick."""
+        self._energy = model
+
+    def _occupancy_weights(self) -> List[float]:
+        """Per-core cache-occupancy weights: LLC access *rate* (apki x ips).
+
+        Weighting by rate rather than intensity alone means a frequency-
+        throttled or paused task steals less cache, as on real LRU caches.
+        """
+        weights = [0.0] * self.config.num_cores
+        for core in range(self.config.num_cores):
+            proc = self._procs_by_core[core]
+            if proc is None or not proc.is_running:
+                continue
+            phase = proc.current_phase()
+            ips = self._ips_prev[core]
+            if ips <= 0.0:
+                # Cold start: estimate the rate from frequency and base CPI.
+                ips = self.governor.frequency_ghz(core) * 1e9 / phase.base_cpi
+            weights[core] = phase.apki * ips
+        return weights

@@ -1,0 +1,137 @@
+"""MemGuard-style memory-bandwidth reservation (related-work mechanism).
+
+Section 3.2 of the paper surveys memory-bandwidth reservation (Yun et
+al., MemGuard) as an alternative QoS mechanism.  This module implements
+the software variant on top of the same :class:`SystemInterface` the
+Dirigent runtime uses, so the two approaches can be compared on the same
+substrate (``bench_ablation_memguard``): each regulated core gets a
+per-period bandwidth budget; a core that exhausts its budget is stopped
+until the period ends, then resumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ControlError
+from repro.sim.osal import SystemInterface
+
+#: Default regulation period (MemGuard uses OS-tick-scale periods).
+DEFAULT_PERIOD_S = 0.02
+
+#: Budget checks per period.
+DEFAULT_CHECKS_PER_PERIOD = 4
+
+
+@dataclass(frozen=True)
+class BandwidthBudget:
+    """Per-task bandwidth reservation.
+
+    Attributes:
+        pid: Regulated process.
+        core: Core the process is pinned to.
+        bytes_per_s: Guaranteed-rate budget for the task.
+    """
+
+    pid: int
+    core: int
+    bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_s <= 0:
+            raise ControlError("bandwidth budget must be positive")
+
+
+class MemGuard:
+    """Periodic per-core bandwidth-budget enforcement.
+
+    Args:
+        system: The node's control surface.
+        budgets: Reservations for the regulated (BG) tasks.
+        line_bytes: Bytes transferred per LLC miss.
+        period_s: Regulation period; throttled tasks resume at its end.
+        checks_per_period: Budget checks within each period.
+    """
+
+    def __init__(
+        self,
+        system: SystemInterface,
+        budgets: List[BandwidthBudget],
+        line_bytes: int = 64,
+        period_s: float = DEFAULT_PERIOD_S,
+        checks_per_period: int = DEFAULT_CHECKS_PER_PERIOD,
+    ) -> None:
+        if not budgets:
+            raise ControlError("MemGuard needs at least one budget")
+        if period_s <= 0:
+            raise ControlError("period must be positive")
+        if checks_per_period < 1:
+            raise ControlError("checks_per_period must be >= 1")
+        self._sys = system
+        self._budgets = list(budgets)
+        self._line = line_bytes
+        self._period = period_s
+        self._check_interval = period_s / checks_per_period
+        self._check_index = 0
+        self._running = False
+        self._period_base: Dict[int, float] = {}
+        self._throttled: List[int] = []
+        self.throttle_events = 0
+        self.periods = 0
+
+    @property
+    def period_s(self) -> float:
+        """Regulation period length."""
+        return self._period
+
+    @property
+    def throttled_pids(self) -> List[int]:
+        """Tasks currently stopped for exceeding their budget."""
+        return list(self._throttled)
+
+    def start(self) -> None:
+        """Begin regulation."""
+        if self._running:
+            raise ControlError("MemGuard already started")
+        self._running = True
+        self._begin_period()
+        self._sys.schedule_wakeup(self._check_interval, self._on_check)
+
+    def stop(self) -> None:
+        """Stop regulation and release every throttled task."""
+        self._running = False
+        for pid in self._throttled:
+            self._sys.resume(pid)
+        self._throttled.clear()
+
+    def _begin_period(self) -> None:
+        self.periods += 1
+        self._check_index = 0
+        for pid in self._throttled:
+            self._sys.resume(pid)
+        self._throttled.clear()
+        for budget in self._budgets:
+            snap = self._sys.read_counters(budget.core)
+            self._period_base[budget.pid] = snap.llc_misses
+
+    def _on_check(self) -> None:
+        if not self._running:
+            return
+        self._check_index += 1
+        for budget in self._budgets:
+            if budget.pid in self._throttled:
+                continue
+            snap = self._sys.read_counters(budget.core)
+            used_bytes = (
+                snap.llc_misses - self._period_base.get(budget.pid, 0.0)
+            ) * self._line
+            if used_bytes > budget.bytes_per_s * self._period:
+                self._sys.pause(budget.pid)
+                self._throttled.append(budget.pid)
+                self.throttle_events += 1
+        if self._check_index >= int(
+            round(self._period / self._check_interval)
+        ):
+            self._begin_period()
+        self._sys.schedule_wakeup(self._check_interval, self._on_check)

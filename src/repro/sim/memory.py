@@ -1,0 +1,79 @@
+"""Shared memory-bandwidth contention model.
+
+LLC misses from every core drain into a shared memory system with peak
+sustainable bandwidth ``mem_peak_gbps``.  The effective miss penalty grows
+with utilization following an M/M/1-flavoured queueing curve::
+
+    penalty_ns = base_ns * (1 + scale * rho / (1 - rho))
+
+where ``rho`` is total demanded bandwidth over peak, capped below 1.  This
+is the interference channel the paper manages: background tasks with heavy
+miss traffic inflate the penalty every other core pays.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.config import MachineConfig
+
+
+class MemorySystem:
+    """Tracks utilization and converts it into a loaded miss penalty."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self._base_ns = config.mem_base_latency_ns
+        self._scale = config.mem_contention_scale
+        self._rho_cap = config.mem_rho_cap
+        self._peak_bytes_per_s = config.mem_peak_gbps * 1e9
+        self._line_bytes = config.cache_line_bytes
+        self._rho = 0.0
+
+    @property
+    def rho(self) -> float:
+        """Most recently computed bandwidth utilization in [0, rho_cap]."""
+        return self._rho
+
+    @property
+    def base_latency_ns(self) -> float:
+        """Unloaded miss penalty in nanoseconds."""
+        return self._base_ns
+
+    @property
+    def contention_scale(self) -> float:
+        """Queueing-inflation strength of the penalty curve."""
+        return self._scale
+
+    @property
+    def rho_cap(self) -> float:
+        """Upper bound on modeled utilization."""
+        return self._rho_cap
+
+    @property
+    def seconds_per_miss_at_peak(self) -> float:
+        """Line transfer time at peak bandwidth (bytes/miss over peak B/s)."""
+        return self._line_bytes / self._peak_bytes_per_s
+
+    def observe(self, rho: float) -> None:
+        """Record an externally computed utilization (fast-path ticks)."""
+        if rho < 0:
+            raise SimulationError("rho must be >= 0")
+        self._rho = min(rho, self._rho_cap)
+
+    def utilization_for(self, total_misses_per_s: float) -> float:
+        """Utilization implied by an aggregate miss rate (misses/second)."""
+        if total_misses_per_s < 0:
+            raise SimulationError("miss rate must be >= 0")
+        demand = total_misses_per_s * self._line_bytes
+        return min(self._rho_cap, demand / self._peak_bytes_per_s)
+
+    def penalty_ns(self, rho: float) -> float:
+        """Loaded miss penalty at utilization ``rho``."""
+        if rho < 0:
+            raise SimulationError("rho must be >= 0")
+        rho = min(rho, self._rho_cap)
+        return self._base_ns * (1.0 + self._scale * rho / (1.0 - rho))
+
+    def update(self, total_misses_per_s: float) -> float:
+        """Record the tick's aggregate miss rate; return the loaded penalty."""
+        self._rho = self.utilization_for(total_misses_per_s)
+        return self.penalty_ns(self._rho)

@@ -1,0 +1,205 @@
+"""Process abstraction: a pinned task executing a workload's phase program.
+
+Foreground (FG) processes execute their workload to completion over and
+over (a server draining a full task queue, as in the paper's back-to-back
+task executions); background (BG) processes loop over their phase program
+forever.  One process is pinned per core; the Dirigent runtime daemon is
+modelled separately and merely steals time from the core it shares.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError, WorkloadError
+from repro.workloads.spec import PhaseSpec, WorkloadSpec
+
+#: Process is runnable and will retire instructions each tick.
+STATE_RUNNING = "running"
+#: Process is stopped (SIGSTOP analogue); it retires nothing.
+STATE_PAUSED = "paused"
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """Summary of one completed FG task execution.
+
+    Attributes:
+        index: Zero-based execution number of the process.
+        start_s: Virtual time the execution began.
+        end_s: Virtual time it completed (interpolated inside a tick).
+        instructions: Instructions retired during the execution.
+        llc_misses: LLC misses the FG core suffered during the execution.
+    """
+
+    index: int
+    start_s: float
+    end_s: float
+    instructions: float
+    llc_misses: float
+
+    @property
+    def duration_s(self) -> float:
+        """Execution latency in seconds."""
+        return self.end_s - self.start_s
+
+
+class Process:
+    """One pinned task, FG or BG, with phase-resolved progress state."""
+
+    def __init__(
+        self,
+        pid: int,
+        spec: WorkloadSpec,
+        core: int,
+        nice: int = 0,
+        input_rng: Optional[random.Random] = None,
+        start_s: float = 0.0,
+    ) -> None:
+        if core < 0:
+            raise SimulationError("core must be >= 0")
+        self.pid = pid
+        self.core = core
+        self.nice = nice
+        self.state = STATE_RUNNING
+        self._spec = spec
+        self._input_rng = input_rng
+        self.progress = 0.0
+        self.execution_index = 0
+        self.execution_start_s = start_s
+        self.execution_misses = 0.0
+        self._target_total = self._draw_target_total()
+        # Cached phase lookup to avoid scanning the program every tick.
+        self._phase_index = 0
+        self._phase_start = 0.0
+        self._phase_end = spec.phases[0].instructions
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        """The workload this process currently runs."""
+        return self._spec
+
+    @property
+    def is_foreground(self) -> bool:
+        """True for latency-critical processes."""
+        return self._spec.is_foreground
+
+    @property
+    def is_running(self) -> bool:
+        """True unless the process is paused."""
+        return self.state == STATE_RUNNING
+
+    @property
+    def target_instructions(self) -> float:
+        """Instruction count at which the current FG execution completes."""
+        return self._target_total
+
+    def pause(self) -> None:
+        """Stop the process (SIGSTOP analogue)."""
+        self.state = STATE_PAUSED
+
+    def resume(self) -> None:
+        """Continue a stopped process (SIGCONT analogue)."""
+        self.state = STATE_RUNNING
+
+    def current_phase(self) -> PhaseSpec:
+        """Phase active at the current progress point."""
+        self._sync_phase_cursor()
+        return self._spec.phases[self._phase_index]
+
+    def remaining_instructions(self) -> float:
+        """Instructions left in the current FG execution."""
+        if not self.is_foreground:
+            raise SimulationError("remaining_instructions is FG-only")
+        return max(0.0, self._target_total - self.progress)
+
+    def advance(self, instructions: float, llc_misses: float) -> None:
+        """Retire ``instructions`` and charge ``llc_misses`` to this process."""
+        if instructions < 0 or llc_misses < 0:
+            raise SimulationError("advance amounts must be >= 0")
+        self.progress += instructions
+        self.execution_misses += llc_misses
+
+    def complete_execution(self, end_s: float) -> ExecutionRecord:
+        """Close the current FG execution and start the next one.
+
+        Returns the record of the completed execution.  The next execution
+        begins immediately at ``end_s`` with fresh input-size jitter.
+        """
+        if not self.is_foreground:
+            raise SimulationError("only FG processes complete executions")
+        record = ExecutionRecord(
+            index=self.execution_index,
+            start_s=self.execution_start_s,
+            end_s=end_s,
+            instructions=self.progress,
+            llc_misses=self.execution_misses,
+        )
+        self.execution_index += 1
+        self.execution_start_s = end_s
+        self.progress = 0.0
+        self.execution_misses = 0.0
+        self._target_total = self._draw_target_total()
+        self._phase_index = 0
+        self._phase_start = 0.0
+        self._phase_end = self._spec.phases[0].instructions
+        return record
+
+    def switch_spec(self, spec: WorkloadSpec, now_s: float) -> None:
+        """Replace the workload of a BG process (rotate mixes).
+
+        Progress restarts from the beginning of the new phase program.
+        """
+        if spec.is_foreground:
+            raise WorkloadError("cannot rotate onto a foreground workload")
+        if self.is_foreground:
+            raise SimulationError("cannot switch the spec of a FG process")
+        self._spec = spec
+        self.progress = 0.0
+        self.execution_start_s = now_s
+        self.execution_misses = 0.0
+        self._target_total = self._draw_target_total()
+        self._phase_index = 0
+        self._phase_start = 0.0
+        self._phase_end = spec.phases[0].instructions
+
+    def _draw_target_total(self) -> float:
+        total = self._spec.total_instructions
+        noise = self._spec.input_noise
+        if self._spec.is_foreground and noise > 0 and self._input_rng is not None:
+            factor = max(0.5, self._input_rng.gauss(1.0, noise))
+            return total * factor
+        return total
+
+    def _sync_phase_cursor(self) -> None:
+        phases = self._spec.phases
+        total = self._spec.total_instructions
+        offset = self.progress % total if self.progress >= total else self.progress
+        if not self.is_foreground and self.progress >= total:
+            # BG loops: recompute the cursor for the wrapped offset.
+            if offset < self._phase_start or offset >= self._phase_end:
+                self._seek(offset)
+            return
+        if self.is_foreground:
+            # Input jitter can push progress past the nominal program; the
+            # tail of the last phase simply extends.
+            offset = min(self.progress, total * (1.0 - 1e-12))
+        if offset < self._phase_start or offset >= self._phase_end:
+            self._seek(offset)
+
+    def _seek(self, offset: float) -> None:
+        start = 0.0
+        for index, phase in enumerate(self._spec.phases):
+            end = start + phase.instructions
+            if offset < end:
+                self._phase_index = index
+                self._phase_start = start
+                self._phase_end = end
+                return
+            start = end
+        last = len(self._spec.phases) - 1
+        self._phase_index = last
+        self._phase_start = start - self._spec.phases[last].instructions
+        self._phase_end = start

@@ -1,0 +1,102 @@
+"""Virtual clock and jittered timer wheel for the simulator.
+
+The machine advances in fixed ticks.  Timers (used by the Dirigent runtime's
+periodic ``sleep``-based sampling) are quantized to tick boundaries and may
+fire one tick late with configurable probability, modeling the sleep-timer
+error that the paper explicitly corrects for (``dT_i != dT``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+TimerCallback = Callable[[], None]
+
+
+class VirtualClock:
+    """Discrete virtual clock counting ticks of fixed length."""
+
+    def __init__(self, tick_s: float) -> None:
+        if tick_s <= 0:
+            raise SimulationError("tick_s must be positive")
+        self.tick_s = tick_s
+        self._tick = 0
+
+    @property
+    def tick(self) -> int:
+        """Current tick index (number of completed ticks)."""
+        return self._tick
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._tick * self.tick_s
+
+    def advance(self) -> None:
+        """Advance the clock by one tick."""
+        self._tick += 1
+
+    def ticks_for(self, seconds: float) -> int:
+        """Number of whole ticks closest to ``seconds`` (at least 1)."""
+        if seconds <= 0:
+            raise SimulationError("timer delay must be positive")
+        return max(1, round(seconds / self.tick_s))
+
+
+class TimerWheel:
+    """Min-heap of pending timers with optional one-tick lateness jitter."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        rng: Optional[random.Random] = None,
+        jitter_prob: float = 0.0,
+    ) -> None:
+        self._clock = clock
+        self._rng = rng or random.Random(0)
+        self._jitter_prob = jitter_prob
+        self._heap: List[Tuple[int, int, TimerCallback]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay_s: float, callback: TimerCallback) -> int:
+        """Schedule ``callback`` to fire ``delay_s`` from now.
+
+        Returns the tick index at which the timer will actually fire,
+        which may be one tick later than requested due to jitter.
+        """
+        fire_tick = self._clock.tick + self._clock.ticks_for(delay_s)
+        if self._jitter_prob > 0 and self._rng.random() < self._jitter_prob:
+            fire_tick += 1
+        heapq.heappush(self._heap, (fire_tick, self._seq, callback))
+        self._seq += 1
+        return fire_tick
+
+    def due(self) -> List[TimerCallback]:
+        """Pop and return every callback due at the current tick."""
+        fired: List[TimerCallback] = []
+        now = self._clock.tick
+        while self._heap and self._heap[0][0] <= now:
+            __, __, callback = heapq.heappop(self._heap)
+            fired.append(callback)
+        return fired
+
+    def clear(self) -> None:
+        """Drop all pending timers."""
+        self._heap.clear()
+
+
+def derive_rng(seed: int, stream: str) -> random.Random:
+    """Return a deterministic RNG for a named sub-stream of ``seed``.
+
+    Independent streams keep, e.g., OS jitter reproducible regardless of
+    how many timer draws occur, which keeps experiments comparable across
+    policies.
+    """
+    return random.Random("%d/%s" % (seed, stream))

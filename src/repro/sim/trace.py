@@ -1,0 +1,144 @@
+"""Telemetry traces: time series of the node's management state.
+
+Records what an operator's dashboard would show — per-core frequency
+grades, memory utilization, FG cache occupancy, paused-task counts —
+by sampling the machine at a fixed period through its own timer wheel.
+Used by the examples to visualize a control episode and by tests to
+assert controller dynamics without poking at internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.machine import Machine
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One telemetry sample.
+
+    Attributes:
+        time_s: Sample time.
+        frequencies_ghz: Effective frequency per core.
+        rho: Memory-bandwidth utilization.
+        paused: Number of paused processes.
+        effective_ways: Inertia-filtered LLC occupancy per core.
+    """
+
+    time_s: float
+    frequencies_ghz: Tuple[float, ...]
+    rho: float
+    paused: int
+    effective_ways: Tuple[float, ...]
+
+
+class MachineTracer:
+    """Samples a machine's management state on a fixed period."""
+
+    def __init__(self, machine: Machine, period_s: float = 5e-3) -> None:
+        if period_s <= 0:
+            raise SimulationError("trace period must be positive")
+        self._machine = machine
+        self._period = period_s
+        self._running = False
+        self.samples: List[TraceSample] = []
+
+    @property
+    def period_s(self) -> float:
+        """Sampling period."""
+        return self._period
+
+    def start(self) -> None:
+        """Begin sampling."""
+        if self._running:
+            raise SimulationError("tracer already started")
+        self._running = True
+        self._machine.schedule_wakeup(self._period, self._sample)
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        machine = self._machine
+        num_cores = machine.config.num_cores
+        self.samples.append(
+            TraceSample(
+                time_s=machine.now(),
+                frequencies_ghz=tuple(
+                    machine.governor.frequency_ghz(core)
+                    for core in range(num_cores)
+                ),
+                rho=machine.rho,
+                paused=sum(
+                    1 for proc in machine.processes if not proc.is_running
+                ),
+                effective_ways=tuple(
+                    machine.cache.effective_ways(core)
+                    for core in range(num_cores)
+                ),
+            )
+        )
+        machine.schedule_wakeup(self._period, self._sample)
+
+    # -- analysis helpers --------------------------------------------------
+
+    def series(self, field: str, core: Optional[int] = None) -> List[float]:
+        """Extract one field as a flat series.
+
+        Args:
+            field: ``"rho"``, ``"paused"``, ``"frequency"`` or ``"ways"``.
+            core: Required for the per-core fields.
+        """
+        if field == "rho":
+            return [s.rho for s in self.samples]
+        if field == "paused":
+            return [float(s.paused) for s in self.samples]
+        if field == "frequency":
+            if core is None:
+                raise SimulationError("frequency series needs a core")
+            return [s.frequencies_ghz[core] for s in self.samples]
+        if field == "ways":
+            if core is None:
+                raise SimulationError("ways series needs a core")
+            return [s.effective_ways[core] for s in self.samples]
+        raise SimulationError("unknown trace field %r" % field)
+
+
+#: Glyphs for the ascii sparkline, low to high.
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a series as a one-line ascii sparkline.
+
+    Values are averaged into ``width`` buckets and mapped onto a
+    ten-glyph intensity ramp; an empty series renders as an empty string.
+    """
+    if width < 1:
+        raise SimulationError("width must be >= 1")
+    if not values:
+        return ""
+    buckets: List[float] = []
+    n = len(values)
+    per = max(1, n // width)
+    for start in range(0, n, per):
+        chunk = values[start:start + per]
+        buckets.append(sum(chunk) / len(chunk))
+        if len(buckets) == width:
+            break
+    lo = min(buckets)
+    hi = max(buckets)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_GLYPHS[len(_SPARK_GLYPHS) // 2] * len(buckets)
+    out = []
+    for value in buckets:
+        idx = int((value - lo) / span * (len(_SPARK_GLYPHS) - 1))
+        out.append(_SPARK_GLYPHS[idx])
+    return "".join(out)

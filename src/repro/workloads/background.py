@@ -1,0 +1,151 @@
+"""Background workload catalog: batch tasks with strong phase behaviour.
+
+The paper's standalone BG workloads — ``bwaves`` (SPEC CPU2006), and
+``PCA`` and ``RS`` from MLPack — were chosen specifically because they
+exhibit strong phase changes with respect to interference; workloads
+without phase behaviour "do not pose significant challenges to the
+Dirigent predictor".  These analogues alternate between memory-heavy and
+compute-heavy phases whose durations are deliberately incommensurate with
+FG execution times, so successive FG executions see different contention
+mixes — the paper's main source of task-to-task variation.
+
+The rotate-pair components (namd, soplex, libquantum, lbm from SPEC 2006)
+live here too; :mod:`repro.workloads.rotate` assembles them into pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.spec import KIND_BG, PhaseSpec, WorkloadSpec
+
+#: One giga-instruction.
+GI = 1e9
+
+
+def _phase(
+    name: str,
+    gi: float,
+    base_cpi: float,
+    apki: float,
+    mpki_floor: float,
+    mpki_peak: float,
+    ways_scale: float,
+    mem_sensitivity: float = 1.0,
+) -> PhaseSpec:
+    return PhaseSpec(
+        name=name,
+        instructions=gi * GI,
+        base_cpi=base_cpi,
+        apki=apki,
+        mpki_floor=mpki_floor,
+        mpki_peak=mpki_peak,
+        ways_scale=ways_scale,
+        mem_sensitivity=mem_sensitivity,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Standalone BG workloads (strong phase changes)
+# ---------------------------------------------------------------------------
+
+BWAVES = WorkloadSpec(
+    name="bwaves",
+    kind=KIND_BG,
+    description="Simulation of blast waves in 3D (SPEC CPU2006)",
+    phases=(
+        _phase("solve-stream", 4.20, 0.80, 48.0, 1.6, 2.6, 2.5, 0.80),
+        _phase("jacobian", 10.00, 0.62, 5.0, 0.25, 0.8, 4.0, 0.90),
+        _phase("flux-stream", 3.60, 0.82, 52.0, 1.8, 2.8, 2.5, 0.80),
+        _phase("update", 8.40, 0.60, 4.0, 0.20, 0.7, 3.5, 0.90),
+    ),
+)
+
+PCA = WorkloadSpec(
+    name="pca",
+    kind=KIND_BG,
+    description="Principal Component Analysis (MLPack)",
+    phases=(
+        _phase("covariance", 6.60, 0.72, 42.0, 1.2, 2.6, 6.0, 0.80),
+        _phase("eigen", 13.00, 0.58, 3.0, 0.15, 0.6, 3.0, 0.95),
+        _phase("transform", 3.30, 0.76, 34.0, 0.9, 2.0, 5.0, 0.85),
+    ),
+)
+
+RANGE_SEARCH = WorkloadSpec(
+    name="rs",
+    kind=KIND_BG,
+    description="Range Search (MLPack)",
+    phases=(
+        # Short, violent bursts: RS produces the paper's hardest-to-predict
+        # interference (12.5% error with streamcluster as FG).
+        _phase("tree-descend", 2.80, 0.78, 50.0, 1.8, 3.2, 5.0, 0.75),
+        _phase("leaf-scan", 6.20, 0.58, 3.0, 0.12, 0.5, 3.0, 0.95),
+        _phase("neighbor-burst", 2.30, 0.82, 58.0, 2.2, 3.8, 5.5, 0.72),
+        _phase("collect", 5.40, 0.60, 3.0, 0.12, 0.5, 3.0, 0.95),
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Rotate-pair components (SPEC CPU2006)
+# ---------------------------------------------------------------------------
+
+NAMD = WorkloadSpec(
+    name="namd",
+    kind=KIND_BG,
+    description="Biomolecular system simulation (SPEC CPU2006)",
+    phases=(
+        _phase("pairlists", 8.00, 0.62, 5.0, 0.30, 0.9, 3.0, 1.0),
+        _phase("forces", 12.00, 0.56, 4.0, 0.25, 0.8, 3.0, 1.0),
+    ),
+)
+
+SOPLEX = WorkloadSpec(
+    name="soplex",
+    kind=KIND_BG,
+    description="Linear program solver (SPEC CPU2006)",
+    phases=(
+        _phase("factorize", 4.60, 0.74, 40.0, 0.9, 2.4, 7.0, 0.80),
+        _phase("price", 6.00, 0.60, 7.0, 0.30, 1.0, 5.0, 0.90),
+        _phase("update-basis", 4.00, 0.72, 34.0, 0.8, 2.0, 6.0, 0.80),
+    ),
+)
+
+LIBQUANTUM = WorkloadSpec(
+    name="libquantum",
+    kind=KIND_BG,
+    description="Simulation of a quantum computer (SPEC CPU2006)",
+    phases=(
+        _phase("gate-sweep", 7.00, 0.80, 54.0, 2.0, 2.6, 2.0, 0.75),
+        _phase("toffoli", 5.00, 0.76, 46.0, 1.7, 2.2, 2.0, 0.78),
+    ),
+)
+
+LBM = WorkloadSpec(
+    name="lbm",
+    kind=KIND_BG,
+    description="Simulation of fluids with free surfaces (SPEC CPU2006)",
+    phases=(
+        _phase("collide-stream", 8.00, 0.84, 60.0, 2.4, 3.0, 2.0, 0.72),
+        _phase("boundaries", 4.40, 0.62, 9.0, 0.5, 1.2, 3.0, 0.90),
+    ),
+)
+
+#: Standalone BG workloads used in the "Single BG" mixes.
+SINGLE_BG_WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in (BWAVES, PCA, RANGE_SEARCH)
+}
+
+#: Components available for rotate pairs.
+ROTATE_COMPONENTS: Dict[str, WorkloadSpec] = {
+    spec.name: spec for spec in (NAMD, SOPLEX, LIBQUANTUM, LBM)
+}
+
+#: All BG workload specs by name.
+BACKGROUND_WORKLOADS: Dict[str, WorkloadSpec] = {
+    **SINGLE_BG_WORKLOADS,
+    **ROTATE_COMPONENTS,
+}
+
+#: Single-BG names in the paper's Table 1 order.
+SINGLE_BG_NAMES: Tuple[str, ...] = tuple(SINGLE_BG_WORKLOADS)

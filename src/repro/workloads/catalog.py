@@ -1,0 +1,88 @@
+"""Unified workload registry (the paper's Table 1).
+
+Resolves workload and rotate-pair names to specs and renders the Table 1
+inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.background import (
+    BACKGROUND_WORKLOADS,
+    ROTATE_COMPONENTS,
+    SINGLE_BG_NAMES,
+    SINGLE_BG_WORKLOADS,
+)
+from repro.workloads.parsec import FOREGROUND_NAMES, FOREGROUND_WORKLOADS
+from repro.workloads.rotate import ROTATE_PAIR_NAMES, ROTATE_PAIRS, RotatePair
+from repro.workloads.spec import WorkloadSpec
+
+#: All concrete workloads (FG + BG components) by name.
+ALL_WORKLOADS: Dict[str, WorkloadSpec] = {
+    **FOREGROUND_WORKLOADS,
+    **BACKGROUND_WORKLOADS,
+}
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Resolve a workload name to its spec.
+
+    Raises:
+        WorkloadError: for unknown names.
+    """
+    try:
+        return ALL_WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            "unknown workload %r; available: %s" % (name, sorted(ALL_WORKLOADS))
+        ) from None
+
+
+def get_rotate_pair(name: str) -> RotatePair:
+    """Resolve a rotate-pair name (e.g. ``"lbm+namd"``) to its pair."""
+    try:
+        return ROTATE_PAIRS[name]
+    except KeyError:
+        raise WorkloadError(
+            "unknown rotate pair %r; available: %s" % (name, sorted(ROTATE_PAIRS))
+        ) from None
+
+
+def foreground_names() -> Tuple[str, ...]:
+    """FG workload names in Table 1 order."""
+    return FOREGROUND_NAMES
+
+
+def single_bg_names() -> Tuple[str, ...]:
+    """Single-BG workload names in Table 1 order."""
+    return SINGLE_BG_NAMES
+
+
+def rotate_pair_names() -> Tuple[str, ...]:
+    """Rotate-pair names in catalog order."""
+    return ROTATE_PAIR_NAMES
+
+
+def table1_rows() -> List[Tuple[str, str, str]]:
+    """Rows of the paper's Table 1: (type, name, description)."""
+    rows: List[Tuple[str, str, str]] = []
+    for name in FOREGROUND_NAMES:
+        rows.append(("FG", name, FOREGROUND_WORKLOADS[name].description))
+    for name in SINGLE_BG_NAMES:
+        rows.append(("Single BG", name, SINGLE_BG_WORKLOADS[name].description))
+    for name in ROTATE_COMPONENTS:
+        rows.append(("Rotate BG", name, ROTATE_COMPONENTS[name].description))
+    return rows
+
+
+def render_table1() -> str:
+    """Render Table 1 as fixed-width text."""
+    rows = table1_rows()
+    width_type = max(len(r[0]) for r in rows)
+    width_name = max(len(r[1]) for r in rows)
+    lines = ["%-*s  %-*s  %s" % (width_type, "Type", width_name, "Name", "Description")]
+    for kind, name, desc in rows:
+        lines.append("%-*s  %-*s  %s" % (width_type, kind, width_name, name, desc))
+    return "\n".join(lines)

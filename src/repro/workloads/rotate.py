@@ -1,0 +1,132 @@
+"""Rotate background workloads: context-switch style interference.
+
+To mimic the varying interference caused by context switches, the paper
+forms two-benchmark BG workloads from SPEC 2006 and randomly switches each
+BG core between the two paired benchmarks every time an FG task completes.
+The pairs used are (lbm+namd), (lib+namd), (lbm+soplex) and (lib+soplex).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.background import ROTATE_COMPONENTS
+from repro.workloads.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # imported lazily to avoid a sim <-> workloads cycle
+    from repro.sim.machine import Machine
+    from repro.sim.process import ExecutionRecord, Process
+
+
+@dataclass(frozen=True)
+class RotatePair:
+    """A two-benchmark rotating BG workload.
+
+    Attributes:
+        name: Display name, e.g. ``"lbm+namd"``.
+        first: First component workload.
+        second: Second component workload.
+    """
+
+    name: str
+    first: WorkloadSpec
+    second: WorkloadSpec
+
+    @property
+    def components(self) -> Tuple[WorkloadSpec, WorkloadSpec]:
+        """Both component specs."""
+        return (self.first, self.second)
+
+
+def make_pair(first: str, second: str) -> RotatePair:
+    """Build a rotate pair from two component names."""
+    try:
+        a = ROTATE_COMPONENTS[first]
+        b = ROTATE_COMPONENTS[second]
+    except KeyError as missing:
+        raise WorkloadError(
+            "unknown rotate component %s; available: %s"
+            % (missing, sorted(ROTATE_COMPONENTS))
+        ) from None
+    return RotatePair(name="%s+%s" % (first, second), first=a, second=b)
+
+
+#: The four rotate pairs evaluated in the paper (Section 5.1), keyed by
+#: the shorthand used in Figure 9b ("lib" abbreviates libquantum).
+ROTATE_PAIRS: Dict[str, RotatePair] = {
+    pair.name: pair
+    for pair in (
+        make_pair("lbm", "namd"),
+        make_pair("libquantum", "namd"),
+        make_pair("lbm", "soplex"),
+        make_pair("libquantum", "soplex"),
+    )
+}
+
+#: Rotate pair names in catalog order.
+ROTATE_PAIR_NAMES: Tuple[str, ...] = tuple(ROTATE_PAIRS)
+
+
+class RotateManager:
+    """Switches rotating BG processes on every FG completion.
+
+    Each managed BG process randomly receives one of its pair's two
+    components whenever any FG task execution completes, modeling tasks
+    being context-switched in and out of the node.
+    """
+
+    def __init__(
+        self,
+        machine: "Machine",
+        pair: RotatePair,
+        processes: Sequence["Process"],
+        seed: int = 0,
+    ) -> None:
+        if not processes:
+            raise WorkloadError("RotateManager needs at least one BG process")
+        for proc in processes:
+            if proc.is_foreground:
+                raise WorkloadError("cannot rotate a foreground process")
+        self._machine = machine
+        self._pair = pair
+        self._processes = list(processes)
+        self._rng = random.Random("%d/rotate/%s" % (seed, pair.name))
+        self.switch_count = 0
+        machine.add_completion_listener(self._on_completion)
+
+    @property
+    def pair(self) -> RotatePair:
+        """The rotate pair being managed."""
+        return self._pair
+
+    def _on_completion(self, proc: "Process", record: "ExecutionRecord") -> None:
+        del proc, record  # any FG completion triggers a rotation
+        now = self._machine.now()
+        for bg in self._processes:
+            spec = self._rng.choice(self._pair.components)
+            if spec.name != bg.spec.name:
+                bg.switch_spec(spec, now)
+                self.switch_count += 1
+
+
+def spawn_rotating_background(
+    machine: "Machine",
+    pair: RotatePair,
+    cores: Sequence[int],
+    nice: int = 5,
+    seed: int = 0,
+) -> List["Process"]:
+    """Spawn one rotating BG process per core and attach a manager.
+
+    The initial component alternates across cores so both benchmarks are
+    present from the start, as when a scheduler backfills a node.
+    """
+    procs: List["Process"] = []
+    for index, core in enumerate(cores):
+        spec = pair.components[index % 2]
+        procs.append(machine.spawn(spec, core=core, nice=nice))
+    RotateManager(machine, pair, procs, seed=seed)
+    return procs

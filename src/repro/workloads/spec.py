@@ -1,0 +1,197 @@
+"""Workload specifications: phase-structured synthetic programs.
+
+The paper's workloads are real binaries (PARSEC, SPEC CPU2006, MLPack).
+Here each workload is a sequence of *phases*; a phase is characterized by
+its instruction count, its compute intensity (base CPI), and its cache
+behaviour (an exponential miss-ratio curve over allocated LLC ways).  The
+Dirigent runtime only ever observes the (instructions, misses) time series
+these produce, so phase programs are a faithful substitute for the
+predictor and the controllers.
+
+Miss-ratio curves follow the classic exponential form::
+
+    mpki(ways) = mpki_floor + (mpki_peak - mpki_floor) * exp(-ways / ways_scale)
+
+Streaming workloads (e.g. lbm, libquantum) have ``mpki_floor ~ mpki_peak``
+(insensitive to capacity) while cache-friendly workloads have a steep curve
+with a small ``ways_scale``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import WorkloadError
+
+#: Marker for foreground (latency-critical) workloads.
+KIND_FG = "fg"
+#: Marker for background (batch/throughput) workloads.
+KIND_BG = "bg"
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One execution phase of a workload.
+
+    Attributes:
+        name: Human-readable phase label.
+        instructions: Instructions retired in this phase (per execution
+            for FG workloads; per loop iteration for BG workloads).
+        base_cpi: Cycles per instruction absent any LLC miss.
+        apki: LLC accesses per kilo-instruction; used as the occupancy
+            weight when several processes share cache ways.
+        mpki_floor: Misses per kilo-instruction with abundant cache.
+        mpki_peak: Misses per kilo-instruction with nearly no cache.
+        ways_scale: Exponential footprint scale of the miss curve, in
+            ways; larger means the workload needs more cache to hit.
+        mem_sensitivity: Multiplier on the loaded memory penalty; values
+            below 1 model latency tolerance (prefetching, MLP).
+    """
+
+    name: str
+    instructions: float
+    base_cpi: float
+    apki: float
+    mpki_floor: float
+    mpki_peak: float
+    ways_scale: float
+    mem_sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise WorkloadError("phase %r: instructions must be > 0" % self.name)
+        if self.base_cpi <= 0:
+            raise WorkloadError("phase %r: base_cpi must be > 0" % self.name)
+        if self.apki < 0:
+            raise WorkloadError("phase %r: apki must be >= 0" % self.name)
+        if self.mpki_floor < 0:
+            raise WorkloadError("phase %r: mpki_floor must be >= 0" % self.name)
+        if self.mpki_peak < self.mpki_floor:
+            raise WorkloadError(
+                "phase %r: mpki_peak must be >= mpki_floor" % self.name
+            )
+        if self.ways_scale <= 0:
+            raise WorkloadError("phase %r: ways_scale must be > 0" % self.name)
+        if self.mem_sensitivity < 0:
+            raise WorkloadError(
+                "phase %r: mem_sensitivity must be >= 0" % self.name
+            )
+
+    def mpki(self, ways: float) -> float:
+        """Evaluate the miss curve at an effective allocation of ``ways``.
+
+        ``ways`` may be fractional because partition occupancy is shared
+        and inertia-filtered.  Negative values are clamped to zero.
+        """
+        w = max(0.0, ways)
+        span = self.mpki_peak - self.mpki_floor
+        return self.mpki_floor + span * math.exp(-w / self.ways_scale)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload: an ordered tuple of phases plus metadata.
+
+    Attributes:
+        name: Unique workload name (e.g. ``"ferret"``).
+        kind: ``"fg"`` for latency-critical tasks that run to completion
+            repeatedly, ``"bg"`` for batch tasks that loop forever.
+        phases: The phase program, executed in order (and cyclically for
+            BG workloads).
+        input_noise: Relative per-execution jitter applied to phase
+            instruction counts of FG workloads, modeling input-dependent
+            work (kept small; the paper studies externally caused
+            variation).
+        description: One-line description used in Table 1 style output.
+    """
+
+    name: str
+    kind: str
+    phases: Tuple[PhaseSpec, ...]
+    input_noise: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_FG, KIND_BG):
+            raise WorkloadError(
+                "workload %r: kind must be 'fg' or 'bg', got %r"
+                % (self.name, self.kind)
+            )
+        if not self.phases:
+            raise WorkloadError("workload %r: needs at least one phase" % self.name)
+        if not 0.0 <= self.input_noise < 0.5:
+            raise WorkloadError(
+                "workload %r: input_noise must be in [0, 0.5)" % self.name
+            )
+        # Precompute hot-path lookups (frozen dataclass, hence __setattr__).
+        total = 0.0
+        bounds = []
+        for phase in self.phases:
+            total += phase.instructions
+            bounds.append(total)
+        object.__setattr__(self, "_total_instructions", total)
+        object.__setattr__(self, "_phase_boundaries", tuple(bounds))
+
+    @property
+    def is_foreground(self) -> bool:
+        """True when this is a latency-critical (FG) workload."""
+        return self.kind == KIND_FG
+
+    @property
+    def total_instructions(self) -> float:
+        """Instructions in one pass over the phase program."""
+        return self._total_instructions  # type: ignore[attr-defined]
+
+    def phase_boundaries(self) -> Tuple[float, ...]:
+        """Cumulative instruction counts at the end of each phase."""
+        return self._phase_boundaries  # type: ignore[attr-defined]
+
+    def phase_at(self, progress: float) -> PhaseSpec:
+        """Return the phase active at ``progress`` instructions.
+
+        Progress past the end of the program wraps around (BG loops);
+        FG processes reset their progress per execution before this can
+        matter.
+        """
+        if progress < 0:
+            raise WorkloadError("progress must be >= 0")
+        offset = progress % self.total_instructions if progress else 0.0
+        for phase, bound in zip(self.phases, self.phase_boundaries()):
+            if offset < bound:
+                return phase
+        return self.phases[-1]
+
+
+def uniform_workload(
+    name: str,
+    kind: str,
+    instructions: float,
+    base_cpi: float,
+    apki: float,
+    mpki_floor: float,
+    mpki_peak: float,
+    ways_scale: float,
+    mem_sensitivity: float = 1.0,
+    input_noise: float = 0.0,
+    description: str = "",
+) -> WorkloadSpec:
+    """Convenience constructor for a single-phase workload."""
+    phase = PhaseSpec(
+        name="%s.main" % name,
+        instructions=instructions,
+        base_cpi=base_cpi,
+        apki=apki,
+        mpki_floor=mpki_floor,
+        mpki_peak=mpki_peak,
+        ways_scale=ways_scale,
+        mem_sensitivity=mem_sensitivity,
+    )
+    return WorkloadSpec(
+        name=name,
+        kind=kind,
+        phases=(phase,),
+        input_noise=input_noise,
+        description=description,
+    )

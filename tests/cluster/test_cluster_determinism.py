@@ -1,0 +1,63 @@
+"""Determinism and isolation checks for cluster runs."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterNode
+from repro.core.policies import BASELINE
+from repro.experiments.harness import clear_caches, run_policy
+from repro.experiments.mixes import mix_by_name
+
+EXECS = 5
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestClusterDeterminism:
+    def test_cluster_run_is_reproducible(self):
+        def outcome():
+            nodes = [
+                ClusterNode("a", mix_by_name("ferret rs"), BASELINE,
+                            executions=EXECS, warmup=2, seed=0),
+                ClusterNode("b", mix_by_name("bodytrack bwaves"), BASELINE,
+                            executions=EXECS, warmup=2, seed=1),
+            ]
+            result = Cluster(nodes).run()
+            return {
+                name: r.durations_s for name, r in result.node_results.items()
+            }
+
+        assert outcome() == outcome()
+
+    def test_nodes_do_not_interfere(self):
+        # Lockstep co-execution must produce exactly the results of
+        # running each node alone: nodes share no simulated state.
+        solo = run_policy(
+            mix_by_name("ferret rs"), BASELINE, executions=EXECS, warmup=2
+        )
+        nodes = [
+            ClusterNode("a", mix_by_name("ferret rs"), BASELINE,
+                        executions=EXECS, warmup=2, seed=0),
+            ClusterNode("b", mix_by_name("streamcluster pca"), BASELINE,
+                        executions=EXECS, warmup=2, seed=7),
+        ]
+        together = Cluster(nodes).run()
+        assert together.node_results["a"].durations_s == solo.durations_s
+
+    def test_nodes_finish_at_different_times(self):
+        # Nodes with different-length tasks finish independently; the
+        # cluster keeps ticking the unfinished ones.
+        nodes = [
+            ClusterNode("short", mix_by_name("fluidanimate bwaves"),
+                        BASELINE, executions=EXECS, warmup=2),
+            ClusterNode("long", mix_by_name("raytrace bwaves"),
+                        BASELINE, executions=EXECS, warmup=2),
+        ]
+        result = Cluster(nodes).run()
+        short = result.node_results["short"].elapsed_s
+        long_ = result.node_results["long"].elapsed_s
+        assert long_ > short

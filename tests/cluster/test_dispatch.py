@@ -1,0 +1,129 @@
+"""Tests for the cluster layer."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterNode,
+    ReservationDispatcher,
+    StreamRequest,
+)
+from repro.core.policies import BASELINE, DIRIGENT
+from repro.errors import ExperimentError
+from repro.experiments.harness import clear_caches
+from repro.experiments.mixes import mix_by_name
+
+EXECS = 6
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestClusterNode:
+    def test_node_runs_to_completion(self):
+        node = ClusterNode(
+            "n0", mix_by_name("ferret rs"), BASELINE, executions=EXECS,
+            warmup=2,
+        )
+        while not node.done:
+            node.tick()
+        result = node.result()
+        assert result.policy_name == "Baseline"
+        assert len(result.durations_s[0]) == EXECS
+
+
+class TestCluster:
+    def test_lockstep_run_aggregates(self):
+        nodes = [
+            ClusterNode(
+                "n%d" % i, mix_by_name(name), BASELINE, executions=EXECS,
+                warmup=2, seed=i,
+            )
+            for i, name in enumerate(("ferret rs", "bodytrack bwaves"))
+        ]
+        outcome = Cluster(nodes).run()
+        assert set(outcome.node_results) == {"n0", "n1"}
+        assert 0.0 <= outcome.fg_success_ratio <= 1.0
+        assert outcome.total_bg_instr_per_s > 0
+
+    def test_heterogeneous_policies(self):
+        nodes = [
+            ClusterNode("base", mix_by_name("ferret rs"), BASELINE,
+                        executions=EXECS, warmup=2),
+            ClusterNode("managed", mix_by_name("ferret rs"), DIRIGENT,
+                        executions=EXECS, warmup=2),
+        ]
+        outcome = Cluster(nodes).run()
+        managed = outcome.node_results["managed"]
+        base = outcome.node_results["base"]
+        assert managed.fg_stats.std_s < base.fg_stats.std_s
+
+    def test_duplicate_names_rejected(self):
+        node = ClusterNode("n", mix_by_name("ferret rs"), BASELINE,
+                           executions=EXECS, warmup=2)
+        other = ClusterNode("n", mix_by_name("ferret rs"), BASELINE,
+                            executions=EXECS, warmup=2)
+        with pytest.raises(ExperimentError):
+            Cluster([node, other])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ExperimentError):
+            Cluster([])
+
+
+class TestReservationDispatcher:
+    def _request(self, name, durations, period=2.0):
+        return StreamRequest(
+            name=name, period_s=period, durations_s=tuple(durations)
+        )
+
+    def test_first_fit_placement(self):
+        dispatcher = ReservationDispatcher(num_nodes=2, capacity_cores=1.0)
+        tight = [1.0] * 10  # reservation 1.0, utilization 0.5
+        assert dispatcher.place(self._request("a", tight)) == 0
+        assert dispatcher.place(self._request("b", tight)) == 0
+        assert dispatcher.place(self._request("c", tight)) == 1
+
+    def test_rejection_when_full(self):
+        dispatcher = ReservationDispatcher(num_nodes=1, capacity_cores=1.0)
+        big = [1.9] * 10  # utilization 0.95
+        assert dispatcher.place(self._request("a", big)) == 0
+        assert dispatcher.place(self._request("b", big)) is None
+        assert dispatcher.rejected == ["b"]
+
+    def test_place_all_counts(self):
+        dispatcher = ReservationDispatcher(num_nodes=2, capacity_cores=1.0)
+        reqs = [self._request("s%d" % i, [1.0] * 5) for i in range(5)]
+        assert dispatcher.place_all(reqs) == 4  # 2 per node
+
+    def test_low_variance_streams_pack_denser(self):
+        low = [1.0 + 0.01 * (i % 3) for i in range(30)]
+        high = [1.0 + 0.6 * (i % 3) for i in range(30)]
+        d_low = ReservationDispatcher(num_nodes=1, capacity_cores=2.0)
+        d_high = ReservationDispatcher(num_nodes=1, capacity_cores=2.0)
+        low_count = d_low.place_all(
+            [self._request("l%d" % i, low) for i in range(10)]
+        )
+        high_count = d_high.place_all(
+            [self._request("h%d" % i, high) for i in range(10)]
+        )
+        assert low_count > high_count
+
+    def test_utilization_reported(self):
+        dispatcher = ReservationDispatcher(num_nodes=2, capacity_cores=1.0)
+        dispatcher.place(self._request("a", [1.0] * 5))
+        util = dispatcher.utilization()
+        assert util[0] == pytest.approx(0.5)
+        assert util[1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ReservationDispatcher(num_nodes=0)
+        with pytest.raises(ExperimentError):
+            StreamRequest(name="x", period_s=0.0, durations_s=(1.0,))
+        with pytest.raises(ExperimentError):
+            StreamRequest(name="x", period_s=1.0, durations_s=())

@@ -1,0 +1,185 @@
+"""Unit tests for the coarse time scale cache-partition controller."""
+
+import pytest
+
+from repro.core.coarse import CoarseGrainController, ExecutionSample
+from repro.core.fine import Decision
+from repro.errors import ControlError
+from tests.core.fakes import FakeSystem
+
+
+def sample(duration=1.0, misses=1e6, instructions=1e9, missed=False):
+    return ExecutionSample(
+        duration_s=duration,
+        llc_misses=misses,
+        instructions=instructions,
+        missed_deadline=missed,
+    )
+
+
+def decision(paused=0, grades=None):
+    return Decision(
+        time_s=0.0,
+        action="x",
+        worst_ratio=1.0,
+        bg_grades=grades or {1: 4, 2: 4},
+        bg_paused=paused,
+    )
+
+
+def make_controller(**kwargs):
+    system = FakeSystem()
+    kwargs.setdefault("initial_fg_ways", 4)
+    kwargs.setdefault("window", 6)
+    kwargs.setdefault("decision_every", 3)
+    controller = CoarseGrainController(system, fg_cores=[0], **kwargs)
+    return system, controller
+
+
+class TestSetup:
+    def test_initial_partition_applied(self):
+        system, controller = make_controller(initial_fg_ways=5)
+        assert system.partition == ((0,), 5)
+        assert controller.fg_ways == 5
+
+    def test_invalid_initial_ways_rejected(self):
+        system = FakeSystem()
+        with pytest.raises(ControlError):
+            CoarseGrainController(system, fg_cores=[0], initial_fg_ways=0)
+        with pytest.raises(ControlError):
+            CoarseGrainController(system, fg_cores=[0], initial_fg_ways=20)
+
+    def test_invalid_window_rejected(self):
+        system = FakeSystem()
+        with pytest.raises(ControlError):
+            CoarseGrainController(system, fg_cores=[0], window=1)
+
+    def test_sample_mpki(self):
+        assert sample(misses=2e6, instructions=1e9).mpki == pytest.approx(2.0)
+        assert sample(misses=1.0, instructions=0.0).mpki == 0.0
+
+
+class TestDecisionCadence:
+    def test_no_action_between_boundaries(self):
+        _, controller = make_controller(decision_every=3)
+        assert controller.on_execution(sample()) is None
+        assert controller.on_execution(sample()) is None
+        assert controller.on_execution(sample()) is not None
+
+
+class TestHeuristic1Correlation:
+    def test_grows_on_strong_correlation_with_misses(self):
+        system, controller = make_controller()
+        # Duration tracks misses perfectly and deadlines are missed.
+        data = [
+            sample(duration=1.0 + 0.1 * i, misses=1e6 * (1 + i), missed=True)
+            for i in range(6)
+        ]
+        actions = [controller.on_execution(s) for s in data]
+        assert "grow" in [a for a in actions if a]
+        # (A later window may legitimately shrink back if misses keep
+        # rising; heuristic 2 has its own tests.)
+
+    def test_no_growth_without_missed_deadlines(self):
+        system, controller = make_controller()
+        data = [
+            sample(duration=1.0 + 0.1 * i, misses=1e6 * (1 + i), missed=False)
+            for i in range(6)
+        ]
+        actions = [controller.on_execution(s) for s in data]
+        assert all(a in (None, "hold", "shrink") for a in actions)
+        assert controller.fg_ways == 4
+
+    def test_no_growth_on_weak_correlation(self):
+        system, controller = make_controller()
+        durations = [1.0, 1.5, 0.9, 1.4, 1.0, 1.3]
+        misses = [5e6, 1e6, 5e6, 1e6, 5e6, 1e6]  # anti-correlated
+        for d, m in zip(durations, misses):
+            controller.on_execution(sample(duration=d, misses=m, missed=True))
+        assert controller.fg_ways == 4
+
+
+class TestHeuristic2ShrinkBack:
+    def test_shrinks_when_grow_does_not_reduce_misses(self):
+        system, controller = make_controller(decision_every=3, window=6)
+        # Force a grow: perfectly correlated, missing deadlines.
+        for i in range(3):
+            controller.on_execution(
+                sample(duration=1.0 + 0.2 * i, misses=1e6 * (1 + i), missed=True)
+            )
+        assert controller.fg_ways == 5
+        # Next window: misses did NOT improve => shrink back.
+        for i in range(3):
+            action = controller.on_execution(
+                sample(duration=1.0 + 0.2 * i, misses=1e6 * (2 + i), missed=False)
+            )
+        assert action == "shrink"
+        assert controller.fg_ways == 4
+
+    def test_keeps_grow_when_misses_improve(self):
+        system, controller = make_controller(decision_every=3, window=3)
+        for i in range(3):
+            controller.on_execution(
+                sample(duration=1.0 + 0.2 * i, misses=4e6 * (1 + i), missed=True)
+            )
+        assert controller.fg_ways == 5
+        for i in range(3):
+            action = controller.on_execution(
+                sample(duration=1.0, misses=1e5, missed=False)
+            )
+        assert action != "shrink"
+        assert controller.fg_ways >= 5
+
+
+class TestHeuristic3ThrottlePressure:
+    def test_grows_under_heavy_bg_throttling(self):
+        system, controller = make_controller(decision_every=3)
+        pressured = [decision(grades={1: 0, 2: 0})] * 4
+        actions = []
+        for _ in range(3):
+            actions.append(
+                controller.on_execution(
+                    sample(missed=False), recent_decisions=pressured
+                )
+            )
+        assert actions[-1] == "grow"
+
+    def test_grows_when_bg_paused_often(self):
+        system, controller = make_controller(decision_every=3)
+        pressured = [decision(paused=2)] * 4
+        for _ in range(3):
+            action = controller.on_execution(
+                sample(missed=False), recent_decisions=pressured
+            )
+        assert action == "grow"
+
+    def test_no_growth_under_light_pressure(self):
+        system, controller = make_controller(decision_every=3)
+        light = [decision(grades={1: 4, 2: 3})] * 4
+        for _ in range(3):
+            action = controller.on_execution(
+                sample(missed=False), recent_decisions=light
+            )
+        assert action == "hold"
+
+
+class TestBounds:
+    def test_never_exceeds_ways_minus_one(self):
+        system, controller = make_controller(
+            initial_fg_ways=18, decision_every=1, window=2
+        )
+        for i in range(8):
+            controller.on_execution(
+                sample(duration=1.0 + 0.2 * (i % 3),
+                       misses=1e6 * (1 + (i % 3)), missed=True)
+            )
+        assert controller.fg_ways <= 19
+
+    def test_partition_history_recorded(self):
+        system, controller = make_controller()
+        for i in range(6):
+            controller.on_execution(
+                sample(duration=1.0 + 0.1 * i, misses=1e6 * (1 + i), missed=True)
+            )
+        assert controller.partition_history[0] == 4
+        assert len(controller.partition_history) >= 2

@@ -1,0 +1,56 @@
+"""Additional coarse-controller scenarios."""
+
+import pytest
+
+from repro.core.coarse import CoarseGrainController, ExecutionSample
+from tests.core.fakes import FakeSystem
+from tests.core.test_coarse import decision, sample
+
+
+class TestConvergenceScenario:
+    def test_grows_stepwise_toward_need_then_holds(self):
+        """Mimics Figure 8's convergence: misses correlate with time while
+        deadlines fail; once deadlines pass, the partition holds."""
+        system = FakeSystem()
+        controller = CoarseGrainController(
+            system, fg_cores=[0], initial_fg_ways=2, window=4,
+            decision_every=2,
+        )
+        # Phase 1: correlated misses + missed deadlines -> grow.  The
+        # synthetic miss level drops as the partition grows (more ways =>
+        # fewer misses), so heuristic 2 keeps each grow.
+        i = 0
+        while controller.fg_ways < 5 and i < 40:
+            scale = 4e6 / controller.fg_ways
+            controller.on_execution(
+                sample(duration=1.0 + 0.1 * (i % 4),
+                       misses=scale * (1 + 0.2 * (i % 4)),
+                       missed=True)
+            )
+            i += 1
+        assert controller.fg_ways >= 4
+        grown = controller.fg_ways
+        # Phase 2: deadlines now met and misses drop -> no more growth.
+        for j in range(8):
+            controller.on_execution(
+                sample(duration=1.0, misses=1e5, missed=False)
+            )
+        assert controller.fg_ways <= grown
+
+    def test_multi_fg_partition_covers_all_cores(self):
+        system = FakeSystem()
+        CoarseGrainController(
+            system, fg_cores=[0, 1, 2], initial_fg_ways=6,
+        )
+        assert system.partition == ((0, 1, 2), 6)
+
+    def test_history_records_every_decision(self):
+        system = FakeSystem()
+        controller = CoarseGrainController(
+            system, fg_cores=[0], initial_fg_ways=3, window=4,
+            decision_every=2,
+        )
+        for i in range(8):
+            controller.on_execution(sample())
+        # initial + one entry per decision boundary.
+        assert len(controller.partition_history) == 1 + 4

@@ -1,0 +1,105 @@
+"""Tests for the Application Heartbeats-style progress source."""
+
+import pytest
+
+from repro.core.heartbeats import HeartbeatCounter, ProcessHeartbeatBridge
+from repro.core.predictor import CompletionTimePredictor
+from repro.core.profile import ExecutionProfile, ProfileSegment
+from repro.errors import ControlError
+
+
+class TestHeartbeatCounter:
+    def test_starts_at_zero(self):
+        assert HeartbeatCounter().beats == 0
+
+    def test_emit_accumulates(self):
+        counter = HeartbeatCounter()
+        counter.emit()
+        counter.emit(3)
+        assert counter.beats == 4
+
+    def test_emit_rejects_negative(self):
+        with pytest.raises(ControlError):
+            HeartbeatCounter().emit(-1)
+
+    def test_reset(self):
+        counter = HeartbeatCounter()
+        counter.emit(5)
+        counter.reset()
+        assert counter.beats == 0
+
+
+class TestBridge:
+    def test_progress_quantized_to_beats(self):
+        state = {"progress": 0.0}
+        bridge = ProcessHeartbeatBridge(
+            lambda: state["progress"], beat_instructions=1e6
+        )
+        state["progress"] = 2.7e6
+        assert bridge.progress() == pytest.approx(2e6)
+        assert bridge.counter.beats == 2
+
+    def test_poll_returns_new_beats(self):
+        state = {"progress": 0.0}
+        bridge = ProcessHeartbeatBridge(lambda: state["progress"], 1e6)
+        state["progress"] = 3.2e6
+        assert bridge.poll() == 3
+        assert bridge.poll() == 0
+
+    def test_completion_resets(self):
+        state = {"progress": 5e6}
+        bridge = ProcessHeartbeatBridge(lambda: state["progress"], 1e6)
+        bridge.poll()
+        bridge.on_execution_complete()
+        state["progress"] = 0.0
+        assert bridge.counter.beats == 0
+        assert bridge.progress() == 0.0
+
+    def test_invalid_beat_size_rejected(self):
+        with pytest.raises(ControlError):
+            ProcessHeartbeatBridge(lambda: 0.0, 0.0)
+
+
+class TestPredictorWithHeartbeats:
+    def test_quantized_progress_still_predicts(self):
+        # Beats of one quarter-segment granularity keep the predictor
+        # close to its counter-based accuracy.
+        profile = ExecutionProfile(
+            "hb", 0.005,
+            tuple(ProfileSegment(0.005, 1e7) for _ in range(10)),
+        )
+        predictor = CompletionTimePredictor(profile)
+        state = {"progress": 0.0}
+        bridge = ProcessHeartbeatBridge(lambda: state["progress"], 2.5e6)
+        predictor.start_execution(0.0)
+        rate = 1e7 / 0.005 / 1.5  # 1.5x slowdown
+        t = 0.0
+        for _ in range(8):
+            t += 0.005
+            state["progress"] = rate * t
+            predictor.observe(t, bridge.progress())
+        predicted = predictor.predict(t)
+        assert predicted == pytest.approx(0.075, rel=0.12)
+
+    def test_coarse_beats_degrade_gracefully(self):
+        profile = ExecutionProfile(
+            "hb", 0.005,
+            tuple(ProfileSegment(0.005, 1e7) for _ in range(10)),
+        )
+
+        def error_with_beat(beat):
+            predictor = CompletionTimePredictor(profile)
+            state = {"progress": 0.0}
+            bridge = ProcessHeartbeatBridge(lambda: state["progress"], beat)
+            predictor.start_execution(0.0)
+            rate = 1e7 / 0.005 / 1.5
+            t = 0.0
+            for _ in range(8):
+                t += 0.005
+                state["progress"] = rate * t
+                predictor.observe(t, bridge.progress())
+            return abs(predictor.predict(t) - 0.075) / 0.075
+
+        fine = error_with_beat(1e6)
+        coarse = error_with_beat(2e7)
+        assert fine <= coarse + 0.02

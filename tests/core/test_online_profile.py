@@ -1,0 +1,130 @@
+"""Tests for the online (in-place) profiler."""
+
+import pytest
+
+from repro.core.online_profile import OnlineProfiler
+from repro.core.profile import OfflineProfiler
+from repro.errors import ProfileError
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from tests.conftest import make_bg, make_fg
+
+
+@pytest.fixture
+def config():
+    return MachineConfig(seed=17, os_jitter_sigma=0.0, timer_jitter_prob=0.0)
+
+
+def build_node(config):
+    machine = Machine(config)
+    fg = machine.spawn(make_fg(), core=0, nice=-5)
+    bg = [machine.spawn(make_bg(), core=c, nice=5) for c in range(1, 6)]
+    return machine, fg, bg
+
+
+def run_online(machine, fg, profiler, guard_s=60.0):
+    machine.add_completion_listener(
+        lambda proc, record: profiler.on_fg_completion(
+            record.end_s, record.duration_s, record.instructions
+        )
+    )
+    profiler.start()
+    ticks = 0
+    guard = int(guard_s / machine.config.tick_s)
+    while not profiler.done:
+        machine.tick()
+        ticks += 1
+        assert ticks < guard
+
+
+class TestOnlineProfiler:
+    def test_bg_paused_during_and_resumed_after(self, config):
+        machine, fg, bg = build_node(config)
+        profiler = OnlineProfiler(
+            machine, fg_core=0, bg_pids=[p.pid for p in bg]
+        )
+        machine.add_completion_listener(
+            lambda proc, record: profiler.on_fg_completion(
+                record.end_s, record.duration_s, record.instructions
+            )
+        )
+        profiler.start()
+        machine.run_ticks(20)
+        assert all(machine.is_paused(p.pid) for p in bg)
+        while not profiler.done:
+            machine.tick()
+        assert all(not machine.is_paused(p.pid) for p in bg)
+
+    def test_profile_matches_offline_profile(self, config):
+        spec = make_fg()
+        offline = OfflineProfiler(config).profile(spec)
+
+        machine, fg, bg = build_node(config)
+        profiler = OnlineProfiler(
+            machine, fg_core=0, bg_pids=[p.pid for p in bg],
+            workload_name=spec.name,
+        )
+        run_online(machine, fg, profiler)
+        online = profiler.profile
+        assert online.workload_name == spec.name
+        # Totals agree within a few percent: BG tasks are paused, so the
+        # profiled execution is effectively uncontended.
+        assert online.total_progress == pytest.approx(
+            offline.total_progress, rel=0.02
+        )
+        assert online.total_duration_s == pytest.approx(
+            offline.total_duration_s, rel=0.10
+        )
+
+    def test_already_paused_bg_not_resumed(self, config):
+        machine, fg, bg = build_node(config)
+        machine.pause(bg[0].pid)
+        profiler = OnlineProfiler(
+            machine, fg_core=0, bg_pids=[p.pid for p in bg]
+        )
+        run_online(machine, fg, profiler)
+        assert machine.is_paused(bg[0].pid)  # left as found
+        assert all(not machine.is_paused(p.pid) for p in bg[1:])
+
+    def test_ready_callback_invoked(self, config):
+        machine, fg, bg = build_node(config)
+        received = []
+        profiler = OnlineProfiler(
+            machine, fg_core=0, bg_pids=[p.pid for p in bg],
+            on_ready=received.append,
+        )
+        run_online(machine, fg, profiler)
+        assert received == [profiler.profile]
+
+    def test_warmup_executions_skipped(self, config):
+        machine, fg, bg = build_node(config)
+        profiler = OnlineProfiler(
+            machine, fg_core=0, bg_pids=[p.pid for p in bg],
+            warmup_executions=2,
+        )
+        completions = []
+        machine.add_completion_listener(
+            lambda proc, record: completions.append(record)
+        )
+        run_online(machine, fg, profiler)
+        assert len(completions) == 3  # 2 warmup + 1 recorded
+
+    def test_double_start_rejected(self, config):
+        machine, fg, bg = build_node(config)
+        profiler = OnlineProfiler(machine, fg_core=0, bg_pids=[])
+        profiler.start()
+        with pytest.raises(ProfileError):
+            profiler.start()
+
+    def test_validation(self, config):
+        machine, fg, bg = build_node(config)
+        with pytest.raises(ProfileError):
+            OnlineProfiler(machine, 0, [], sampling_period_s=0.0)
+        with pytest.raises(ProfileError):
+            OnlineProfiler(machine, 0, [], warmup_executions=-1)
+
+    def test_completion_before_start_ignored(self, config):
+        machine, fg, bg = build_node(config)
+        profiler = OnlineProfiler(machine, fg_core=0, bg_pids=[])
+        profiler.on_fg_completion(1.0, 0.5, 1e8)
+        assert not profiler.done

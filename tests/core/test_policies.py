@@ -1,0 +1,73 @@
+"""Unit tests for the evaluation policies."""
+
+import pytest
+
+from repro.core.policies import (
+    BASELINE,
+    COARSE_ONLY,
+    DIRIGENT,
+    DIRIGENT_FREQ,
+    PAPER_POLICIES,
+    STATIC_BOTH,
+    STATIC_FREQ,
+    Policy,
+    policy_by_name,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPaperPolicies:
+    def test_five_configurations_in_paper_order(self):
+        assert [p.name for p in PAPER_POLICIES] == [
+            "Baseline", "StaticFreq", "StaticBoth", "DirigentFreq", "Dirigent",
+        ]
+
+    def test_baseline_is_unmanaged(self):
+        assert not BASELINE.uses_runtime
+        assert BASELINE.static_bg_grade is None
+        assert not BASELINE.static_partition
+
+    def test_static_freq_pins_bg_to_min(self):
+        assert STATIC_FREQ.static_bg_grade == 0
+        assert not STATIC_FREQ.static_partition
+
+    def test_static_both_adds_partition(self):
+        assert STATIC_BOTH.static_bg_grade == 0
+        assert STATIC_BOTH.static_partition
+        assert not STATIC_BOTH.uses_runtime
+
+    def test_dirigent_freq_is_fine_only(self):
+        assert DIRIGENT_FREQ.fine_control
+        assert not DIRIGENT_FREQ.coarse_control
+        assert DIRIGENT_FREQ.uses_runtime
+
+    def test_dirigent_is_full_system(self):
+        assert DIRIGENT.fine_control
+        assert DIRIGENT.coarse_control
+
+    def test_coarse_only_ablation(self):
+        assert COARSE_ONLY.static_partition
+        assert not COARSE_ONLY.fine_control
+
+
+class TestValidation:
+    def test_coarse_and_static_partition_conflict(self):
+        with pytest.raises(ConfigurationError):
+            Policy(name="x", coarse_control=True, static_partition=True)
+
+    def test_initial_ways_positive(self):
+        with pytest.raises(ConfigurationError):
+            Policy(name="x", initial_fg_ways=0)
+
+
+class TestLookup:
+    def test_lookup_case_insensitive(self):
+        assert policy_by_name("dirigent") is DIRIGENT
+        assert policy_by_name("STATICBOTH") is STATIC_BOTH
+
+    def test_lookup_includes_ablation(self):
+        assert policy_by_name("CoarseOnly") is COARSE_ONLY
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            policy_by_name("nope")

@@ -1,0 +1,153 @@
+"""Unit tests for the offline profiler and ExecutionProfile."""
+
+import pytest
+
+from repro.core.profile import (
+    ExecutionProfile,
+    OfflineProfiler,
+    ProfileSegment,
+)
+from repro.errors import ProfileError
+from repro.sim.config import MachineConfig
+from tests.conftest import make_bg, make_fg
+
+
+class TestProfileSegment:
+    def test_rate(self):
+        seg = ProfileSegment(duration_s=0.005, progress=1e7)
+        assert seg.rate == pytest.approx(2e9)
+
+    def test_validation(self):
+        with pytest.raises(ProfileError):
+            ProfileSegment(duration_s=0.0, progress=1.0)
+        with pytest.raises(ProfileError):
+            ProfileSegment(duration_s=0.005, progress=0.0)
+
+
+class TestExecutionProfile:
+    def _profile(self):
+        segments = (
+            ProfileSegment(0.005, 1e7),
+            ProfileSegment(0.005, 2e7),
+            ProfileSegment(0.006, 1.5e7),
+        )
+        return ExecutionProfile("x", 0.005, segments)
+
+    def test_totals(self):
+        profile = self._profile()
+        assert profile.num_segments == 3
+        assert profile.total_progress == pytest.approx(4.5e7)
+        assert profile.total_duration_s == pytest.approx(0.016)
+
+    def test_boundaries(self):
+        assert self._profile().boundaries() == (1e7, 3e7, 4.5e7)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ProfileError):
+            ExecutionProfile("x", 0.005, ())
+
+
+class TestOfflineProfiler:
+    @pytest.fixture
+    def profiler_config(self):
+        return MachineConfig(seed=11, os_jitter_sigma=0.0, timer_jitter_prob=0.0)
+
+    def test_profile_total_progress_matches_workload(self, profiler_config):
+        spec = make_fg()
+        profile = OfflineProfiler(profiler_config).profile(spec)
+        assert profile.total_progress == pytest.approx(
+            spec.total_instructions, rel=0.01
+        )
+
+    def test_profile_duration_close_to_standalone(self, profiler_config):
+        spec = make_fg()
+        profile = OfflineProfiler(profiler_config).profile(spec)
+        # tiny FG runs ~0.15s standalone at ~2.7GHz effective.
+        assert 0.05 < profile.total_duration_s < 0.5
+
+    def test_segment_count_matches_sampling_period(self, profiler_config):
+        spec = make_fg()
+        profile = OfflineProfiler(
+            profiler_config, sampling_period_s=5e-3
+        ).profile(spec)
+        expected = profile.total_duration_s / 5e-3
+        assert abs(profile.num_segments - expected) <= 2
+
+    def test_progress_varies_between_segments(self, profiler_config):
+        # The two phases of the tiny FG progress at different rates, so
+        # profiled progress per segment must not be constant (Figure 3a).
+        profile = OfflineProfiler(profiler_config).profile(make_fg())
+        rates = [seg.rate for seg in profile.segments]
+        assert max(rates) / min(rates) > 1.1
+
+    def test_coarser_sampling_fewer_segments(self, profiler_config):
+        spec = make_fg()
+        fine = OfflineProfiler(profiler_config, sampling_period_s=2e-3).profile(spec)
+        coarse = OfflineProfiler(profiler_config, sampling_period_s=10e-3).profile(spec)
+        assert fine.num_segments > coarse.num_segments
+
+    def test_bg_workload_rejected(self, profiler_config):
+        with pytest.raises(ProfileError):
+            OfflineProfiler(profiler_config).profile(make_bg())
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ProfileError):
+            OfflineProfiler(sampling_period_s=0.0)
+        with pytest.raises(ProfileError):
+            OfflineProfiler(warmup_executions=-1)
+
+    def test_profile_deterministic(self, profiler_config):
+        spec = make_fg()
+        one = OfflineProfiler(profiler_config).profile(spec)
+        two = OfflineProfiler(profiler_config).profile(spec)
+        assert [s.progress for s in one.segments] == [
+            s.progress for s in two.segments
+        ]
+
+    def test_profile_with_timer_jitter_still_consistent(self):
+        config = MachineConfig(seed=11, os_jitter_sigma=0.0, timer_jitter_prob=0.5)
+        spec = make_fg()
+        profile = OfflineProfiler(config).profile(spec)
+        # Durations differ (jitter) but total progress is preserved.
+        assert profile.total_progress == pytest.approx(
+            spec.total_instructions, rel=0.01
+        )
+        durations = {round(s.duration_s, 6) for s in profile.segments}
+        assert len(durations) > 1
+
+
+class TestPersistence:
+    def _profile(self):
+        segments = (
+            ProfileSegment(0.005, 1e7),
+            ProfileSegment(0.006, 2e7),
+        )
+        return ExecutionProfile("saved", 0.005, segments)
+
+    def test_round_trip_dict(self):
+        profile = self._profile()
+        clone = ExecutionProfile.from_dict(profile.to_dict())
+        assert clone.workload_name == "saved"
+        assert clone.boundaries() == profile.boundaries()
+        assert clone.total_duration_s == profile.total_duration_s
+
+    def test_round_trip_file(self, tmp_path):
+        profile = self._profile()
+        path = tmp_path / "profile.json"
+        profile.save(path)
+        clone = ExecutionProfile.load(path)
+        assert clone.to_dict() == profile.to_dict()
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(ProfileError):
+            ExecutionProfile.from_dict({"workload_name": "x"})
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ProfileError):
+            ExecutionProfile.load(tmp_path / "nope.json")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ProfileError):
+            ExecutionProfile.load(path)

@@ -1,0 +1,136 @@
+"""Runtime tests for multi-FG coordination and degenerate setups."""
+
+import pytest
+
+from repro.core.profile import ExecutionProfile, ProfileSegment
+from repro.core.runtime import DirigentRuntime, ManagedTask, RuntimeOptions
+from tests.core.fakes import FakeSystem
+
+
+def profile(segments=10, duration=0.005, progress=1e7):
+    return ExecutionProfile(
+        "synthetic",
+        duration,
+        tuple(ProfileSegment(duration, progress) for _ in range(segments)),
+    )
+
+
+def build_two_fg(**opt_kwargs):
+    # FG tasks on cores 0 and 1; BG tasks (pids 21, 22) on cores 2 and 3.
+    system = FakeSystem(pid_to_core={1: 0, 2: 1, 21: 2, 22: 3})
+    tasks = [
+        ManagedTask(pid=1, core=0, profile=profile(), deadline_s=0.08,
+                    ema_weight=0.2),
+        ManagedTask(pid=2, core=1, profile=profile(), deadline_s=0.08,
+                    ema_weight=0.2),
+    ]
+    options = RuntimeOptions(
+        enable_fine=True, enable_coarse=False, decision_every=1,
+        **opt_kwargs,
+    )
+    runtime = DirigentRuntime(system, tasks, [21, 22], options=options)
+    return system, tasks, runtime
+
+
+class TestMultiFgCoordination:
+    def test_both_ahead_throttles_both_fg(self):
+        system, tasks, runtime = build_two_fg()
+        runtime.start()
+        for i in range(1, 4):
+            system.set_counters(0, instructions=2.2e7 * i)
+            system.set_counters(1, instructions=2.1e7 * i)
+            system.fire_next_wakeup()
+        assert system.grades[0] < 4
+        assert system.grades[1] < 4
+
+    def test_one_behind_drives_bg_and_throttles_other(self):
+        system, tasks, runtime = build_two_fg()
+        runtime.start()
+        for i in range(1, 4):
+            system.set_counters(0, instructions=0.5e7 * i)  # behind
+            system.set_counters(1, instructions=2.5e7 * i)  # well ahead
+            system.fire_next_wakeup()
+        # BG cores clamped for the lagging task.
+        assert system.grades[2] == 0
+        assert system.grades[3] == 0
+        # The comfortably-ahead FG yielded some frequency.
+        assert system.grades[1] < 4
+        # The lagging FG was never throttled.
+        assert system.grades[0] == 4
+
+    def test_completion_of_one_task_keeps_other_tracking(self):
+        system, tasks, runtime = build_two_fg()
+        runtime.start()
+        system.set_counters(0, instructions=6e7)
+        system.set_counters(1, instructions=4e7)
+        system.fire_next_wakeup()
+        runtime.on_fg_completion(
+            pid=1, end_s=system.now(), duration_s=0.06,
+            instructions=1e8, llc_misses=0.0,
+        )
+        assert tasks[0].execution_index == 1
+        assert tasks[1].execution_index == 0
+        assert tasks[1].predictor.in_execution
+
+
+class TestDegenerateSetups:
+    def test_runtime_without_bg_tasks(self):
+        system = FakeSystem(pid_to_core={1: 0})
+        task = ManagedTask(pid=1, core=0, profile=profile(),
+                           deadline_s=0.08, ema_weight=0.2)
+        runtime = DirigentRuntime(
+            system, [task], [],
+            options=RuntimeOptions(enable_fine=True, enable_coarse=False,
+                                   decision_every=1),
+        )
+        runtime.start()
+        # With no BG to manage, behind-pressure can only raise the FG.
+        system.grades[0] = 2
+        for i in range(1, 4):
+            system.set_counters(0, instructions=0.5e7 * i)
+            system.fire_next_wakeup()
+        assert system.grades[0] == 4
+        assert runtime.bg_grade_histogram == {}
+
+    def test_observe_only_never_touches_frequencies(self):
+        system = FakeSystem(pid_to_core={1: 0, 21: 1})
+        task = ManagedTask(pid=1, core=0, profile=profile(),
+                           deadline_s=0.08, ema_weight=0.2)
+        runtime = DirigentRuntime(
+            system, [task], [21],
+            options=RuntimeOptions(enable_fine=False, enable_coarse=False),
+        )
+        runtime.start()
+        for i in range(1, 6):
+            system.set_counters(0, instructions=0.4e7 * i)
+            system.fire_next_wakeup()
+        assert system.actions == []
+
+    def test_overhead_zero_supported(self):
+        system = FakeSystem(pid_to_core={1: 0, 21: 1})
+        task = ManagedTask(pid=1, core=0, profile=profile(),
+                           deadline_s=0.08, ema_weight=0.2)
+        runtime = DirigentRuntime(
+            system, [task], [21],
+            options=RuntimeOptions(invocation_overhead_s=0.0),
+        )
+        runtime.start()
+        system.fire_next_wakeup()
+        assert system.overhead == [(1, 0.0)]
+
+    def test_progress_fn_takes_precedence_over_counters(self):
+        system = FakeSystem(pid_to_core={1: 0, 21: 1})
+        state = {"progress": 0.0}
+        task = ManagedTask(
+            pid=1, core=0, profile=profile(), deadline_s=0.08,
+            ema_weight=0.2, progress_fn=lambda: state["progress"],
+        )
+        runtime = DirigentRuntime(
+            system, [task], [21],
+            options=RuntimeOptions(enable_fine=False, enable_coarse=False),
+        )
+        runtime.start()
+        system.set_counters(0, instructions=9e7)  # would be 9 segments
+        state["progress"] = 2.5e7                 # but heartbeats say 2.5
+        system.fire_next_wakeup()
+        assert task.predictor.segments_completed == 2

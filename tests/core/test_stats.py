@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.stats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    ExponentialMovingAverage,
+    harmonic_mean,
+    mean,
+    pearson_correlation,
+    stddev,
+)
+from repro.errors import ControlError
+
+
+class TestEMA:
+    def test_first_sample_initializes(self):
+        ema = ExponentialMovingAverage(0.2)
+        assert not ema.initialized
+        assert ema.update(10.0) == 10.0
+        assert ema.initialized
+
+    def test_paper_update_rule(self):
+        ema = ExponentialMovingAverage(0.2)
+        ema.update(10.0)
+        assert ema.update(20.0) == pytest.approx(0.2 * 20 + 0.8 * 10)
+
+    def test_reset(self):
+        ema = ExponentialMovingAverage(0.2)
+        ema.update(5.0)
+        ema.reset()
+        assert ema.value is None
+
+    def test_weight_one_tracks_last_sample(self):
+        ema = ExponentialMovingAverage(1.0)
+        ema.update(1.0)
+        assert ema.update(7.0) == 7.0
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ControlError):
+            ExponentialMovingAverage(0.0)
+        with pytest.raises(ControlError):
+            ExponentialMovingAverage(1.5)
+
+    @given(
+        samples=st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ema_stays_within_sample_range(self, samples):
+        ema = ExponentialMovingAverage(0.2)
+        for sample in samples:
+            ema.update(sample)
+        assert min(samples) - 1e-9 <= ema.value <= max(samples) + 1e-9
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ControlError):
+            mean([])
+
+    def test_stddev_population(self):
+        assert stddev([2.0, 4.0]) == pytest.approx(1.0)
+
+    def test_stddev_constant_is_zero(self):
+        assert stddev([3.0, 3.0, 3.0]) == 0.0
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1.0, 0.5]) == pytest.approx(2 / 3)
+
+    def test_harmonic_mean_rejects_nonpositive(self):
+        with pytest.raises(ControlError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_harmonic_below_arithmetic(self):
+        values = [0.3, 0.9, 0.5]
+        assert harmonic_mean(values) <= mean(values)
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        xs = [1, 2, 3, 4]
+        ys = [2, 4, 6, 8]
+        assert pearson_correlation(xs, ys) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_gives_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_short_series_gives_zero(self):
+        assert pearson_correlation([1], [2]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ControlError):
+            pearson_correlation([1, 2], [1])
+
+    @given(
+        xs=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=30
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_correlation_bounded(self, xs):
+        ys = [x * 0.5 + 3 for x in xs]
+        value = pearson_correlation(xs, ys)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9

@@ -1,0 +1,78 @@
+"""Unit tests for the figure-driver helpers on reduced mix sets."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.figures import FigureResult, clear_run_cache
+from repro.experiments.harness import clear_caches
+from repro.experiments.mixes import Mix
+
+EXECS = 5
+
+REDUCED = [
+    Mix(name="ferret rs", fg_name="ferret", bg_name="rs"),
+    Mix(name="bodytrack bwaves", fg_name="bodytrack", bg_name="bwaves"),
+]
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    clear_run_cache()
+    yield
+    clear_caches()
+    clear_run_cache()
+
+
+class TestMixPolicyRows:
+    def test_rows_cover_every_policy(self):
+        rows = figures._mix_policy_rows(REDUCED, EXECS, seed=0)
+        assert len(rows) == len(REDUCED) * 5
+        policies = {row[1] for row in rows}
+        assert policies == {
+            "Baseline", "StaticFreq", "StaticBoth", "DirigentFreq",
+            "Dirigent",
+        }
+
+    def test_baseline_bg_is_reference(self):
+        rows = figures._mix_policy_rows(REDUCED, EXECS, seed=0)
+        for mix, policy, success, bg, mean, std in rows:
+            if policy == "Baseline":
+                assert bg == 1.0
+            assert 0.0 <= success <= 1.0
+            assert mean > 0 and std >= 0
+
+
+class TestSummary:
+    def test_summary_structure(self):
+        result = figures._summary(
+            "figX", "reduced", REDUCED, EXECS, 0, "note"
+        )
+        assert isinstance(result, FigureResult)
+        assert [row[0] for row in result.rows] == [
+            "Baseline", "StaticFreq", "StaticBoth", "DirigentFreq",
+            "Dirigent",
+        ]
+        for __, success, bg in result.rows:
+            assert 0.0 <= success <= 1.0
+            assert bg > 0
+
+    def test_summary_reuses_cached_runs(self):
+        figures._summary("figX", "reduced", REDUCED, EXECS, 0, "note")
+        cached = len(figures._RUN_CACHE)
+        figures._summary("figY", "reduced", REDUCED, EXECS, 0, "note")
+        assert len(figures._RUN_CACHE) == cached
+
+
+class TestRunHelper:
+    def test_custom_options_bypass_cache(self):
+        from repro.core.policies import BASELINE
+        from repro.core.runtime import RuntimeOptions
+
+        figures._run(REDUCED[0], BASELINE, EXECS)
+        cached = len(figures._RUN_CACHE)
+        figures._run(
+            REDUCED[0], BASELINE, EXECS,
+            runtime_options=RuntimeOptions(),
+        )
+        assert len(figures._RUN_CACHE) == cached  # not cached

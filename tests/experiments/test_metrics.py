@@ -1,0 +1,132 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.experiments.metrics import (
+    DEADLINE_SIGMA_FACTOR,
+    deadline_for,
+    duration_stats,
+    geometric_mean,
+    histogram,
+    std_reduction,
+    success_ratio,
+)
+
+
+class TestDurationStats:
+    def test_basic_stats(self):
+        stats = duration_stats([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.mean_s == 2.0
+        assert stats.min_s == 1.0
+        assert stats.max_s == 3.0
+        assert stats.std_s == pytest.approx((2 / 3) ** 0.5)
+
+    def test_normalized_std(self):
+        stats = duration_stats([2.0, 4.0])
+        assert stats.normalized_std == pytest.approx(1.0 / 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            duration_stats([])
+
+
+class TestDeadline:
+    def test_paper_definition(self):
+        stats = duration_stats([1.0, 2.0, 3.0])
+        assert deadline_for(stats) == pytest.approx(
+            stats.mean_s + DEADLINE_SIGMA_FACTOR * stats.std_s
+        )
+
+    def test_custom_factor(self):
+        stats = duration_stats([1.0, 3.0])
+        assert deadline_for(stats, factor=1.0) == pytest.approx(3.0)
+
+    def test_sigma_factor_is_paper_value(self):
+        assert DEADLINE_SIGMA_FACTOR == 0.3
+
+
+class TestSuccessRatio:
+    def test_all_meet(self):
+        assert success_ratio([0.5, 0.6], deadline_s=1.0) == 1.0
+
+    def test_partial(self):
+        assert success_ratio([0.5, 1.5, 0.9, 2.0], 1.0) == 0.5
+
+    def test_boundary_counts_as_success(self):
+        assert success_ratio([1.0], 1.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            success_ratio([], 1.0)
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ExperimentError):
+            success_ratio([1.0], 0.0)
+
+    @given(
+        durations=st.lists(
+            st.floats(min_value=0.01, max_value=10), min_size=1, max_size=50
+        ),
+        deadline=st.floats(min_value=0.01, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ratio_bounded(self, durations, deadline):
+        assert 0.0 <= success_ratio(durations, deadline) <= 1.0
+
+
+class TestHistogram:
+    def test_density_integrates_to_one(self):
+        centers, densities = histogram([1.0, 1.5, 2.0, 2.5], bins=4)
+        width = centers[1] - centers[0]
+        assert sum(d * width for d in densities) == pytest.approx(1.0)
+
+    def test_explicit_range(self):
+        centers, densities = histogram([1.0], bins=2, lo=0.0, hi=2.0)
+        assert centers == [0.5, 1.5]
+        assert densities[0] == 0.0
+
+    def test_out_of_range_clamped(self):
+        centers, densities = histogram([5.0], bins=2, lo=0.0, hi=2.0)
+        assert densities[-1] > 0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            histogram([], bins=2)
+        with pytest.raises(ExperimentError):
+            histogram([1.0], bins=0)
+
+    def test_degenerate_range(self):
+        centers, densities = histogram([1.0, 1.0], bins=3)
+        assert sum(densities) > 0
+
+
+class TestStdReduction:
+    def test_paper_headline_shape(self):
+        # 85% reduction means managed sigma is 15% of baseline's.
+        assert std_reduction(1.0, 0.15) == pytest.approx(0.85)
+
+    def test_no_reduction(self):
+        assert std_reduction(1.0, 1.0) == 0.0
+
+    def test_zero_baseline(self):
+        assert std_reduction(0.0, 1.0) == 0.0
+
+    def test_negative_when_worse(self):
+        assert std_reduction(1.0, 1.2) == pytest.approx(-0.2)
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ExperimentError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            geometric_mean([])

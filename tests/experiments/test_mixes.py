@@ -1,0 +1,83 @@
+"""Unit tests for the evaluation mixes."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.mixes import (
+    MULTI_FG_COMBOS,
+    Mix,
+    all_single_fg_mixes,
+    mix_by_name,
+    multi_fg_mixes,
+    rotate_bg_mixes,
+    single_bg_mixes,
+)
+
+
+class TestMixCounts:
+    def test_fifteen_single_bg_mixes(self):
+        assert len(single_bg_mixes()) == 15
+
+    def test_twenty_rotate_mixes(self):
+        assert len(rotate_bg_mixes()) == 20
+
+    def test_thirty_five_single_fg_mixes(self):
+        # The paper's "all 35 workload combinations" (Figure 7).
+        assert len(all_single_fg_mixes()) == 35
+
+    def test_fifteen_multi_fg_mixes(self):
+        assert len(multi_fg_mixes()) == 15
+
+    def test_multi_fg_covers_five_combos(self):
+        assert len(MULTI_FG_COMBOS) == 5
+
+
+class TestMixValidation:
+    def test_mix_needs_exactly_one_bg_kind(self):
+        with pytest.raises(ExperimentError):
+            Mix(name="x", fg_name="ferret")
+        with pytest.raises(ExperimentError):
+            Mix(name="x", fg_name="ferret", bg_name="rs", rotate_name="lbm+namd")
+
+    def test_unknown_fg_rejected(self):
+        with pytest.raises(Exception):
+            Mix(name="x", fg_name="nope", bg_name="rs")
+
+    def test_fg_count_positive(self):
+        with pytest.raises(ExperimentError):
+            Mix(name="x", fg_name="ferret", fg_count=0, bg_name="rs")
+
+    def test_bg_label(self):
+        assert Mix(name="a", fg_name="ferret", bg_name="rs").bg_label == "rs"
+        assert (
+            Mix(name="b", fg_name="ferret", rotate_name="lbm+namd").bg_label
+            == "lbm+namd"
+        )
+
+    def test_is_rotate(self):
+        assert Mix(name="b", fg_name="ferret", rotate_name="lbm+namd").is_rotate
+        assert not Mix(name="a", fg_name="ferret", bg_name="rs").is_rotate
+
+
+class TestNames:
+    def test_single_bg_names_follow_paper_format(self):
+        names = {m.name for m in single_bg_mixes()}
+        assert "ferret rs" in names
+        assert "streamcluster pca" in names
+
+    def test_multi_fg_names_include_copy_count(self):
+        names = {m.name for m in multi_fg_mixes()}
+        assert "raytrace x2 rs" in names
+        assert "streamcluster x3 lbm+namd" in names
+
+    def test_mix_by_name_roundtrip(self):
+        for mix in all_single_fg_mixes()[:5] + multi_fg_mixes()[:3]:
+            assert mix_by_name(mix.name).name == mix.name
+
+    def test_mix_by_name_unknown(self):
+        with pytest.raises(ExperimentError):
+            mix_by_name("nope nope")
+
+    def test_multi_fg_process_totals(self):
+        for mix in multi_fg_mixes():
+            assert 1 <= mix.fg_count <= 3

@@ -1,0 +1,65 @@
+"""Unit tests for RunResult's derived metrics (synthetic data)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import RunResult
+from repro.experiments.mixes import Mix
+
+
+def result(durations=((1.0, 1.2, 0.9),), deadlines=(1.1,), **kwargs):
+    defaults = dict(
+        mix=Mix(name="ferret rs", fg_name="ferret", bg_name="rs"),
+        policy_name="Test",
+        deadlines_s=deadlines,
+        durations_s=durations,
+        bg_instr_per_s=1e9,
+        elapsed_s=10.0,
+        fg_instr=2e9,
+        fg_misses=4e6,
+        bg_misses=1e7,
+        bg_instr=1e10,
+    )
+    defaults.update(kwargs)
+    return RunResult(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_all_durations_pools_tasks(self):
+        r = result(durations=((1.0, 1.2), (0.8, 0.9)), deadlines=(1.1, 1.1))
+        assert sorted(r.all_durations) == [0.8, 0.9, 1.0, 1.2]
+
+    def test_fg_stats(self):
+        r = result()
+        assert r.fg_stats.count == 3
+        assert r.fg_stats.mean_s == pytest.approx((1.0 + 1.2 + 0.9) / 3)
+
+    def test_success_ratio_per_task_deadlines(self):
+        r = result(
+            durations=((1.0, 1.2), (0.8, 2.0)),
+            deadlines=(1.1, 0.9),
+        )
+        # Task 1: 1.0 ok, 1.2 late. Task 2: 0.8 ok, 2.0 late.
+        assert r.fg_success_ratio == pytest.approx(0.5)
+
+    def test_success_ratio_boundary_inclusive(self):
+        r = result(durations=((1.1,),), deadlines=(1.1,))
+        assert r.fg_success_ratio == 1.0
+
+    def test_success_ratio_empty_rejected(self):
+        r = result(durations=((),), deadlines=(1.1,))
+        with pytest.raises(ExperimentError):
+            r.fg_success_ratio
+
+    def test_fg_mpki(self):
+        r = result(fg_instr=2e9, fg_misses=4e6)
+        assert r.fg_mpki == pytest.approx(2.0)
+
+    def test_fg_mpki_zero_instructions(self):
+        r = result(fg_instr=0.0)
+        assert r.fg_mpki == 0.0
+
+    def test_result_is_immutable(self):
+        r = result()
+        with pytest.raises(AttributeError):
+            r.policy_name = "other"

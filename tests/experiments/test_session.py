@@ -1,0 +1,79 @@
+"""Tests for PolicySession (the incrementally driven run)."""
+
+import pytest
+
+from repro.core.policies import BASELINE, DIRIGENT
+from repro.errors import ExperimentError
+from repro.experiments.harness import PolicySession, clear_caches, run_policy
+from repro.experiments.mixes import mix_by_name
+
+EXECS = 5
+WARMUP = 2
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestPolicySession:
+    def test_incremental_drive_matches_run_policy(self):
+        mix = mix_by_name("ferret rs")
+        via_function = run_policy(
+            mix, BASELINE, executions=EXECS, warmup=WARMUP
+        )
+        session = PolicySession(
+            mix, BASELINE, executions=EXECS, warmup=WARMUP
+        )
+        while not session.done:
+            session.tick()
+        via_session = session.result()
+        assert via_session.durations_s == via_function.durations_s
+        assert via_session.bg_instr_per_s == pytest.approx(
+            via_function.bg_instr_per_s
+        )
+
+    def test_result_before_done_rejected(self):
+        session = PolicySession(
+            mix_by_name("ferret rs"), BASELINE, executions=EXECS,
+            warmup=WARMUP,
+        )
+        with pytest.raises(ExperimentError):
+            session.result()
+
+    def test_completions_progress(self):
+        session = PolicySession(
+            mix_by_name("ferret rs"), BASELINE, executions=EXECS,
+            warmup=WARMUP,
+        )
+        assert session.completions() == [0]
+        while not session.done:
+            session.tick()
+        assert session.completions()[0] >= EXECS + WARMUP
+
+    def test_tick_after_done_is_noop(self):
+        session = PolicySession(
+            mix_by_name("ferret rs"), BASELINE, executions=EXECS,
+            warmup=WARMUP,
+        )
+        while not session.done:
+            session.tick()
+        now = session.machine.now()
+        session.tick()
+        assert session.machine.now() == now
+
+    def test_runtime_attached_for_dirigent(self):
+        session = PolicySession(
+            mix_by_name("ferret rs"), DIRIGENT, executions=EXECS,
+            warmup=WARMUP,
+        )
+        assert session.runtime is not None
+        assert session.runtime.coarse_controller is not None
+
+    def test_invalid_executions_rejected(self):
+        with pytest.raises(ExperimentError):
+            PolicySession(
+                mix_by_name("ferret rs"), BASELINE, executions=0
+            )

@@ -1,0 +1,72 @@
+"""Catalog-wide behavioural checks (Figure 4/5 preconditions).
+
+These validate that every catalog entry behaves the way the evaluation
+assumes: FG standalone times span the paper's range, and every BG
+workload produces measurable interference.
+"""
+
+import pytest
+
+from repro.experiments.harness import (
+    clear_caches,
+    measure_baseline,
+    measure_standalone,
+)
+from repro.experiments.mixes import Mix, mix_by_name
+from repro.workloads.catalog import (
+    foreground_names,
+    rotate_pair_names,
+    single_bg_names,
+)
+
+EXECS = 5
+WARMUP = 2
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestForegroundCatalogBehaviour:
+    @pytest.mark.parametrize("fg", foreground_names())
+    def test_standalone_time_in_paper_range(self, fg):
+        alone = measure_standalone(fg, executions=EXECS, warmup=WARMUP)
+        assert 0.35 < alone.stats.mean_s < 2.0
+
+    @pytest.mark.parametrize("fg", foreground_names())
+    def test_standalone_variation_is_small(self, fg):
+        alone = measure_standalone(fg, executions=EXECS, warmup=WARMUP)
+        assert alone.stats.normalized_std < 0.03
+
+    def test_standalone_times_span_a_range(self):
+        means = [
+            measure_standalone(fg, executions=EXECS, warmup=WARMUP).stats.mean_s
+            for fg in foreground_names()
+        ]
+        assert max(means) / min(means) > 2.0
+
+
+class TestBackgroundCatalogBehaviour:
+    @pytest.mark.parametrize("bg", single_bg_names())
+    def test_every_single_bg_slows_ferret(self, bg):
+        alone = measure_standalone("ferret", executions=EXECS, warmup=WARMUP)
+        mix = mix_by_name("ferret %s" % bg)
+        contended = measure_baseline(mix, executions=EXECS, warmup=WARMUP)
+        assert contended.fg_stats.mean_s > 1.1 * alone.stats.mean_s
+
+    @pytest.mark.parametrize("pair", rotate_pair_names())
+    def test_every_rotate_pair_slows_ferret(self, pair):
+        alone = measure_standalone("ferret", executions=EXECS, warmup=WARMUP)
+        mix = mix_by_name("ferret %s" % pair)
+        contended = measure_baseline(mix, executions=EXECS, warmup=WARMUP)
+        assert contended.fg_stats.mean_s > 1.1 * alone.stats.mean_s
+
+    @pytest.mark.parametrize("bg", single_bg_names())
+    def test_contention_raises_fg_mpki(self, bg):
+        alone = measure_standalone("ferret", executions=EXECS, warmup=WARMUP)
+        mix = mix_by_name("ferret %s" % bg)
+        contended = measure_baseline(mix, executions=EXECS, warmup=WARMUP)
+        assert contended.fg_mpki > alone.mpki

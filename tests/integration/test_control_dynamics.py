@@ -1,0 +1,66 @@
+"""Telemetry-level checks of Dirigent's control dynamics."""
+
+import pytest
+
+from repro.core.policies import DIRIGENT
+from repro.experiments.harness import PolicySession, clear_caches
+from repro.experiments.mixes import mix_by_name
+from repro.sim.trace import MachineTracer
+
+EXECS = 20
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    clear_caches()
+    session = PolicySession(
+        mix_by_name("streamcluster bwaves"), DIRIGENT, executions=EXECS
+    )
+    tracer = MachineTracer(session.machine, period_s=10e-3)
+    tracer.start()
+    while not session.done:
+        session.tick()
+    result = session.result()
+    yield tracer, result
+    clear_caches()
+
+
+class TestControlDynamics:
+    def test_fg_partition_grows_over_the_run(self, traced_run):
+        tracer, result = traced_run
+        ways = tracer.series("ways", core=0)
+        early = sum(ways[:20]) / 20
+        late = sum(ways[-20:]) / 20
+        assert late > early + 0.5
+
+    def test_bg_frequency_recovers_after_convergence(self, traced_run):
+        tracer, result = traced_run
+        freqs = tracer.series("frequency", core=1)
+        third = len(freqs) // 3
+        early = sum(freqs[:third]) / third
+        late = sum(freqs[-third:]) / third
+        assert late > early
+
+    def test_pauses_concentrated_early(self, traced_run):
+        tracer, result = traced_run
+        paused = tracer.series("paused")
+        half = len(paused) // 2
+        assert sum(paused[:half]) >= sum(paused[half:])
+
+    def test_utilization_stays_bounded(self, traced_run):
+        tracer, result = traced_run
+        rho = tracer.series("rho")
+        assert all(0.0 <= r <= 0.95 for r in rho)
+
+    def test_run_met_most_deadlines(self, traced_run):
+        # The measurement window opens while the coarse controller is
+        # still converging on this slow mix, so require most-deadlines
+        # overall and improvement from the first half to the second.
+        __, result = traced_run
+        assert result.fg_success_ratio > 0.7
+        deadline = result.deadlines_s[0]
+        durations = result.durations_s[0]
+        half = len(durations) // 2
+        early_met = sum(1 for d in durations[:half] if d <= deadline)
+        late_met = sum(1 for d in durations[half:] if d <= deadline)
+        assert late_met >= early_met

@@ -1,0 +1,102 @@
+"""End-to-end tests: the paper's qualitative claims on one mix.
+
+These run the full pipeline (profiling, baseline, managed policies) with
+a modest execution count; the benchmarks assert the same shapes over the
+full mix matrix.
+"""
+
+import pytest
+
+from repro.core.policies import (
+    BASELINE,
+    DIRIGENT,
+    DIRIGENT_FREQ,
+    STATIC_BOTH,
+    STATIC_FREQ,
+)
+from repro.experiments.harness import (
+    clear_caches,
+    measure_baseline,
+    run_policy,
+)
+from repro.experiments.mixes import mix_by_name
+
+EXECS = 25
+
+
+@pytest.fixture(scope="module")
+def results():
+    clear_caches()
+    mix = mix_by_name("ferret rs")
+    baseline = measure_baseline(mix, executions=EXECS)
+    managed = {
+        policy.name: run_policy(mix, policy, executions=EXECS)
+        for policy in (STATIC_FREQ, STATIC_BOTH, DIRIGENT_FREQ, DIRIGENT)
+    }
+    managed["Baseline"] = baseline
+    yield managed
+    clear_caches()
+
+
+class TestPaperClaims:
+    def test_baseline_success_poor(self, results):
+        # "While BG performance is high with Baseline, the FG success rate
+        # is very poor, averaging just under 60%."
+        assert results["Baseline"].fg_success_ratio < 0.8
+
+    def test_dirigent_reduces_variation_sharply(self, results):
+        base_std = results["Baseline"].fg_stats.std_s
+        dirigent_std = results["Dirigent"].fg_stats.std_s
+        assert dirigent_std < 0.35 * base_std  # paper: 85% reduction
+
+    def test_dirigent_freq_reduces_variation(self, results):
+        base_std = results["Baseline"].fg_stats.std_s
+        df_std = results["DirigentFreq"].fg_stats.std_s
+        assert df_std < 0.6 * base_std  # paper: 70% reduction
+
+    def test_dirigent_meets_deadlines(self, results):
+        assert results["Dirigent"].fg_success_ratio >= 0.9
+
+    def test_static_both_meets_deadlines_at_high_bg_cost(self, results):
+        base_bg = results["Baseline"].bg_instr_per_s
+        static = results["StaticBoth"]
+        assert static.fg_success_ratio >= 0.9
+        assert static.bg_instr_per_s < 0.8 * base_bg
+
+    def test_dirigent_beats_static_on_bg_throughput(self, results):
+        # The headline: ~30% better BG throughput than coarse schemes.
+        assert (
+            results["Dirigent"].bg_instr_per_s
+            > 1.1 * results["StaticBoth"].bg_instr_per_s
+        )
+
+    def test_dirigent_bg_close_to_baseline(self, results):
+        base_bg = results["Baseline"].bg_instr_per_s
+        assert results["Dirigent"].bg_instr_per_s > 0.75 * base_bg
+
+    def test_static_freq_costs_bg_throughput(self, results):
+        base_bg = results["Baseline"].bg_instr_per_s
+        assert results["StaticFreq"].bg_instr_per_s < 0.8 * base_bg
+
+    def test_managed_means_stay_below_deadline(self, results):
+        deadline = results["Dirigent"].deadlines_s[0]
+        assert results["Dirigent"].fg_stats.mean_s < deadline
+
+    def test_dirigent_stretches_fg_toward_deadline(self, results):
+        # Dirigent trades FG slack for BG throughput: mean completion is
+        # slower than StaticBoth's over-provisioned configuration.
+        assert (
+            results["Dirigent"].fg_stats.mean_s
+            > results["StaticBoth"].fg_stats.mean_s
+        )
+
+    def test_predictions_recorded_under_dirigent(self, results):
+        log = results["Dirigent"].prediction_logs[0]
+        assert len(log) >= EXECS // 2
+        errors = [r.relative_error for r in log]
+        assert sum(errors) / len(errors) < 0.15
+
+    def test_coarse_controller_picked_nontrivial_partition(self, results):
+        history = results["Dirigent"].partition_history
+        assert history[0] == 2
+        assert history[-1] >= 2

@@ -1,0 +1,63 @@
+"""End-to-end checks for multi-FG mixes and the tradeoff sweep."""
+
+import pytest
+
+from repro.core.policies import BASELINE, DIRIGENT, DIRIGENT_FREQ
+from repro.experiments.harness import (
+    clear_caches,
+    measure_baseline,
+    measure_standalone,
+    run_policy,
+)
+from repro.experiments.mixes import mix_by_name
+
+EXECS = 18
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestMultiFgEndToEnd:
+    def test_two_fg_copies_both_managed(self):
+        mix = mix_by_name("fluidanimate x2 lbm+soplex")
+        baseline = measure_baseline(mix, executions=EXECS)
+        managed = run_policy(mix, DIRIGENT, executions=EXECS)
+        # Both FG tasks improve their success ratio.
+        for deadline, base_durs, managed_durs in zip(
+            baseline.deadlines_s, baseline.durations_s, managed.durations_s
+        ):
+            base_met = sum(1 for d in base_durs if d <= deadline)
+            managed_met = sum(1 for d in managed_durs if d <= deadline)
+            assert managed_met >= base_met
+
+    def test_partitioning_recovers_bg_throughput_multi_fg(self):
+        mix = mix_by_name("fluidanimate x2 lbm+soplex")
+        baseline = measure_baseline(mix, executions=EXECS)
+        freq_only = run_policy(mix, DIRIGENT_FREQ, executions=EXECS)
+        full = run_policy(mix, DIRIGENT, executions=EXECS)
+        assert full.bg_instr_per_s > 0.95 * freq_only.bg_instr_per_s
+        assert full.bg_instr_per_s > 0.7 * baseline.bg_instr_per_s
+
+
+class TestDeadlineSweepEndToEnd:
+    def test_looser_slo_buys_bg_throughput(self):
+        mix = mix_by_name("raytrace bwaves")
+        standalone = measure_standalone(mix.fg_name, executions=EXECS)
+        baseline = measure_baseline(mix, executions=EXECS)
+        tight = run_policy(
+            mix, DIRIGENT,
+            deadlines_s=(standalone.stats.mean_s * 1.06,),
+            executions=EXECS, warmup=30,
+        )
+        loose = run_policy(
+            mix, DIRIGENT,
+            deadlines_s=(standalone.stats.mean_s * 1.18,),
+            executions=EXECS, warmup=30,
+        )
+        assert loose.bg_instr_per_s > tight.bg_instr_per_s
+        assert loose.fg_stats.mean_s > tight.fg_stats.mean_s - 0.02
+        assert loose.fg_stats.mean_s < baseline.fg_stats.mean_s

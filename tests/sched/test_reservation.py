@@ -1,0 +1,114 @@
+"""Tests for the reservation-based admission layer (Figure 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.sched.reservation import (
+    ReservationScheduler,
+    TaskStream,
+    max_streams,
+    packing_gain,
+    percentile,
+    reservation_for,
+)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 1.0], 0.25) == pytest.approx(0.25)
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.9) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            percentile([], 0.5)
+        with pytest.raises(ExperimentError):
+            percentile([1.0], 1.5)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40
+        ),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_extremes(self, values, q):
+        assert min(values) <= percentile(values, q) <= max(values)
+
+
+class TestReservation:
+    def test_reservation_is_tail_quantile(self):
+        durations = list(range(1, 101))  # 1..100
+        assert reservation_for(durations, 0.95) == pytest.approx(95.05)
+
+    def test_low_variance_needs_smaller_reservation(self):
+        tight = [1.0, 1.01, 0.99, 1.02, 0.98]
+        loose = [0.6, 1.4, 0.8, 1.2, 1.0]
+        assert reservation_for(tight) < reservation_for(loose)
+
+
+class TestTaskStream:
+    def test_utilization(self):
+        stream = TaskStream("s", period_s=2.0, reservation_s=0.5)
+        assert stream.utilization == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            TaskStream("s", period_s=0.0, reservation_s=0.5)
+        with pytest.raises(ExperimentError):
+            TaskStream("s", period_s=1.0, reservation_s=0.0)
+
+
+class TestScheduler:
+    def test_admission_up_to_capacity(self):
+        scheduler = ReservationScheduler(capacity_cores=1.0)
+        stream = TaskStream("s", period_s=1.0, reservation_s=0.3)
+        assert scheduler.admit_max(stream) == 3
+        assert scheduler.reserved_utilization == pytest.approx(0.9)
+        assert not scheduler.try_admit(stream)
+
+    def test_headroom(self):
+        scheduler = ReservationScheduler(capacity_cores=2.0)
+        scheduler.try_admit(TaskStream("s", 1.0, 0.5))
+        assert scheduler.headroom == pytest.approx(1.5)
+
+    def test_exact_fit_admitted(self):
+        scheduler = ReservationScheduler(capacity_cores=1.0)
+        assert scheduler.try_admit(TaskStream("s", 1.0, 1.0))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ExperimentError):
+            ReservationScheduler(capacity_cores=0.0)
+
+
+class TestPacking:
+    def test_max_streams(self):
+        durations = [0.5] * 20
+        assert max_streams(durations, period_s=1.0, capacity_cores=1.0) == 2
+
+    def test_zero_when_reservation_exceeds_period(self):
+        durations = [2.0] * 10
+        assert max_streams(durations, period_s=1.0) == 0
+
+    def test_figure2_low_variance_packs_denser(self):
+        # Type B (low variance) and type A (high variance) with the same
+        # mean: B admits more streams at the same percentile guarantee.
+        type_b = [1.0 + 0.02 * ((i % 5) - 2) for i in range(50)]
+        type_a = [1.0 + 0.5 * ((i % 5) - 2) / 2 for i in range(50)]
+        gain = packing_gain(type_b, type_a, period_s=2.0)
+        assert gain > 1.2
+
+    def test_packing_gain_error_when_high_variance_unschedulable(self):
+        with pytest.raises(ExperimentError):
+            packing_gain([0.1] * 5, [5.0] * 5, period_s=1.0)

@@ -1,0 +1,183 @@
+"""Unit tests for repro.sim.cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.cache import SharedCache, contiguous_mask, full_mask
+from repro.sim.config import MachineConfig
+
+
+@pytest.fixture
+def cache():
+    return SharedCache(MachineConfig(seed=1))
+
+
+class TestMasks:
+    def test_full_mask(self):
+        assert full_mask(4) == 0b1111
+
+    def test_contiguous_mask(self):
+        assert contiguous_mask(2, 3) == 0b11100
+
+    def test_contiguous_mask_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            contiguous_mask(-1, 2)
+
+    def test_default_masks_cover_all_ways(self, cache):
+        for core in range(6):
+            assert cache.mask_ways(core) == 20
+
+    def test_set_mask(self, cache):
+        cache.set_mask(0, 0b1111)
+        assert cache.mask(0) == 0b1111
+        assert cache.mask_ways(0) == 4
+
+    def test_set_mask_rejects_empty(self, cache):
+        with pytest.raises(ConfigurationError):
+            cache.set_mask(0, 0)
+
+    def test_set_mask_rejects_too_wide(self, cache):
+        with pytest.raises(ConfigurationError):
+            cache.set_mask(0, 1 << 20)
+
+    def test_out_of_range_core(self, cache):
+        with pytest.raises(SimulationError):
+            cache.mask(6)
+
+
+class TestPartitioning:
+    def test_fg_partition_masks_disjoint(self, cache):
+        cache.set_fg_partition([0], fg_ways=5)
+        assert cache.mask(0) == contiguous_mask(0, 5)
+        for core in range(1, 6):
+            assert cache.mask(core) == contiguous_mask(5, 15)
+            assert cache.mask(core) & cache.mask(0) == 0
+
+    def test_fg_partition_multiple_fg_cores(self, cache):
+        cache.set_fg_partition([0, 1, 2], fg_ways=8)
+        assert cache.mask(1) == cache.mask(0)
+        assert cache.mask(3) == contiguous_mask(8, 12)
+
+    def test_fg_partition_bounds(self, cache):
+        with pytest.raises(ConfigurationError):
+            cache.set_fg_partition([0], fg_ways=0)
+        with pytest.raises(ConfigurationError):
+            cache.set_fg_partition([0], fg_ways=20)  # leaves nothing for BG
+
+    def test_clear_partitions(self, cache):
+        cache.set_fg_partition([0], fg_ways=5)
+        cache.clear_partitions()
+        for core in range(6):
+            assert cache.mask_ways(core) == 20
+
+
+class TestOccupancyTargets:
+    def test_equal_weights_split_equally(self, cache):
+        cache.set_weights([1.0] * 6)
+        for core in range(6):
+            assert cache.target_ways(core) == pytest.approx(20 / 6)
+
+    def test_weights_proportional(self, cache):
+        cache.set_weights([3.0, 1.0, 0, 0, 0, 0])
+        assert cache.target_ways(0) == pytest.approx(15.0)
+        assert cache.target_ways(1) == pytest.approx(5.0)
+
+    def test_idle_cores_get_zero(self, cache):
+        cache.set_weights([1.0, 0, 0, 0, 0, 0])
+        assert cache.target_ways(0) == pytest.approx(20.0)
+        assert cache.target_ways(1) == 0.0
+
+    def test_partitioned_targets_respect_masks(self, cache):
+        cache.set_fg_partition([0], fg_ways=5)
+        cache.set_weights([1.0] * 6)
+        assert cache.target_ways(0) == pytest.approx(5.0)
+        for core in range(1, 6):
+            assert cache.target_ways(core) == pytest.approx(3.0)
+
+    def test_overlapping_distinct_masks_use_way_model(self, cache):
+        # Core 0 can reach all 20 ways; core 1 only the low 10: in the low
+        # ways they compete (half each), the top 10 belong to core 0 alone.
+        cache.set_mask(0, full_mask(20))
+        cache.set_mask(1, contiguous_mask(0, 10))
+        cache.set_weights([1.0, 1.0, 0, 0, 0, 0])
+        assert cache.target_ways(0) == pytest.approx(15.0)
+        assert cache.target_ways(1) == pytest.approx(5.0)
+
+    def test_weight_validation(self, cache):
+        with pytest.raises(SimulationError):
+            cache.set_weights([1.0] * 5)
+        with pytest.raises(SimulationError):
+            cache.set_weights([-1.0] + [1.0] * 5)
+
+    def test_targets_conserve_capacity(self, cache):
+        cache.set_weights([5.0, 1.0, 2.0, 0.5, 4.0, 3.0])
+        assert sum(cache.target_ways(c) for c in range(6)) == pytest.approx(20.0)
+
+
+class TestInertia:
+    def test_step_moves_toward_target(self, cache):
+        cache.set_weights([1.0, 0, 0, 0, 0, 0])
+        before = cache.effective_ways(0)
+        cache.step(0.01)
+        after = cache.effective_ways(0)
+        assert before < after < cache.target_ways(0)
+
+    def test_settle_snaps_to_target(self, cache):
+        cache.set_weights([1.0, 0, 0, 0, 0, 0])
+        cache.settle()
+        assert cache.effective_ways(0) == pytest.approx(20.0)
+
+    def test_long_time_converges(self, cache):
+        cache.set_weights([1.0, 1.0, 0, 0, 0, 0])
+        for _ in range(3000):
+            cache.step(1e-3)
+        assert cache.effective_ways(0) == pytest.approx(10.0, rel=1e-3)
+
+    def test_zero_tau_is_instant(self):
+        cache = SharedCache(MachineConfig(seed=1, cache_inertia_tau_s=0.0))
+        cache.set_weights([1.0, 0, 0, 0, 0, 0])
+        cache.step(1e-3)
+        assert cache.effective_ways(0) == pytest.approx(20.0)
+
+    def test_negative_dt_rejected(self, cache):
+        with pytest.raises(SimulationError):
+            cache.step(-1.0)
+
+    def test_repartition_effect_is_gradual(self, cache):
+        cache.set_weights([1.0] * 6)
+        cache.settle()
+        cache.set_fg_partition([0], fg_ways=10)
+        cache.step(1e-3)
+        # One tick later core 0 has barely moved from 20/6 toward 10.
+        assert cache.effective_ways(0) < 4.0
+
+
+class TestOccupancyProperties:
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=6, max_size=6
+        ),
+        fg_ways=st.integers(min_value=1, max_value=19),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_targets_bounded_by_mask(self, weights, fg_ways):
+        cache = SharedCache(MachineConfig(seed=1))
+        cache.set_fg_partition([0, 1], fg_ways=fg_ways)
+        cache.set_weights(weights)
+        for core in range(6):
+            limit = cache.mask_ways(core)
+            assert 0.0 <= cache.target_ways(core) <= limit + 1e-9
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=100.0), min_size=6, max_size=6
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_shared_targets_sum_to_capacity(self, weights):
+        cache = SharedCache(MachineConfig(seed=1))
+        cache.set_weights(weights)
+        total = sum(cache.target_ways(c) for c in range(6))
+        assert total == pytest.approx(20.0, rel=1e-9)

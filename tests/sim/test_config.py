@@ -1,0 +1,111 @@
+"""Unit tests for repro.sim.config."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import DEFAULT_FREQ_GRADES_GHZ, PAPER_MACHINE, MachineConfig
+
+
+class TestDefaults:
+    def test_paper_machine_has_six_cores(self):
+        assert PAPER_MACHINE.num_cores == 6
+
+    def test_paper_machine_grades_match_paper(self):
+        assert PAPER_MACHINE.freq_grades_ghz == (1.2, 1.4, 1.6, 1.8, 2.0)
+
+    def test_paper_machine_cache_geometry(self):
+        assert PAPER_MACHINE.llc_ways == 20
+        assert PAPER_MACHINE.llc_mb == 15.0
+
+    def test_default_grades_constant_is_ascending(self):
+        assert list(DEFAULT_FREQ_GRADES_GHZ) == sorted(DEFAULT_FREQ_GRADES_GHZ)
+
+
+class TestProperties:
+    def test_min_max_freq(self):
+        cfg = MachineConfig()
+        assert cfg.min_freq_ghz == 1.2
+        assert cfg.max_freq_ghz == 2.0
+
+    def test_num_grades(self):
+        assert MachineConfig().num_grades == 5
+
+    def test_grade_of_exact_frequency(self):
+        cfg = MachineConfig()
+        assert cfg.grade_of(1.2) == 0
+        assert cfg.grade_of(2.0) == 4
+
+    def test_grade_of_unknown_frequency_raises(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig().grade_of(1.5)
+
+    def test_with_seed_changes_only_seed(self):
+        cfg = MachineConfig(seed=1)
+        other = cfg.with_seed(99)
+        assert other.seed == 99
+        assert other.num_cores == cfg.num_cores
+        assert other.freq_grades_ghz == cfg.freq_grades_ghz
+
+    def test_config_is_hashable(self):
+        assert {MachineConfig(): 1}  # used as a cache key by the harness
+
+    def test_equal_configs_hash_equal(self):
+        assert hash(MachineConfig(seed=5)) == hash(MachineConfig(seed=5))
+
+
+class TestValidation:
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_cores=0)
+
+    def test_empty_grades_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(freq_grades_ghz=())
+
+    def test_negative_grade_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(freq_grades_ghz=(-1.0, 2.0))
+
+    def test_unsorted_grades_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(freq_grades_ghz=(2.0, 1.2))
+
+    def test_duplicate_grades_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(freq_grades_ghz=(1.2, 1.2, 2.0))
+
+    def test_single_way_cache_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(llc_ways=1)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(mem_peak_gbps=0.0)
+
+    def test_nonpositive_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(mem_base_latency_ns=0.0)
+
+    def test_rho_cap_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(mem_rho_cap=1.0)
+        with pytest.raises(ConfigurationError):
+            MachineConfig(mem_rho_cap=0.0)
+
+    def test_nonpositive_tick_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(tick_s=0.0)
+
+    def test_negative_inertia_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(cache_inertia_tau_s=-1.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(os_jitter_sigma=-0.1)
+
+    def test_timer_jitter_prob_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(timer_jitter_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            MachineConfig(timer_jitter_prob=-0.1)

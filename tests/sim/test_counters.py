@@ -1,0 +1,79 @@
+"""Unit tests for repro.sim.counters."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.counters import CounterBank, CounterSnapshot
+
+
+class TestCounterBank:
+    def test_starts_at_zero(self):
+        bank = CounterBank(2)
+        snap = bank.snapshot(0, 0.0)
+        assert snap.instructions == 0
+        assert snap.llc_misses == 0
+
+    def test_record_accumulates(self):
+        bank = CounterBank(2)
+        bank.record(0, instructions=10, cycles=20, llc_accesses=5, llc_misses=2)
+        bank.record(0, instructions=1, cycles=2, llc_accesses=1, llc_misses=1)
+        snap = bank.snapshot(0, 1.0)
+        assert snap.instructions == 11
+        assert snap.cycles == 22
+        assert snap.llc_accesses == 6
+        assert snap.llc_misses == 3
+
+    def test_cores_independent(self):
+        bank = CounterBank(2)
+        bank.record(0, 10, 10, 10, 10)
+        assert bank.snapshot(1, 0.0).instructions == 0
+
+    def test_out_of_range_core_rejected(self):
+        bank = CounterBank(2)
+        with pytest.raises(SimulationError):
+            bank.record(2, 1, 1, 1, 1)
+        with pytest.raises(SimulationError):
+            bank.snapshot(-1, 0.0)
+
+    def test_zero_core_bank_rejected(self):
+        with pytest.raises(SimulationError):
+            CounterBank(0)
+
+    def test_totals_over_cores(self):
+        bank = CounterBank(3)
+        bank.record(0, 5, 0, 0, 1)
+        bank.record(2, 7, 0, 0, 3)
+        assert bank.total_instructions([0, 2]) == 12
+        assert bank.total_llc_misses([0, 1, 2]) == 4
+
+
+class TestCounterSnapshot:
+    def test_delta(self):
+        early = CounterSnapshot(1.0, 10, 20, 5, 2)
+        late = CounterSnapshot(3.0, 30, 60, 15, 8)
+        delta = late.delta(early)
+        assert delta.time_s == 2.0
+        assert delta.instructions == 20
+        assert delta.cycles == 40
+        assert delta.llc_accesses == 10
+        assert delta.llc_misses == 6
+
+    def test_delta_rejects_newer_baseline(self):
+        early = CounterSnapshot(1.0, 0, 0, 0, 0)
+        late = CounterSnapshot(3.0, 0, 0, 0, 0)
+        with pytest.raises(SimulationError):
+            early.delta(late)
+
+    def test_mpki(self):
+        snap = CounterSnapshot(1.0, instructions=2000, cycles=0,
+                               llc_accesses=0, llc_misses=4)
+        assert snap.mpki == pytest.approx(2.0)
+
+    def test_mpki_zero_instructions(self):
+        snap = CounterSnapshot(1.0, 0, 0, 0, 5)
+        assert snap.mpki == 0.0
+
+    def test_snapshot_is_immutable(self):
+        snap = CounterSnapshot(1.0, 1, 1, 1, 1)
+        with pytest.raises(AttributeError):
+            snap.instructions = 2

@@ -1,0 +1,105 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.config import MachineConfig
+from repro.sim.energy import EnergyConfig, EnergyModel
+from repro.sim.machine import Machine
+from tests.conftest import make_bg, make_fg, run_executions
+
+
+class TestEnergyConfig:
+    def test_defaults_put_cpu_near_third_of_system(self):
+        config = EnergyConfig()
+        cpu_full = 6 * config.core_power_w(2.0, busy=True)
+        system = cpu_full + config.platform_w
+        assert 0.2 < cpu_full / system < 0.45  # paper: 25-35%
+
+    def test_core_power_cubic_in_frequency(self):
+        config = EnergyConfig(static_w_per_core=0.0)
+        p1 = config.core_power_w(1.0, busy=True)
+        p2 = config.core_power_w(2.0, busy=True)
+        assert p2 == pytest.approx(8 * p1)
+
+    def test_idle_core_draws_static_only(self):
+        config = EnergyConfig()
+        assert config.core_power_w(2.0, busy=False) == pytest.approx(
+            config.static_w_per_core
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyConfig(dynamic_w_per_ghz3=0.0)
+        with pytest.raises(ConfigurationError):
+            EnergyConfig(static_w_per_core=-1.0)
+        with pytest.raises(ConfigurationError):
+            EnergyConfig(platform_w=-1.0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(SimulationError):
+            EnergyConfig().core_power_w(-1.0, busy=True)
+
+
+class TestEnergyModel:
+    def test_accumulation(self):
+        model = EnergyModel(2, EnergyConfig(
+            dynamic_w_per_ghz3=1.0, static_w_per_core=0.5, platform_w=10.0
+        ))
+        model.accumulate(1.0, [2.0, 1.0], [True, False])
+        assert model.core_joules(0) == pytest.approx(8.0 + 0.5)
+        assert model.core_joules(1) == pytest.approx(0.5)
+        assert model.platform_joules == pytest.approx(10.0)
+        assert model.system_joules == pytest.approx(19.0)
+        assert model.elapsed_s == 1.0
+
+    def test_average_power(self):
+        model = EnergyModel(1, EnergyConfig(
+            dynamic_w_per_ghz3=1.0, static_w_per_core=0.0, platform_w=0.0
+        ))
+        model.accumulate(2.0, [1.0], [True])
+        assert model.average_system_power_w == pytest.approx(1.0)
+
+    def test_empty_model_power_zero(self):
+        assert EnergyModel(1).average_system_power_w == 0.0
+
+    def test_validation(self):
+        model = EnergyModel(2)
+        with pytest.raises(SimulationError):
+            model.accumulate(-1.0, [1.0, 1.0], [True, True])
+        with pytest.raises(SimulationError):
+            model.accumulate(1.0, [1.0], [True, True])
+        with pytest.raises(SimulationError):
+            model.core_joules(5)
+        with pytest.raises(ConfigurationError):
+            EnergyModel(0)
+
+
+class TestMachineIntegration:
+    def test_machine_feeds_attached_model(self, quiet_config):
+        machine = Machine(quiet_config)
+        machine.spawn(make_fg(), core=0)
+        model = EnergyModel(quiet_config.num_cores)
+        machine.attach_energy_model(model)
+        machine.run_seconds(0.05)
+        assert model.elapsed_s == pytest.approx(0.05)
+        assert model.system_joules > 0
+        assert machine.energy is model
+
+    def test_throttled_cores_use_less_energy(self, quiet_config):
+        def joules(grade):
+            machine = Machine(quiet_config)
+            machine.spawn(make_bg(), core=1)
+            machine.set_frequency_grade(1, grade)
+            model = EnergyModel(quiet_config.num_cores)
+            machine.attach_energy_model(model)
+            machine.run_seconds(0.1)
+            return model.core_joules(1)
+
+        assert joules(0) < joules(4)
+
+    def test_no_model_attached_is_free(self, quiet_config):
+        machine = Machine(quiet_config)
+        machine.spawn(make_fg(), core=0)
+        machine.run_seconds(0.02)
+        assert machine.energy is None

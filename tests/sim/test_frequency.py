@@ -1,0 +1,104 @@
+"""Unit tests for repro.sim.frequency."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.config import MachineConfig
+from repro.sim.frequency import FrequencyGovernor
+
+
+@pytest.fixture
+def governor():
+    return FrequencyGovernor(MachineConfig(seed=1))
+
+
+class TestInitialState:
+    def test_all_cores_start_at_max(self, governor):
+        for core in range(6):
+            assert governor.grade(core) == 4
+            assert governor.frequency_ghz(core) == 2.0
+
+    def test_is_max_initially(self, governor):
+        assert governor.is_max(0)
+        assert not governor.is_min(0)
+
+
+class TestSetGrade:
+    def test_change_applies_after_transition(self, governor):
+        governor.set_grade(0, 0, now_tick=0)
+        assert governor.grade(0) == 4  # not yet effective
+        governor.tick(1)
+        assert governor.grade(0) == 0
+
+    def test_pending_grade_reflects_request_immediately(self, governor):
+        governor.set_grade(0, 2, now_tick=0)
+        assert governor.pending_grade(0) == 2
+
+    def test_out_of_range_grade_rejected(self, governor):
+        with pytest.raises(ConfigurationError):
+            governor.set_grade(0, 5, now_tick=0)
+        with pytest.raises(ConfigurationError):
+            governor.set_grade(0, -1, now_tick=0)
+
+    def test_duplicate_request_is_noop(self, governor):
+        governor.set_grade(0, 2, now_tick=0)
+        governor.set_grade(0, 2, now_tick=0)
+        governor.tick(1)
+        assert governor.grade(0) == 2
+
+    def test_set_frequency_by_value(self, governor):
+        governor.set_frequency(1, 1.4, now_tick=0)
+        governor.tick(1)
+        assert governor.frequency_ghz(1) == 1.4
+
+    def test_set_frequency_invalid_value_rejected(self, governor):
+        with pytest.raises(ConfigurationError):
+            governor.set_frequency(1, 1.5, now_tick=0)
+
+    def test_cores_independent(self, governor):
+        governor.set_grade(0, 0, now_tick=0)
+        governor.tick(1)
+        assert governor.grade(1) == 4
+
+
+class TestStep:
+    def test_step_down(self, governor):
+        assert governor.step(0, -1, now_tick=0)
+        governor.tick(1)
+        assert governor.grade(0) == 3
+
+    def test_step_up_at_max_returns_false(self, governor):
+        assert not governor.step(0, +1, now_tick=0)
+
+    def test_step_down_at_min_returns_false(self, governor):
+        governor.set_grade(0, 0, now_tick=0)
+        governor.tick(1)
+        assert not governor.step(0, -1, now_tick=1)
+
+    def test_step_invalid_direction_rejected(self, governor):
+        with pytest.raises(SimulationError):
+            governor.step(0, 2, now_tick=0)
+
+    def test_steps_accumulate_on_pending_state(self, governor):
+        # Two down-steps in the same tick move two grades.
+        governor.step(0, -1, now_tick=0)
+        governor.step(0, -1, now_tick=0)
+        governor.tick(1)
+        assert governor.grade(0) == 2
+
+    def test_is_min_tracks_pending(self, governor):
+        governor.set_grade(0, 0, now_tick=0)
+        assert governor.is_min(0)  # pending, even before effective
+
+
+class TestTick:
+    def test_future_transition_not_applied_early(self, governor):
+        governor.set_grade(0, 1, now_tick=5)
+        governor.tick(5)
+        assert governor.grade(0) == 4
+        governor.tick(6)
+        assert governor.grade(0) == 1
+
+    def test_out_of_range_core_rejected(self, governor):
+        with pytest.raises(SimulationError):
+            governor.grade(6)

@@ -1,0 +1,86 @@
+"""Consistency checks between the machine's inline fast path and the
+reference performance model in repro.sim.perf."""
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.memory import MemorySystem
+from repro.sim.perf import PerfInput, solve_tick
+from tests.conftest import make_bg, make_fg
+
+
+class TestFastPathMatchesReferenceModel:
+    def test_single_tick_instruction_counts(self):
+        """The machine's inlined fixed point must agree with solve_tick."""
+        config = MachineConfig(
+            seed=3, os_jitter_sigma=0.0, timer_jitter_prob=0.0,
+            cache_inertia_tau_s=0.0,
+        )
+        machine = Machine(config)
+        fg = machine.spawn(make_fg(), core=0)
+        bg = machine.spawn(make_bg(), core=1)
+        machine.settle_cache()
+
+        # Build the reference inputs exactly as the machine would.
+        inputs = []
+        for proc in (fg, bg):
+            phase = proc.current_phase()
+            inputs.append(
+                PerfInput(
+                    freq_ghz=2.0,
+                    base_cpi=phase.base_cpi,
+                    mpki=phase.mpki(machine.cache.effective_ways(proc.core)),
+                    mem_sensitivity=phase.mem_sensitivity,
+                    jitter=1.0,
+                )
+            )
+        memory = MemorySystem(config)
+        outputs, rho = solve_tick(inputs, memory, rho_hint=0.0, iterations=3)
+
+        machine.tick()
+        dt = config.tick_s
+        # The machine's inline loop skips solve_tick's final
+        # re-evaluation at the converged rho (a deliberate fast-path
+        # economy), so agreement is to fixed-point tolerance, not ULPs.
+        assert machine.read_counters(0).instructions == pytest.approx(
+            outputs[0].ips * dt, rel=1e-3
+        )
+        assert machine.read_counters(1).instructions == pytest.approx(
+            outputs[1].ips * dt, rel=1e-3
+        )
+        assert machine.rho == pytest.approx(rho, rel=1e-3)
+
+    def test_miss_counts_match(self):
+        config = MachineConfig(
+            seed=3, os_jitter_sigma=0.0, timer_jitter_prob=0.0,
+            cache_inertia_tau_s=0.0,
+        )
+        machine = Machine(config)
+        proc = machine.spawn(make_bg(), core=2)
+        machine.settle_cache()
+        phase = proc.current_phase()
+        mpki = phase.mpki(machine.cache.effective_ways(2))
+        machine.tick()
+        snap = machine.read_counters(2)
+        assert snap.mpki == pytest.approx(mpki, rel=1e-6)
+
+    def test_accesses_follow_apki(self):
+        config = MachineConfig(seed=3, os_jitter_sigma=0.0)
+        machine = Machine(config)
+        proc = machine.spawn(make_fg(), core=0)
+        machine.run_ticks(10)
+        snap = machine.read_counters(0)
+        phase = proc.spec.phases[0]
+        assert snap.llc_accesses / snap.instructions * 1000 == pytest.approx(
+            phase.apki, rel=1e-6
+        )
+
+    def test_energy_conservation_of_time(self):
+        # cycles == frequency * busy time when no overhead is charged.
+        config = MachineConfig(seed=3, os_jitter_sigma=0.0)
+        machine = Machine(config)
+        machine.spawn(make_fg(), core=0)
+        machine.run_ticks(100)
+        snap = machine.read_counters(0)
+        assert snap.cycles == pytest.approx(2.0e9 * 0.1, rel=1e-9)

@@ -1,0 +1,89 @@
+"""Property-based invariants of the machine over generated workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.workloads.tracegen import WorkloadGenerator
+
+
+def build_random_machine(seed, num_bg):
+    config = MachineConfig(seed=seed)
+    machine = Machine(config)
+    gen = WorkloadGenerator(seed=seed)
+    machine.spawn(gen.foreground(target_standalone_s=0.3), core=0)
+    for core in range(1, 1 + num_bg):
+        machine.spawn(gen.background(total_instructions=5e9), core=core)
+    return machine
+
+
+class TestMachineInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        num_bg=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_counters_monotone_and_consistent(self, seed, num_bg):
+        machine = build_random_machine(seed, num_bg)
+        previous = [machine.read_counters(c) for c in range(6)]
+        for _ in range(10):
+            machine.run_ticks(20)
+            for core in range(6):
+                snap = machine.read_counters(core)
+                prev = previous[core]
+                assert snap.instructions >= prev.instructions
+                assert snap.llc_misses >= prev.llc_misses
+                assert snap.llc_accesses >= snap.llc_misses - 1e-9
+                assert snap.cycles >= prev.cycles
+                previous[core] = snap
+
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        num_bg=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_rho_bounded(self, seed, num_bg):
+        machine = build_random_machine(seed, num_bg)
+        for _ in range(30):
+            machine.tick()
+            assert 0.0 <= machine.rho <= machine.config.mem_rho_cap + 1e-12
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_process_progress_matches_core_counters(self, seed):
+        machine = build_random_machine(seed, num_bg=2)
+        machine.run_ticks(300)
+        for proc in machine.background_processes:
+            snap = machine.read_counters(proc.core)
+            assert snap.instructions == pytest.approx(proc.progress, rel=1e-9)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        grade=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_cache_occupancy_bounded_by_capacity(self, seed, grade):
+        machine = build_random_machine(seed, num_bg=4)
+        machine.set_frequency_grade(1, grade)
+        machine.set_fg_partition([0], fg_ways=6)
+        for _ in range(20):
+            machine.run_ticks(10)
+            total = sum(
+                machine.cache.effective_ways(c) for c in range(6)
+            )
+            assert total <= machine.config.llc_ways + 1e-6
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_completion_records_are_ordered_and_positive(self, seed):
+        machine = build_random_machine(seed, num_bg=3)
+        records = []
+        machine.add_completion_listener(lambda p, r: records.append(r))
+        machine.run_seconds(1.2)
+        for earlier, later in zip(records, records[1:]):
+            assert later.end_s >= earlier.end_s
+        for record in records:
+            assert record.duration_s > 0
+            assert record.instructions > 0

@@ -1,0 +1,93 @@
+"""Unit tests for repro.sim.memory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.config import MachineConfig
+from repro.sim.memory import MemorySystem
+
+
+@pytest.fixture
+def memory():
+    return MemorySystem(MachineConfig(seed=1))
+
+
+class TestPenalty:
+    def test_unloaded_penalty_is_base(self, memory):
+        assert memory.penalty_ns(0.0) == pytest.approx(80.0)
+
+    def test_penalty_grows_with_rho(self, memory):
+        assert memory.penalty_ns(0.5) > memory.penalty_ns(0.1)
+
+    def test_penalty_capped_at_rho_cap(self, memory):
+        assert memory.penalty_ns(0.99) == memory.penalty_ns(0.95)
+
+    def test_penalty_formula(self, memory):
+        cfg = MachineConfig()
+        rho = 0.4
+        expected = cfg.mem_base_latency_ns * (
+            1 + cfg.mem_contention_scale * rho / (1 - rho)
+        )
+        assert memory.penalty_ns(rho) == pytest.approx(expected)
+
+    def test_negative_rho_rejected(self, memory):
+        with pytest.raises(SimulationError):
+            memory.penalty_ns(-0.1)
+
+    @given(st.floats(min_value=0.0, max_value=0.94))
+    @settings(max_examples=50, deadline=None)
+    def test_penalty_monotone(self, rho):
+        memory = MemorySystem(MachineConfig(seed=1))
+        assert memory.penalty_ns(rho + 0.01) >= memory.penalty_ns(rho)
+
+
+class TestUtilization:
+    def test_zero_misses_zero_rho(self, memory):
+        assert memory.utilization_for(0.0) == 0.0
+
+    def test_utilization_linear_in_misses(self, memory):
+        low = memory.utilization_for(1e6)
+        high = memory.utilization_for(2e6)
+        assert high == pytest.approx(2 * low)
+
+    def test_utilization_capped(self, memory):
+        assert memory.utilization_for(1e12) == pytest.approx(0.95)
+
+    def test_utilization_formula(self):
+        cfg = MachineConfig(mem_peak_gbps=4.0, cache_line_bytes=64)
+        memory = MemorySystem(cfg)
+        # 1e7 misses/s * 64 B = 0.64 GB/s of 4 GB/s peak.
+        assert memory.utilization_for(1e7) == pytest.approx(0.16)
+
+    def test_negative_misses_rejected(self, memory):
+        with pytest.raises(SimulationError):
+            memory.utilization_for(-1.0)
+
+
+class TestState:
+    def test_update_records_rho(self, memory):
+        memory.update(1e7)
+        assert memory.rho == pytest.approx(memory.utilization_for(1e7))
+
+    def test_update_returns_penalty(self, memory):
+        penalty = memory.update(1e7)
+        assert penalty == pytest.approx(memory.penalty_ns(memory.rho))
+
+    def test_observe_records_capped_rho(self, memory):
+        memory.observe(0.99)
+        assert memory.rho == pytest.approx(0.95)
+
+    def test_observe_rejects_negative(self, memory):
+        with pytest.raises(SimulationError):
+            memory.observe(-0.1)
+
+    def test_accessors(self, memory):
+        cfg = MachineConfig()
+        assert memory.base_latency_ns == cfg.mem_base_latency_ns
+        assert memory.contention_scale == cfg.mem_contention_scale
+        assert memory.rho_cap == cfg.mem_rho_cap
+        assert memory.seconds_per_miss_at_peak == pytest.approx(
+            cfg.cache_line_bytes / (cfg.mem_peak_gbps * 1e9)
+        )

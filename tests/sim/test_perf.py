@@ -1,0 +1,103 @@
+"""Unit tests for repro.sim.perf (the analytic CPI model)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.config import MachineConfig
+from repro.sim.memory import MemorySystem
+from repro.sim.perf import PerfInput, solve_tick
+
+
+@pytest.fixture
+def memory():
+    return MemorySystem(MachineConfig(seed=1))
+
+
+def entry(freq=2.0, base_cpi=1.0, mpki=0.0, sens=1.0, jitter=1.0):
+    return PerfInput(
+        freq_ghz=freq,
+        base_cpi=base_cpi,
+        mpki=mpki,
+        mem_sensitivity=sens,
+        jitter=jitter,
+    )
+
+
+class TestSingleProcess:
+    def test_no_misses_pure_frequency_scaling(self, memory):
+        outputs, rho = solve_tick([entry(freq=2.0, base_cpi=1.0)], memory)
+        assert outputs[0].ips == pytest.approx(2e9)
+        assert rho == 0.0
+
+    def test_half_frequency_halves_compute_bound_ips(self, memory):
+        full, _ = solve_tick([entry(freq=2.0)], memory)
+        half, _ = solve_tick([entry(freq=1.0)], memory)
+        assert half[0].ips == pytest.approx(full[0].ips / 2)
+
+    def test_memory_bound_process_insensitive_to_frequency(self, memory):
+        # With a huge miss rate the stall term dominates and wall-clock
+        # progress barely moves with frequency.
+        fast, _ = solve_tick([entry(freq=2.0, mpki=50.0)], memory)
+        slow, _ = solve_tick([entry(freq=1.2, mpki=50.0)], memory)
+        assert slow[0].ips / fast[0].ips > 0.9
+
+    def test_misses_slow_execution(self, memory):
+        clean, _ = solve_tick([entry(mpki=0.0)], memory)
+        missy, _ = solve_tick([entry(mpki=5.0)], memory)
+        assert missy[0].ips < clean[0].ips
+
+    def test_mem_sensitivity_scales_stall(self, memory):
+        tolerant, _ = solve_tick([entry(mpki=10.0, sens=0.5)], memory)
+        exposed, _ = solve_tick([entry(mpki=10.0, sens=1.0)], memory)
+        assert tolerant[0].ips > exposed[0].ips
+
+    def test_jitter_multiplies_rate(self, memory):
+        base, _ = solve_tick([entry()], memory)
+        shaken, _ = solve_tick([entry(jitter=0.9)], memory)
+        assert shaken[0].ips == pytest.approx(base[0].ips * 0.9)
+
+    def test_miss_rate_consistent_with_ips(self, memory):
+        outputs, _ = solve_tick([entry(mpki=4.0)], memory)
+        out = outputs[0]
+        assert out.miss_rate == pytest.approx(out.ips * 4.0 / 1000.0)
+
+
+class TestContention:
+    def test_contention_couples_processes(self, memory):
+        alone, _ = solve_tick([entry(mpki=8.0)], memory)
+        crowd_inputs = [entry(mpki=8.0)] + [entry(mpki=30.0)] * 5
+        crowd, rho = solve_tick(crowd_inputs, memory)
+        assert crowd[0].ips < alone[0].ips
+        assert rho > 0.1
+
+    def test_rho_reflects_total_traffic(self, memory):
+        _, rho_small = solve_tick([entry(mpki=5.0)], memory)
+        _, rho_big = solve_tick([entry(mpki=5.0)] * 6, memory)
+        assert rho_big > rho_small
+
+    def test_fixed_point_stable_from_any_hint(self, memory):
+        inputs = [entry(mpki=20.0)] * 4
+        out_cold, rho_cold = solve_tick(inputs, memory, rho_hint=0.0,
+                                        iterations=30)
+        out_hot, rho_hot = solve_tick(inputs, memory, rho_hint=0.9,
+                                      iterations=30)
+        assert rho_cold == pytest.approx(rho_hot, rel=1e-3)
+        assert out_cold[0].ips == pytest.approx(out_hot[0].ips, rel=1e-3)
+
+    def test_empty_inputs(self, memory):
+        outputs, rho = solve_tick([], memory)
+        assert outputs == []
+        assert rho == 0.0
+
+    def test_invalid_iterations_rejected(self, memory):
+        with pytest.raises(SimulationError):
+            solve_tick([], memory, iterations=0)
+
+    def test_outputs_align_with_inputs(self, memory):
+        inputs = [entry(mpki=0.0), entry(mpki=30.0)]
+        outputs, _ = solve_tick(inputs, memory)
+        assert outputs[0].ips > outputs[1].ips
+
+    def test_cycles_per_s_is_frequency(self, memory):
+        outputs, _ = solve_tick([entry(freq=1.4, mpki=10.0)], memory)
+        assert outputs[0].cycles_per_s == pytest.approx(1.4e9)

@@ -1,0 +1,160 @@
+"""Unit tests for repro.sim.process."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError, WorkloadError
+from repro.sim.process import STATE_PAUSED, STATE_RUNNING, Process
+from tests.conftest import make_bg, make_fg, make_phase
+
+
+def fg_process(**kwargs):
+    return Process(pid=1, spec=make_fg(), core=0, **kwargs)
+
+
+def bg_process(**kwargs):
+    return Process(pid=2, spec=make_bg(), core=1, **kwargs)
+
+
+class TestLifecycle:
+    def test_starts_running(self):
+        proc = fg_process()
+        assert proc.is_running
+        assert proc.state == STATE_RUNNING
+
+    def test_pause_resume(self):
+        proc = bg_process()
+        proc.pause()
+        assert proc.state == STATE_PAUSED
+        assert not proc.is_running
+        proc.resume()
+        assert proc.is_running
+
+    def test_negative_core_rejected(self):
+        with pytest.raises(SimulationError):
+            Process(pid=1, spec=make_fg(), core=-1)
+
+
+class TestProgress:
+    def test_advance_accumulates(self):
+        proc = fg_process()
+        proc.advance(1e6, 50.0)
+        proc.advance(2e6, 25.0)
+        assert proc.progress == pytest.approx(3e6)
+        assert proc.execution_misses == pytest.approx(75.0)
+
+    def test_advance_rejects_negative(self):
+        proc = fg_process()
+        with pytest.raises(SimulationError):
+            proc.advance(-1.0, 0.0)
+        with pytest.raises(SimulationError):
+            proc.advance(1.0, -1.0)
+
+    def test_remaining_instructions(self):
+        proc = fg_process()
+        total = proc.target_instructions
+        proc.advance(total / 4, 0)
+        assert proc.remaining_instructions() == pytest.approx(total * 0.75)
+
+    def test_remaining_is_fg_only(self):
+        with pytest.raises(SimulationError):
+            bg_process().remaining_instructions()
+
+
+class TestPhaseCursor:
+    def test_first_phase_at_start(self):
+        proc = fg_process()
+        assert proc.current_phase().name == "compute"
+
+    def test_phase_advances_with_progress(self):
+        proc = fg_process()
+        first = proc.spec.phases[0].instructions
+        proc.advance(first + 1, 0)
+        assert proc.current_phase().name == "memory"
+
+    def test_bg_phase_wraps(self):
+        proc = bg_process()
+        total = proc.spec.total_instructions
+        proc.advance(total + 1, 0)
+        assert proc.current_phase().name == "heavy"
+
+    def test_bg_phase_wraps_into_second_phase(self):
+        proc = bg_process()
+        total = proc.spec.total_instructions
+        first = proc.spec.phases[0].instructions
+        proc.advance(total + first + 1, 0)
+        assert proc.current_phase().name == "calm"
+
+    def test_fg_overrun_stays_in_last_phase(self):
+        spec = make_fg(input_noise=0.0)
+        proc = Process(pid=1, spec=spec, core=0)
+        proc.advance(spec.total_instructions * 1.5, 0)
+        assert proc.current_phase().name == spec.phases[-1].name
+
+    def test_cursor_can_seek_backwards_after_reset(self):
+        proc = fg_process()
+        proc.advance(proc.spec.total_instructions * 0.9, 0)
+        proc.complete_execution(end_s=1.0)
+        assert proc.current_phase().name == "compute"
+
+
+class TestCompletion:
+    def test_complete_returns_record(self):
+        proc = fg_process()
+        total = proc.target_instructions
+        proc.advance(total, 123.0)
+        record = proc.complete_execution(end_s=0.5)
+        assert record.index == 0
+        assert record.start_s == 0.0
+        assert record.end_s == 0.5
+        assert record.duration_s == pytest.approx(0.5)
+        assert record.instructions == pytest.approx(total)
+        assert record.llc_misses == pytest.approx(123.0)
+
+    def test_complete_resets_for_next_execution(self):
+        proc = fg_process()
+        proc.advance(proc.target_instructions, 1.0)
+        proc.complete_execution(end_s=0.5)
+        assert proc.progress == 0.0
+        assert proc.execution_misses == 0.0
+        assert proc.execution_index == 1
+        assert proc.execution_start_s == 0.5
+
+    def test_complete_is_fg_only(self):
+        with pytest.raises(SimulationError):
+            bg_process().complete_execution(end_s=1.0)
+
+    def test_input_noise_varies_target(self):
+        spec = make_fg(input_noise=0.05)
+        rng = random.Random(3)
+        proc = Process(pid=1, spec=spec, core=0, input_rng=rng)
+        targets = set()
+        for i in range(5):
+            targets.add(proc.target_instructions)
+            proc.advance(proc.target_instructions, 0)
+            proc.complete_execution(end_s=float(i))
+        assert len(targets) > 1
+
+    def test_no_noise_target_is_exact(self):
+        proc = fg_process()
+        assert proc.target_instructions == proc.spec.total_instructions
+
+
+class TestSwitchSpec:
+    def test_switch_resets_progress(self):
+        proc = bg_process()
+        proc.advance(5e8, 10.0)
+        other = make_bg(name="other")
+        proc.switch_spec(other, now_s=2.0)
+        assert proc.spec.name == "other"
+        assert proc.progress == 0.0
+        assert proc.current_phase().name == other.phases[0].name
+
+    def test_switch_to_fg_rejected(self):
+        with pytest.raises(WorkloadError):
+            bg_process().switch_spec(make_fg(), now_s=0.0)
+
+    def test_switch_fg_process_rejected(self):
+        with pytest.raises(SimulationError):
+            fg_process().switch_spec(make_bg(), now_s=0.0)

@@ -1,0 +1,101 @@
+"""Tests for the telemetry tracer and sparkline renderer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.machine import Machine
+from repro.sim.trace import MachineTracer, sparkline
+from tests.conftest import make_bg, make_fg
+
+
+@pytest.fixture
+def traced_machine(quiet_config):
+    machine = Machine(quiet_config)
+    machine.spawn(make_fg(), core=0)
+    machine.spawn(make_bg(), core=1)
+    tracer = MachineTracer(machine, period_s=5e-3)
+    tracer.start()
+    return machine, tracer
+
+
+class TestMachineTracer:
+    def test_samples_on_period(self, traced_machine):
+        machine, tracer = traced_machine
+        machine.run_seconds(0.1)
+        assert 18 <= len(tracer.samples) <= 21
+
+    def test_sample_contents(self, traced_machine):
+        machine, tracer = traced_machine
+        machine.run_seconds(0.02)
+        sample = tracer.samples[0]
+        assert sample.time_s > 0
+        assert len(sample.frequencies_ghz) == 6
+        assert sample.frequencies_ghz[0] == 2.0
+        assert sample.rho >= 0
+        assert sample.paused == 0
+        assert len(sample.effective_ways) == 6
+
+    def test_records_frequency_changes(self, traced_machine):
+        machine, tracer = traced_machine
+        machine.run_seconds(0.02)
+        machine.set_frequency_grade(1, 0)
+        machine.run_seconds(0.02)
+        freqs = tracer.series("frequency", core=1)
+        assert freqs[0] == 2.0
+        assert freqs[-1] == 1.2
+
+    def test_records_pauses(self, traced_machine):
+        machine, tracer = traced_machine
+        bg = machine.background_processes[0]
+        machine.pause(bg.pid)
+        machine.run_seconds(0.02)
+        assert tracer.series("paused")[-1] == 1.0
+
+    def test_stop_halts_sampling(self, traced_machine):
+        machine, tracer = traced_machine
+        machine.run_seconds(0.02)
+        tracer.stop()
+        count = len(tracer.samples)
+        machine.run_seconds(0.02)
+        assert len(tracer.samples) == count
+
+    def test_series_validation(self, traced_machine):
+        machine, tracer = traced_machine
+        machine.run_seconds(0.01)
+        with pytest.raises(SimulationError):
+            tracer.series("frequency")
+        with pytest.raises(SimulationError):
+            tracer.series("bogus")
+
+    def test_double_start_rejected(self, traced_machine):
+        _, tracer = traced_machine
+        with pytest.raises(SimulationError):
+            tracer.start()
+
+    def test_invalid_period_rejected(self, quiet_machine):
+        with pytest.raises(SimulationError):
+            MachineTracer(quiet_machine, period_s=0.0)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        line = sparkline([1.0] * 10, width=10)
+        assert len(line) == 10
+        assert len(set(line)) == 1
+
+    def test_ramp_is_monotone(self):
+        line = sparkline([float(i) for i in range(10)], width=10)
+        glyph_order = " .:-=+*#%@"
+        ranks = [glyph_order.index(ch) for ch in line]
+        assert ranks == sorted(ranks)
+
+    def test_width_buckets(self):
+        line = sparkline([float(i) for i in range(100)], width=10)
+        assert len(line) == 10
+
+    def test_invalid_width(self):
+        with pytest.raises(SimulationError):
+            sparkline([1.0], width=0)

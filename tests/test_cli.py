@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.experiments.figures import FIGURES
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_figure_command_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "nope"])
+
+    def test_figure_options(self):
+        args = build_parser().parse_args(
+            ["figure", "fig4", "--executions", "7", "--seed", "3",
+             "--max-rows", "2"]
+        )
+        assert args.name == "fig4"
+        assert args.executions == 7
+        assert args.seed == 3
+        assert args.max_rows == 2
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(FIGURES)
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "bodytrack" in out
+        assert "Rotate BG" in out
+
+    def test_figure_runs_driver(self, capsys):
+        assert main(["figure", "fig6", "--executions", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Prediction Trace" in out
+
+    def test_figure_max_rows_truncates(self, capsys):
+        assert main(
+            ["figure", "fig6", "--executions", "8", "--max-rows", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "more rows" in out

@@ -1,0 +1,28 @@
+"""Every example script must at least parse and compile."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3  # deliverable: at least three examples
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_docstring_and_main(path):
+    source = path.read_text()
+    assert source.lstrip().startswith('"""')
+    assert 'if __name__ == "__main__":' in source

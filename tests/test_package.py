@@ -1,0 +1,62 @@
+"""Tests of the public package surface and error hierarchy."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    ControlError,
+    ExperimentError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points_exposed(self):
+        assert repro.Machine
+        assert repro.DirigentRuntime
+        assert repro.OfflineProfiler
+        assert repro.CompletionTimePredictor
+        assert len(repro.PAPER_POLICIES) == 5
+
+    def test_subpackage_all_names_resolve(self):
+        import repro.core
+        import repro.experiments
+        import repro.sim
+        import repro.workloads
+
+        for module in (repro.core, repro.experiments, repro.sim,
+                       repro.workloads):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            SimulationError,
+            WorkloadError,
+            ProfileError,
+            ControlError,
+            ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise WorkloadError("x")

@@ -1,0 +1,109 @@
+"""Unit tests for the workload catalogs (Table 1)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    ALL_WORKLOADS,
+    BACKGROUND_WORKLOADS,
+    FOREGROUND_NAMES,
+    FOREGROUND_WORKLOADS,
+    ROTATE_COMPONENTS,
+    SINGLE_BG_NAMES,
+    foreground_names,
+    get_rotate_pair,
+    get_workload,
+    render_table1,
+    rotate_pair_names,
+    single_bg_names,
+    table1_rows,
+)
+
+
+class TestForegroundCatalog:
+    def test_five_fg_benchmarks(self):
+        assert set(FOREGROUND_NAMES) == {
+            "bodytrack", "ferret", "fluidanimate", "raytrace", "streamcluster",
+        }
+
+    def test_all_fg_are_foreground_kind(self):
+        for spec in FOREGROUND_WORKLOADS.values():
+            assert spec.is_foreground
+
+    def test_fg_have_enough_segments_for_sampling(self):
+        # The paper's 5ms sampling yields 100+ segments; standalone times
+        # must therefore exceed ~0.5s => more than 0.7e9 instructions.
+        for spec in FOREGROUND_WORKLOADS.values():
+            assert spec.total_instructions > 0.7e9
+
+    def test_fg_have_multiple_phases(self):
+        # Progress must differ between segments (Section 4.1), which
+        # requires phase structure.
+        for spec in FOREGROUND_WORKLOADS.values():
+            assert len(spec.phases) >= 3
+
+    def test_fg_input_noise_small(self):
+        for spec in FOREGROUND_WORKLOADS.values():
+            assert 0 < spec.input_noise < 0.02
+
+
+class TestBackgroundCatalog:
+    def test_single_bg_names(self):
+        assert set(SINGLE_BG_NAMES) == {"bwaves", "pca", "rs"}
+
+    def test_rotate_components(self):
+        assert set(ROTATE_COMPONENTS) == {"namd", "soplex", "libquantum", "lbm"}
+
+    def test_all_bg_are_background_kind(self):
+        for spec in BACKGROUND_WORKLOADS.values():
+            assert not spec.is_foreground
+
+    def test_single_bg_have_phase_contrast(self):
+        # Phase-change behaviour: max phase APKI must dwarf the min.
+        for name in SINGLE_BG_NAMES:
+            spec = BACKGROUND_WORKLOADS[name]
+            apkis = [p.apki for p in spec.phases]
+            assert max(apkis) / min(apkis) > 3.0
+
+
+class TestLookups:
+    def test_get_workload(self):
+        assert get_workload("ferret").name == "ferret"
+        assert get_workload("lbm").name == "lbm"
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nope")
+
+    def test_get_rotate_pair(self):
+        pair = get_rotate_pair("lbm+namd")
+        assert pair.first.name == "lbm"
+        assert pair.second.name == "namd"
+
+    def test_get_rotate_pair_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_rotate_pair("a+b")
+
+    def test_rotate_pair_names_match_paper(self):
+        assert set(rotate_pair_names()) == {
+            "lbm+namd", "libquantum+namd", "lbm+soplex", "libquantum+soplex",
+        }
+
+    def test_name_helpers_are_consistent(self):
+        assert foreground_names() == FOREGROUND_NAMES
+        assert set(single_bg_names()) <= set(ALL_WORKLOADS)
+
+
+class TestTable1:
+    def test_rows_cover_all_benchmarks(self):
+        rows = table1_rows()
+        assert len(rows) == 5 + 3 + 4
+
+    def test_row_types(self):
+        kinds = {row[0] for row in table1_rows()}
+        assert kinds == {"FG", "Single BG", "Rotate BG"}
+
+    def test_render_contains_names(self):
+        text = render_table1()
+        for name in ("bodytrack", "bwaves", "libquantum"):
+            assert name in text

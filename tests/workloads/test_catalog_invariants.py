@@ -1,0 +1,90 @@
+"""Pure-data invariants every catalog workload must satisfy.
+
+These guard the calibration: if a future edit to the catalog breaks one
+of the structural assumptions the model or the controllers rely on, a
+test here fails immediately (no simulation needed).
+"""
+
+import pytest
+
+from repro.workloads.catalog import ALL_WORKLOADS
+from repro.workloads.parsec import FOREGROUND_WORKLOADS
+from repro.workloads.background import (
+    ROTATE_COMPONENTS,
+    SINGLE_BG_WORKLOADS,
+)
+
+ALL_NAMES = sorted(ALL_WORKLOADS)
+FG_NAMES = sorted(FOREGROUND_WORKLOADS)
+BG_NAMES = sorted(SINGLE_BG_WORKLOADS) + sorted(ROTATE_COMPONENTS)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryWorkload:
+    def test_phase_names_unique(self, name):
+        spec = ALL_WORKLOADS[name]
+        names = [p.name for p in spec.phases]
+        assert len(set(names)) == len(names)
+
+    def test_accesses_dominate_misses(self, name):
+        # APKI is the occupancy weight; it must be at least the worst-case
+        # miss intensity or the cache model would be inconsistent.
+        spec = ALL_WORKLOADS[name]
+        for phase in spec.phases:
+            assert phase.apki >= phase.mpki_peak, phase.name
+
+    def test_miss_curves_meaningful(self, name):
+        # Every phase must actually respond to cache allocation at the
+        # machine's scale: the curve at 20 ways must sit below the peak.
+        spec = ALL_WORKLOADS[name]
+        for phase in spec.phases:
+            assert phase.mpki(20) < phase.mpki_peak + 1e-9
+            assert phase.mpki(0) == pytest.approx(phase.mpki_peak)
+
+    def test_cpi_in_sane_range(self, name):
+        spec = ALL_WORKLOADS[name]
+        for phase in spec.phases:
+            assert 0.3 <= phase.base_cpi <= 1.5, phase.name
+
+    def test_sensitivity_in_unit_range(self, name):
+        spec = ALL_WORKLOADS[name]
+        for phase in spec.phases:
+            assert 0.3 <= phase.mem_sensitivity <= 1.0, phase.name
+
+
+@pytest.mark.parametrize("name", FG_NAMES)
+class TestForegroundInvariants:
+    def test_phase_sizes_support_sampling(self, name):
+        # Every FG phase must span several 5 ms sampling segments at
+        # ~2.5e9 instructions/s, or the profiler's segment structure
+        # degenerates.
+        spec = FOREGROUND_WORKLOADS[name]
+        for phase in spec.phases:
+            approx_seconds = phase.instructions / 2.5e9
+            assert approx_seconds > 0.03, phase.name
+
+    def test_progress_rates_differ_across_phases(self, name):
+        # Section 4.1: progress differs between segments because the
+        # instruction mix differs; require some CPI or MPKI contrast.
+        spec = FOREGROUND_WORKLOADS[name]
+        cpis = [p.base_cpi for p in spec.phases]
+        mpkis = [p.mpki_floor for p in spec.phases]
+        assert max(cpis) / min(cpis) > 1.05 or max(mpkis) / min(mpkis) > 1.5
+
+
+@pytest.mark.parametrize("name", BG_NAMES)
+class TestBackgroundInvariants:
+    def test_bg_loops_long_enough(self, name):
+        # BG phase programs must span multiple FG executions so phase
+        # changes create task-to-task variation (DESIGN.md §2).
+        spec = ALL_WORKLOADS[name]
+        assert spec.total_instructions > 5e9
+
+    def test_bg_has_no_input_noise(self, name):
+        assert ALL_WORKLOADS[name].input_noise == 0.0
+
+    def test_heavy_phase_present(self, name):
+        # Every batch workload needs at least one phase with real cache
+        # pressure; otherwise it creates no interference to manage.
+        spec = ALL_WORKLOADS[name]
+        assert max(p.apki for p in spec.phases) >= 4.0

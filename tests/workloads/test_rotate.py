@@ -1,0 +1,86 @@
+"""Unit tests for rotate-BG workloads."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.workloads import (
+    ROTATE_PAIRS,
+    RotateManager,
+    make_pair,
+    spawn_rotating_background,
+)
+from tests.conftest import make_fg, run_executions
+
+
+class TestMakePair:
+    def test_name_composition(self):
+        pair = make_pair("lbm", "soplex")
+        assert pair.name == "lbm+soplex"
+        assert pair.components[0].name == "lbm"
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_pair("lbm", "bwaves")  # bwaves is not a rotate component
+
+    def test_paper_pairs_exist(self):
+        assert len(ROTATE_PAIRS) == 4
+
+
+class TestRotateManager:
+    def _machine_with_rotation(self, seed=5):
+        machine = Machine(MachineConfig(seed=seed))
+        machine.spawn(make_fg(), core=0)
+        procs = spawn_rotating_background(
+            machine, ROTATE_PAIRS["lbm+namd"], cores=range(1, 6), seed=seed
+        )
+        return machine, procs
+
+    def test_initial_components_alternate(self):
+        machine, procs = self._machine_with_rotation()
+        names = [p.spec.name for p in procs]
+        assert names == ["lbm", "namd", "lbm", "namd", "lbm"]
+
+    def test_rotation_on_fg_completion(self):
+        machine, procs = self._machine_with_rotation()
+        run_executions(machine, 6)
+        names = {p.spec.name for p in procs}
+        assert names <= {"lbm", "namd"}
+        # After several completions at least one switch must have happened.
+        # (Probability of zero switches in 30 coin flips is negligible.)
+        assert any(p.progress < p.spec.total_instructions for p in procs)
+
+    def test_rotation_is_seeded(self):
+        def trace(seed):
+            machine = Machine(MachineConfig(seed=seed))
+            machine.spawn(make_fg(), core=0)
+            procs = spawn_rotating_background(
+                machine, ROTATE_PAIRS["lbm+namd"], cores=range(1, 6), seed=seed
+            )
+            run_executions(machine, 4)
+            return [p.spec.name for p in procs]
+
+        assert trace(5) == trace(5)
+
+    def test_manager_rejects_fg_processes(self):
+        machine = Machine(MachineConfig(seed=1))
+        fg = machine.spawn(make_fg(), core=0)
+        with pytest.raises(WorkloadError):
+            RotateManager(machine, ROTATE_PAIRS["lbm+namd"], [fg])
+
+    def test_manager_rejects_empty(self):
+        machine = Machine(MachineConfig(seed=1))
+        with pytest.raises(WorkloadError):
+            RotateManager(machine, ROTATE_PAIRS["lbm+namd"], [])
+
+    def test_switch_count_advances(self):
+        machine, procs = self._machine_with_rotation()
+        managers = [
+            listener.__self__
+            for listener in machine._completion_listeners
+            if isinstance(getattr(listener, "__self__", None), RotateManager)
+        ]
+        assert len(managers) == 1
+        run_executions(machine, 8)
+        assert managers[0].switch_count > 0

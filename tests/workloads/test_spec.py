@@ -1,0 +1,147 @@
+"""Unit tests for repro.workloads.spec."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.spec import (
+    KIND_BG,
+    KIND_FG,
+    PhaseSpec,
+    WorkloadSpec,
+    uniform_workload,
+)
+from tests.conftest import make_phase
+
+
+class TestPhaseSpecValidation:
+    def test_valid_phase(self):
+        assert make_phase().name == "p"
+
+    def test_nonpositive_instructions(self):
+        with pytest.raises(WorkloadError):
+            make_phase(instructions=0)
+
+    def test_nonpositive_cpi(self):
+        with pytest.raises(WorkloadError):
+            make_phase(base_cpi=0)
+
+    def test_negative_apki(self):
+        with pytest.raises(WorkloadError):
+            make_phase(apki=-1)
+
+    def test_negative_floor(self):
+        with pytest.raises(WorkloadError):
+            make_phase(mpki_floor=-0.1)
+
+    def test_peak_below_floor(self):
+        with pytest.raises(WorkloadError):
+            make_phase(mpki_floor=2.0, mpki_peak=1.0)
+
+    def test_nonpositive_ways_scale(self):
+        with pytest.raises(WorkloadError):
+            make_phase(ways_scale=0)
+
+    def test_negative_sensitivity(self):
+        with pytest.raises(WorkloadError):
+            make_phase(mem_sensitivity=-0.1)
+
+
+class TestMissCurve:
+    def test_zero_ways_gives_peak(self):
+        phase = make_phase(mpki_floor=1.0, mpki_peak=5.0)
+        assert phase.mpki(0.0) == pytest.approx(5.0)
+
+    def test_large_allocation_approaches_floor(self):
+        phase = make_phase(mpki_floor=1.0, mpki_peak=5.0, ways_scale=2.0)
+        assert phase.mpki(100.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_negative_ways_clamped(self):
+        phase = make_phase(mpki_floor=1.0, mpki_peak=5.0)
+        assert phase.mpki(-3.0) == phase.mpki(0.0)
+
+    def test_exponential_form(self):
+        phase = make_phase(mpki_floor=1.0, mpki_peak=5.0, ways_scale=4.0)
+        expected = 1.0 + 4.0 * math.exp(-2.0 / 4.0)
+        assert phase.mpki(2.0) == pytest.approx(expected)
+
+    @given(
+        ways=st.floats(min_value=0.0, max_value=64.0),
+        delta=st.floats(min_value=0.01, max_value=8.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_decreasing(self, ways, delta):
+        phase = make_phase(mpki_floor=0.5, mpki_peak=6.0, ways_scale=3.0)
+        assert phase.mpki(ways + delta) <= phase.mpki(ways)
+
+    @given(ways=st.floats(min_value=0.0, max_value=64.0))
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_by_floor_and_peak(self, ways):
+        phase = make_phase(mpki_floor=0.5, mpki_peak=6.0, ways_scale=3.0)
+        assert 0.5 <= phase.mpki(ways) <= 6.0
+
+
+class TestWorkloadSpec:
+    def test_kind_validated(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="x", kind="other", phases=(make_phase(),))
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="x", kind=KIND_FG, phases=())
+
+    def test_input_noise_bounds(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(
+                name="x", kind=KIND_FG, phases=(make_phase(),), input_noise=0.6
+            )
+
+    def test_is_foreground(self):
+        fg = WorkloadSpec(name="f", kind=KIND_FG, phases=(make_phase(),))
+        bg = WorkloadSpec(name="b", kind=KIND_BG, phases=(make_phase(),))
+        assert fg.is_foreground
+        assert not bg.is_foreground
+
+    def test_total_instructions(self):
+        spec = WorkloadSpec(
+            name="x",
+            kind=KIND_FG,
+            phases=(make_phase(instructions=100), make_phase(instructions=50)),
+        )
+        assert spec.total_instructions == 150
+
+    def test_phase_boundaries(self):
+        spec = WorkloadSpec(
+            name="x",
+            kind=KIND_FG,
+            phases=(make_phase(instructions=100), make_phase(instructions=50)),
+        )
+        assert spec.phase_boundaries() == (100, 150)
+
+    def test_phase_at(self):
+        first = make_phase(name="a", instructions=100)
+        second = make_phase(name="b", instructions=50)
+        spec = WorkloadSpec(name="x", kind=KIND_BG, phases=(first, second))
+        assert spec.phase_at(0).name == "a"
+        assert spec.phase_at(99.9).name == "a"
+        assert spec.phase_at(100).name == "b"
+        assert spec.phase_at(160).name == "a"  # wraps
+
+    def test_phase_at_rejects_negative(self):
+        spec = WorkloadSpec(name="x", kind=KIND_BG, phases=(make_phase(),))
+        with pytest.raises(WorkloadError):
+            spec.phase_at(-1.0)
+
+
+class TestUniformWorkload:
+    def test_single_phase(self):
+        spec = uniform_workload(
+            "u", KIND_BG, instructions=1e9, base_cpi=1.0, apki=10,
+            mpki_floor=1, mpki_peak=2, ways_scale=3,
+        )
+        assert len(spec.phases) == 1
+        assert spec.total_instructions == 1e9
+        assert spec.phases[0].name == "u.main"
