@@ -18,8 +18,17 @@ import os
 
 import pytest
 
+from repro.experiments.parallel import set_default_workers
+
 #: FG executions measured per run in the benchmark suite.
 BENCH_EXECUTIONS = int(os.environ.get("REPRO_BENCH_EXECUTIONS", "30"))
+
+#: Worker processes for figure sweeps inside the benchmark suite; the
+#: figure drivers fan mix x policy cells through the parallel engine
+#: and share results across figures via the persistent disk cache.
+BENCH_WORKERS = os.environ.get("REPRO_BENCH_WORKERS")
+if BENCH_WORKERS:
+    set_default_workers(int(BENCH_WORKERS))
 
 
 def run_once(benchmark, fn, *args, **kwargs):

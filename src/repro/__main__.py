@@ -4,7 +4,10 @@ Usage::
 
     python -m repro list
     python -m repro figure fig10 [--executions 40] [--seed 0] [--max-rows 40]
+    python -m repro figure fig10 --workers 4
     python -m repro table1
+    python -m repro cache stats
+    python -m repro cache clear
 """
 
 from __future__ import annotations
@@ -32,7 +35,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--seed", type=int, default=0)
     fig.add_argument("--max-rows", type=int, default=0,
                      help="truncate output to this many rows (0 = all)")
+    fig.add_argument("--workers", type=int, default=None,
+                     help="worker processes for the sweep (default: "
+                          "REPRO_WORKERS or the CPU count; 1 = serial)")
     sub.add_parser("table1", help="print the benchmark inventory")
+    cache = sub.add_parser("cache", help="inspect or purge the result cache")
+    cache.add_argument("action", choices=("stats", "clear"))
     return parser
 
 
@@ -46,10 +54,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table1":
         print(render(FIGURES["table1"]()))
         return 0
+    if args.command == "cache":
+        from repro.experiments.diskcache import get_cache
+        cache = get_cache()
+        if args.action == "clear":
+            removed = cache.clear()
+            print("removed %d cached entries from %s" % (removed, cache.root))
+            return 0
+        stats = cache.stats()
+        print("cache root:    %s" % stats["root"])
+        print("enabled:       %s" % stats["enabled"])
+        print("code version:  %s" % stats["code_version"])
+        for kind, count in sorted(stats["entries"].items()):
+            print("  %-12s %d" % (kind, count))
+        print("total entries: %d (%.1f KiB)"
+              % (stats["total_entries"], stats["total_bytes"] / 1024.0))
+        return 0
     driver = FIGURES[args.name]
     kwargs = {}
     if args.executions is not None:
         kwargs["executions"] = args.executions
+    if args.workers is not None:
+        from repro.experiments.parallel import set_default_workers
+        set_default_workers(args.workers)
     result = driver(seed=args.seed, **kwargs)
     print(render(result, max_rows=args.max_rows))
     return 0

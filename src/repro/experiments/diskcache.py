@@ -1,0 +1,223 @@
+"""Persistent content-addressed cache for experiment results.
+
+Policy runs, baselines, standalone measurements, offline profiles, and
+partition-sweep results are pure functions of (machine configuration,
+workload/mix, run parameters, seed, simulator code).  This module gives
+them a durable home under ``.repro_cache/`` so repeated figure
+generation — and, crucially, parallel sweeps that fan cells out across
+worker processes — never recompute a cell twice.
+
+Keys are sha256 digests over the canonical ``repr`` of every key part
+plus a *code version tag* derived from the source bytes of the modules
+that determine simulation results; editing the simulator invalidates
+the whole cache automatically.  Values are pickled.  Writes go to a
+temporary file in the destination directory followed by an atomic
+``os.replace``, so concurrent writers (the parallel sweep engine) can
+race on the same cell safely: one of them wins, both are correct.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache root (default ``.repro_cache`` in the
+  working directory).
+* ``REPRO_CACHE=0`` — disable reads and writes entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Result namespaces; one subdirectory each.
+KINDS = ("profile", "baseline", "standalone", "partition", "run")
+
+_code_tag: Optional[str] = None
+
+
+def code_version_tag() -> str:
+    """Digest of the result-determining source files (memoized).
+
+    Covers every module of :mod:`repro.sim`, :mod:`repro.workloads`, and
+    :mod:`repro.core`, plus the harness itself: a change to any of them
+    can change simulation output, so the tag is folded into every cache
+    key and stale entries become unreachable rather than wrong.
+    """
+    global _code_tag
+    if _code_tag is None:
+        import repro.core as core_pkg
+        import repro.sim as sim_pkg
+        import repro.workloads as workloads_pkg
+
+        digest = hashlib.sha256()
+        sources = []
+        for pkg in (sim_pkg, workloads_pkg, core_pkg):
+            sources.extend(sorted(Path(pkg.__file__).parent.glob("*.py")))
+        here = Path(__file__).parent
+        sources.extend(
+            here / name for name in ("harness.py", "mixes.py", "metrics.py")
+        )
+        for source in sources:
+            digest.update(source.name.encode("utf-8"))
+            digest.update(source.read_bytes())
+        _code_tag = digest.hexdigest()[:16]
+    return _code_tag
+
+
+def cache_key(kind: str, parts: Sequence[object]) -> str:
+    """Content-addressed key for ``parts`` within the ``kind`` namespace.
+
+    Parts are folded in through their ``repr``; the frozen dataclasses
+    used as key material (``MachineConfig``, ``Mix``, ``Policy``) render
+    every field, so two cells differing in any one field — or in the
+    seed — get distinct keys.
+    """
+    digest = hashlib.sha256()
+    digest.update(code_version_tag().encode("utf-8"))
+    digest.update(b"\x1f")
+    digest.update(kind.encode("utf-8"))
+    for part in parts:
+        digest.update(b"\x1f")
+        digest.update(repr(part).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class DiskCache:
+    """Pickle store of experiment results under ``root``/``kind``/``key``."""
+
+    def __init__(
+        self, root: Optional[os.PathLike] = None, enabled: bool = True
+    ) -> None:
+        self.root = Path(root if root is not None else DEFAULT_CACHE_DIR)
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / (key + ".pkl")
+
+    def get(self, kind: str, parts: Sequence[object]) -> Tuple[bool, Any]:
+        """Look a cell up; returns ``(hit, value)``.
+
+        Unreadable or corrupt entries (killed writer, truncated disk)
+        count as misses and are deleted so they cannot wedge the cache.
+        """
+        if not self.enabled:
+            return False, None
+        path = self._path(kind, cache_key(kind, parts))
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, kind: str, parts: Sequence[object], value: Any) -> None:
+        """Store a cell (best-effort; atomic against concurrent writers)."""
+        if not self.enabled:
+            return
+        path = self._path(kind, cache_key(kind, parts))
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PickleError):
+            # A full disk or an unpicklable payload degrades to
+            # recomputation, never to a failed experiment.
+            pass
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for kind in KINDS:
+            kind_dir = self.root / kind
+            if not kind_dir.is_dir():
+                continue
+            for entry in kind_dir.glob("*.pkl"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            try:
+                kind_dir.rmdir()
+            except OSError:
+                pass
+        try:
+            self.root.rmdir()
+        except OSError:
+            pass
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry counts and byte totals per kind, plus process hit rates."""
+        entries: Dict[str, int] = {}
+        total_bytes = 0
+        for kind in KINDS:
+            kind_dir = self.root / kind
+            count = 0
+            if kind_dir.is_dir():
+                for entry in kind_dir.glob("*.pkl"):
+                    count += 1
+                    try:
+                        total_bytes += entry.stat().st_size
+                    except OSError:
+                        pass
+            entries[kind] = count
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "code_version": code_version_tag(),
+            "entries": entries,
+            "total_entries": sum(entries.values()),
+            "total_bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+_ACTIVE: Optional[DiskCache] = None
+
+
+def get_cache() -> DiskCache:
+    """Process-wide cache bound to the current environment settings.
+
+    Re-reads ``REPRO_CACHE_DIR``/``REPRO_CACHE`` on every call so tests
+    (and worker processes inheriting a parent's environment) pick up
+    redirected roots without an explicit reconfiguration hook.
+    """
+    global _ACTIVE
+    root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    enabled = os.environ.get("REPRO_CACHE", "1") != "0"
+    if (
+        _ACTIVE is None
+        or str(_ACTIVE.root) != root
+        or _ACTIVE.enabled != enabled
+    ):
+        _ACTIVE = DiskCache(root, enabled)
+    return _ACTIVE

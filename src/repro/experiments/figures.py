@@ -32,7 +32,9 @@ from repro.experiments.harness import (
     measure_baseline,
     measure_standalone,
     run_policy,
+    run_policy_cached,
 )
+from repro.experiments.parallel import default_workers, run_grid
 from repro.experiments.metrics import histogram, std_reduction
 from repro.experiments.mixes import (
     Mix,
@@ -94,9 +96,33 @@ def _run(
     key = (mix.name, policy.name, executions, seed)
     result = _RUN_CACHE.get(key)
     if result is None:
-        result = run_policy(mix, policy, executions=executions, seed=seed)
+        result = run_policy_cached(mix, policy, executions=executions, seed=seed)
         _RUN_CACHE[key] = result
     return result
+
+
+def _prefetch(
+    mixes: Sequence[Mix],
+    policies: Sequence[Policy],
+    executions: int,
+    seed: int,
+) -> None:
+    """Warm the caches for a mix x policy sweep through the parallel engine.
+
+    With more than one worker available, all cells are computed by
+    :func:`repro.experiments.parallel.run_grid` (identical results to
+    the serial path) and seeded into the per-process memo; the figure
+    drivers then assemble rows from cache hits.  With one worker this is
+    a no-op and the drivers compute cells on demand, serially.
+    """
+    workers = default_workers()
+    if workers <= 1:
+        return
+    sweep = run_grid(
+        mixes, policies, executions=executions, seed=seed, workers=workers
+    )
+    for (mix_name, policy_name), result in sweep.results.items():
+        _RUN_CACHE[(mix_name, policy_name, executions, seed)] = result
 
 
 def clear_run_cache() -> None:
@@ -490,6 +516,7 @@ def _mix_policy_rows(
     mixes: Sequence[Mix], executions: int, seed: int
 ) -> List[Tuple[object, ...]]:
     rows: List[Tuple[object, ...]] = []
+    _prefetch(mixes, PAPER_POLICIES, executions, seed)
     for mix in mixes:
         baseline = measure_baseline(mix, executions=executions, seed=seed)
         for policy in PAPER_POLICIES:
@@ -557,6 +584,7 @@ def _summary(
     paper_note: str,
 ) -> FigureResult:
     rows: List[Tuple[object, ...]] = []
+    _prefetch(mixes, PAPER_POLICIES, executions, seed)
     for policy in PAPER_POLICIES:
         successes: List[float] = []
         bg_rels: List[float] = []
@@ -621,6 +649,7 @@ def fig11(
     """Figure 11: execution-time pdf curves for ferret with five RS BGs."""
     n = _executions(executions)
     mix = mix_by_name("ferret rs")
+    _prefetch([mix], PAPER_POLICIES, n, seed)
     results = {p.name: _run(mix, p, n, seed) for p in PAPER_POLICIES}
     lo = min(min(r.all_durations) for r in results.values())
     hi = max(max(r.all_durations) for r in results.values())
@@ -677,7 +706,9 @@ def fig14(executions: Optional[int] = None, seed: int = 0) -> FigureResult:
     """Figure 14: normalized standard deviation for multi-FG mixes."""
     n = _executions(executions)
     rows: List[Tuple[object, ...]] = []
-    for mix in multi_fg_mixes():
+    mixes = multi_fg_mixes()
+    _prefetch(mixes, PAPER_POLICIES, n, seed)
+    for mix in mixes:
         baseline = measure_baseline(mix, executions=n, seed=seed)
         base_std = baseline.fg_stats.std_s
         for policy in PAPER_POLICIES:
@@ -772,6 +803,7 @@ def headline(executions: Optional[int] = None, seed: int = 0) -> FigureResult:
     """
     n = _executions(executions)
     mixes = all_single_fg_mixes()
+    _prefetch(mixes, PAPER_POLICIES, n, seed)
     reductions: Dict[str, List[float]] = {"DirigentFreq": [], "Dirigent": []}
     bg_costs: Dict[str, List[float]] = {"DirigentFreq": [], "Dirigent": []}
     static_bg: List[float] = []

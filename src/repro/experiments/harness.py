@@ -33,6 +33,7 @@ from repro.core.runtime import (
     RuntimeOptions,
 )
 from repro.errors import ExperimentError
+from repro.experiments.diskcache import get_cache
 from repro.experiments.metrics import (
     DEADLINE_SIGMA_FACTOR,
     DurationStats,
@@ -178,10 +179,14 @@ def get_profile(
     key = (fg_name, config, sampling_period_s)
     profile = _PROFILE_CACHE.get(key)
     if profile is None:
-        profiler = OfflineProfiler(
-            machine_config=config, sampling_period_s=sampling_period_s
-        )
-        profile = profiler.profile(get_workload(fg_name))
+        disk = get_cache()
+        hit, profile = disk.get("profile", key)
+        if not hit:
+            profiler = OfflineProfiler(
+                machine_config=config, sampling_period_s=sampling_period_s
+            )
+            profile = profiler.profile(get_workload(fg_name))
+            disk.put("profile", key, profile)
         _PROFILE_CACHE[key] = profile
     return profile
 
@@ -488,6 +493,11 @@ def measure_standalone(
     cached = _STANDALONE_CACHE.get(key)
     if cached is not None:
         return cached
+    disk = get_cache()
+    hit, cached = disk.get("standalone", key)
+    if hit:
+        _STANDALONE_CACHE[key] = cached
+        return cached
     machine = Machine(
         config.with_seed(_derive_seed(config.seed, "alone:%s" % fg_name, seed))
     )
@@ -515,6 +525,7 @@ def measure_standalone(
         durations_s=tuple(r.duration_s for r in records[warmup:target]),
         mpki=delta.mpki,
     )
+    disk.put("standalone", key, result)
     _STANDALONE_CACHE[key] = result
     return result
 
@@ -531,14 +542,19 @@ def measure_baseline(
     key = (mix.name, config, executions, warmup, seed)
     result = _BASELINE_CACHE.get(key)
     if result is None:
-        result = run_policy(
-            mix,
-            BASELINE,
-            executions=executions,
-            warmup=warmup,
-            config=config,
-            seed=seed,
-        )
+        disk = get_cache()
+        disk_key = (mix, config, executions, warmup, seed)
+        hit, result = disk.get("baseline", disk_key)
+        if not hit:
+            result = run_policy(
+                mix,
+                BASELINE,
+                executions=executions,
+                warmup=warmup,
+                config=config,
+                seed=seed,
+            )
+            disk.put("baseline", disk_key, result)
         _BASELINE_CACHE[key] = result
     return result
 
@@ -579,6 +595,15 @@ def find_static_partition(
         return cached
     if candidates is None:
         candidates = list(range(2, min(17, config.llc_ways - 1), 2))
+    disk = get_cache()
+    disk_key = (
+        mix, config, seed, tuple(candidates), executions, warmup,
+        knee_tolerance,
+    )
+    hit, cached = disk.get("partition", disk_key)
+    if hit:
+        _PARTITION_CACHE[key] = cached
+        return cached
     means: List[Tuple[int, float]] = []
     sweep_policy = Policy(
         name="PartitionSweep", static_bg_grade=0, static_partition=True
@@ -598,17 +623,59 @@ def find_static_partition(
     best = min(m for _, m in means)
     for ways, m in means:
         if m <= best * (1.0 + knee_tolerance):
+            disk.put("partition", disk_key, ways)
             _PARTITION_CACHE[key] = ways
             return ways
     raise ExperimentError("partition sweep produced no knee")  # unreachable
 
 
+def run_policy_cached(
+    mix: Mix,
+    policy: Policy,
+    executions: int = DEFAULT_EXECUTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    config: Optional[MachineConfig] = None,
+    seed: int = 0,
+) -> RunResult:
+    """:func:`run_policy` with persistent disk caching.
+
+    Only default-option runs (no deadline overrides, no runtime-option
+    overrides, harness-chosen static partition) are cacheable — those
+    are exactly the cells the figure drivers and the parallel sweep
+    engine fan out.
+    """
+    config = config or MachineConfig()
+    if policy == BASELINE:
+        # Baseline runs live in the "baseline" namespace (they double as
+        # every other policy's deadline source); don't store them twice.
+        return measure_baseline(
+            mix, executions=executions, warmup=warmup, config=config,
+            seed=seed,
+        )
+    disk = get_cache()
+    disk_key = (mix, policy, executions, warmup, config, seed)
+    hit, result = disk.get("run", disk_key)
+    if hit:
+        return result
+    result = run_policy(
+        mix,
+        policy,
+        executions=executions,
+        warmup=warmup,
+        config=config,
+        seed=seed,
+    )
+    disk.put("run", disk_key, result)
+    return result
+
+
 def clear_caches() -> None:
-    """Drop all cached profiles, baselines, and partitions (tests)."""
+    """Drop all cached results, in memory and on disk (tests, CLI)."""
     _PROFILE_CACHE.clear()
     _BASELINE_CACHE.clear()
     _PARTITION_CACHE.clear()
     _STANDALONE_CACHE.clear()
+    get_cache().clear()
 
 
 def _counter_totals(machine: Machine, fg_cores, bg_cores) -> Dict[str, float]:

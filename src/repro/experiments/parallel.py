@@ -1,0 +1,223 @@
+"""Parallel sweep engine: fan mix x policy x seed cells across processes.
+
+Figure drivers are embarrassingly parallel at the cell level — every
+(mix, policy, executions, seed) run is an independent simulation — but
+cells share expensive prerequisites: the mix's Baseline run (deadlines),
+its static-partition sweep, and the FG benchmark's offline profile.  The
+engine therefore schedules in two phases:
+
+1. **Prepare**: one cell per mix computes the shared prerequisites and
+   publishes them through the persistent disk cache
+   (:mod:`repro.experiments.diskcache`).
+2. **Policy cells**: all (mix, policy) cells fan out; each worker reads
+   the warm prerequisites from disk and stores its result there too.
+
+Workers communicate exclusively through the content-addressed disk
+cache, so results are *identical* to a serial sweep: every cell derives
+its RNG streams from ``(config.seed, mix.name, seed)`` alone, never
+from worker identity or scheduling order
+(``tests/experiments/test_parallel.py`` asserts equality).
+
+Worker count comes from, in order: the ``workers`` argument,
+:func:`set_default_workers` (the CLI's ``--workers``), the
+``REPRO_WORKERS`` environment variable, then ``os.cpu_count()``.  Any
+failure to stand up the process pool degrades to the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.policies import Policy
+from repro.experiments.harness import (
+    DEFAULT_EXECUTIONS,
+    DEFAULT_WARMUP,
+    RunResult,
+    find_static_partition,
+    get_profile,
+    measure_baseline,
+    run_policy_cached,
+)
+from repro.experiments.mixes import Mix
+from repro.sim.config import MachineConfig
+
+_default_workers: Optional[int] = None
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the process-wide default worker count (CLI ``--workers``)."""
+    global _default_workers
+    _default_workers = max(1, workers)
+
+
+def default_workers() -> int:
+    """Resolve the worker count: override, REPRO_WORKERS, CPU count."""
+    if _default_workers is not None:
+        return _default_workers
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one grid sweep.
+
+    Attributes:
+        results: RunResult per ``(mix.name, policy.name)`` cell.
+        cell_timings: Wall-clock seconds spent producing each cell
+            (near zero for cache hits).
+        prepare_timings: Wall-clock seconds of each mix's prepare phase
+            (parallel mode only).
+        workers: Worker processes the sweep ran with (1 = serial).
+        mode: ``"serial"`` or ``"parallel"``.
+        elapsed_s: End-to-end wall-clock time of the sweep.
+    """
+
+    results: Dict[Tuple[str, str], RunResult] = field(default_factory=dict)
+    cell_timings: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    prepare_timings: Dict[str, float] = field(default_factory=dict)
+    workers: int = 1
+    mode: str = "serial"
+    elapsed_s: float = 0.0
+
+    def get(self, mix: Mix, policy: Policy) -> RunResult:
+        """The cached cell for ``(mix, policy)``."""
+        return self.results[(mix.name, policy.name)]
+
+
+def _prepare_cell(args: Tuple) -> Tuple[str, float]:
+    """Worker: compute a mix's shared prerequisites (phase 1)."""
+    mix, policies, executions, warmup, config, seed = args
+    start = time.perf_counter()
+    measure_baseline(
+        mix, executions=executions, warmup=warmup, config=config, seed=seed
+    )
+    if any(p.static_partition for p in policies):
+        find_static_partition(mix, config=config, seed=seed)
+    if any(p.uses_runtime for p in policies):
+        get_profile(mix.fg_name, config)
+    return mix.name, time.perf_counter() - start
+
+
+def _policy_cell(args: Tuple) -> Tuple[str, str, RunResult, float]:
+    """Worker: run one (mix, policy) cell (phase 2)."""
+    mix, policy, executions, warmup, config, seed = args
+    start = time.perf_counter()
+    result = run_policy_cached(
+        mix,
+        policy,
+        executions=executions,
+        warmup=warmup,
+        config=config,
+        seed=seed,
+    )
+    return mix.name, policy.name, result, time.perf_counter() - start
+
+
+def run_grid(
+    mixes: Sequence[Mix],
+    policies: Sequence[Policy],
+    executions: int = DEFAULT_EXECUTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    config: Optional[MachineConfig] = None,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> SweepResult:
+    """Run every mix x policy cell, in parallel when workers allow.
+
+    Results are keyed by ``(mix.name, policy.name)`` and are identical
+    to running :func:`repro.experiments.harness.run_policy` serially in
+    any order: per-cell RNG seeding depends only on the cell, and cells
+    coordinate only through the content-addressed disk cache.
+    """
+    config = config or MachineConfig()
+    if workers is None:
+        workers = default_workers()
+    workers = max(1, workers)
+    cells = [
+        (mix, policy, executions, warmup, config, seed)
+        for mix in mixes
+        for policy in policies
+    ]
+    start = time.perf_counter()
+    sweep = SweepResult(workers=workers)
+    if workers > 1 and len(cells) > 1:
+        if _run_parallel(sweep, mixes, policies, cells, workers):
+            sweep.mode = "parallel"
+            sweep.elapsed_s = time.perf_counter() - start
+            return sweep
+        # Pool never came up (restricted platform): run serially below.
+        sweep = SweepResult(workers=1)
+    sweep.mode = "serial"
+    sweep.workers = 1
+    for cell in cells:
+        mix_name, policy_name, result, spent = _policy_cell(cell)
+        sweep.results[(mix_name, policy_name)] = result
+        sweep.cell_timings[(mix_name, policy_name)] = spent
+    sweep.elapsed_s = time.perf_counter() - start
+    return sweep
+
+
+def _run_parallel(
+    sweep: SweepResult,
+    mixes: Sequence[Mix],
+    policies: Sequence[Policy],
+    cells: List[Tuple],
+    workers: int,
+) -> bool:
+    """Execute the two-phase fan-out; False when no pool can be created."""
+    executions, warmup, config, seed = cells[0][2:]
+    needs_prepare = any(
+        p.uses_runtime or p.static_partition or not _is_baseline(p)
+        for p in policies
+    )
+    prepare_args = [
+        (mix, tuple(policies), executions, warmup, config, seed)
+        for mix in mixes
+    ]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+            if needs_prepare and len(mixes) > 0:
+                chunk = _chunksize(len(prepare_args), workers)
+                for name, spent in pool.map(
+                    _prepare_cell, prepare_args, chunksize=chunk
+                ):
+                    sweep.prepare_timings[name] = spent
+            chunk = _chunksize(len(cells), workers)
+            for mix_name, policy_name, result, spent in pool.map(
+                _policy_cell, cells, chunksize=chunk
+            ):
+                sweep.results[(mix_name, policy_name)] = result
+                sweep.cell_timings[(mix_name, policy_name)] = spent
+    except (OSError, BrokenProcessPool, RuntimeError, PermissionError):
+        # No fork/spawn, no semaphores, or the pool died: the sweep is
+        # still fully computable in this process.
+        sweep.results.clear()
+        sweep.cell_timings.clear()
+        sweep.prepare_timings.clear()
+        return False
+    return True
+
+
+def _is_baseline(policy: Policy) -> bool:
+    return (
+        not policy.uses_runtime
+        and not policy.static_partition
+        and policy.static_bg_grade is None
+        and policy.static_fg_grade is None
+    )
+
+
+def _chunksize(items: int, workers: int) -> int:
+    """Batch cells so pool IPC overhead amortizes over several cells."""
+    return max(1, items // (workers * 4))

@@ -49,6 +49,16 @@ class SharedCache:
         self._target: List[float] = list(self._effective)
         self._targets_dirty = True
         self._weights: List[float] = [1.0] * config.num_cores
+        # Hot-path caches: the mask/active-core grouping only changes on
+        # repartition or pause/idle transitions, while weights change every
+        # tick; grouping is cached so per-tick refreshes are pure
+        # arithmetic.  _alpha_cache memoizes the inertia filter gain.
+        self._groups_dirty = True
+        self._groups: List[Tuple[int, List[int]]] = []  # (ways, cores)
+        self._groups_disjoint = True
+        self._active_bits = -1
+        self._alpha_cache: Tuple[float, float] = (-1.0, 0.0)
+        self._zeros: List[float] = [0.0] * config.num_cores
 
     @property
     def num_ways(self) -> int:
@@ -74,6 +84,7 @@ class SharedCache:
         if self._mask[core] != mask:
             self._mask[core] = mask
             self._targets_dirty = True
+            self._groups_dirty = True
 
     def set_fg_partition(
         self, fg_cores: Iterable[int], fg_ways: int
@@ -103,10 +114,17 @@ class SharedCache:
         """Set the per-core occupancy weights (phase APKI; 0 when idle/paused)."""
         if len(weights) != self._config.num_cores:
             raise SimulationError("need one weight per core")
-        if any(w < 0 for w in weights):
-            raise SimulationError("weights must be >= 0")
         new = list(weights)
+        if min(new) < 0:
+            raise SimulationError("weights must be >= 0")
         if new != self._weights:
+            active_bits = 0
+            for core, weight in enumerate(new):
+                if weight > 0:
+                    active_bits |= 1 << core
+            if active_bits != self._active_bits:
+                self._active_bits = active_bits
+                self._groups_dirty = True
             self._weights = new
             self._targets_dirty = True
 
@@ -121,37 +139,84 @@ class SharedCache:
         self._check_core(core)
         return self._effective[core]
 
+    def effective_list(self) -> List[float]:
+        """Live per-core effective occupancies (stable list).
+
+        Hot-path accessor: callers must treat the returned list as
+        read-only; it is updated in place by :meth:`step`/:meth:`settle`.
+        """
+        return self._effective
+
     def step(self, dt_s: float) -> None:
         """Advance occupancies toward their targets by ``dt_s`` seconds."""
         if dt_s < 0:
             raise SimulationError("dt_s must be >= 0")
         self._refresh_targets()
         if self._tau <= 0:
-            self._effective = list(self._target)
+            self._effective[:] = self._target
             return
-        alpha = 1.0 - math.exp(-dt_s / self._tau)
+        cached_dt, alpha = self._alpha_cache
+        if dt_s != cached_dt:
+            alpha = 1.0 - math.exp(-dt_s / self._tau)
+            self._alpha_cache = (dt_s, alpha)
+        effective = self._effective
+        target = self._target
         for core in range(self._config.num_cores):
-            gap = self._target[core] - self._effective[core]
-            self._effective[core] += alpha * gap
+            gap = target[core] - effective[core]
+            effective[core] += alpha * gap
 
     def settle(self) -> None:
         """Snap occupancies to their targets (used for fresh machines)."""
         self._refresh_targets()
-        self._effective = list(self._target)
+        self._effective[:] = self._target
 
-    def _refresh_targets(self) -> None:
-        if not self._targets_dirty:
+    def tick_update(self, weights: Sequence[float], dt_s: float) -> None:
+        """Fused :meth:`set_weights` + :meth:`step` for the tick kernel.
+
+        The caller guarantees one non-negative weight per core and a
+        positive ``dt_s``; semantics are otherwise identical to calling
+        the two methods in sequence.  Weights change nearly every tick
+        (they embed the instantaneous access rate), so this path avoids
+        the per-call validation, list copy, and double dispatch.
+        """
+        if weights != self._weights:
+            active_bits = 0
+            for core, weight in enumerate(weights):
+                if weight > 0:
+                    active_bits |= 1 << core
+            if active_bits != self._active_bits:
+                self._active_bits = active_bits
+                self._groups_dirty = True
+            self._weights[:] = weights
+            self._targets_dirty = True
+        if self._targets_dirty:
+            self._refresh_targets()
+        if self._tau <= 0:
+            self._effective[:] = self._target
             return
+        cached_dt, alpha = self._alpha_cache
+        if dt_s != cached_dt:
+            alpha = 1.0 - math.exp(-dt_s / self._tau)
+            self._alpha_cache = (dt_s, alpha)
+        effective = self._effective
+        target = self._target
+        for core in range(len(effective)):
+            gap = target[core] - effective[core]
+            effective[core] += alpha * gap
+
+    def _rebuild_groups(self) -> None:
+        """Recompute the mask/active-core grouping (rare; see below).
+
+        Grouping depends only on the way masks and on *which* cores are
+        active, both of which change orders of magnitude less often than
+        the per-tick weights, so the result is cached.
+        """
         num_cores = self._config.num_cores
-        targets = [0.0] * num_cores
-        # Group active cores by identical mask.  Typical configurations
-        # (fully shared, or a disjoint FG/BG partition) produce groups with
-        # pairwise disjoint masks, for which occupancy splits independently
-        # inside each group; arbitrary overlapping masks take the exact
-        # per-way path.
+        active_bits = 0
         groups = {}
         for core in range(num_cores):
             if self._weights[core] > 0:
+                active_bits |= 1 << core
                 groups.setdefault(self._mask[core], []).append(core)
         masks = list(groups)
         disjoint = True
@@ -162,27 +227,44 @@ class SharedCache:
                     break
             if not disjoint:
                 break
-        if disjoint:
-            for mask, cores in groups.items():
-                ways = bin(mask).count("1")
+        self._groups = [
+            (bin(mask).count("1"), cores) for mask, cores in groups.items()
+        ]
+        self._groups_disjoint = disjoint
+        self._active_bits = active_bits
+        self._groups_dirty = False
+
+    def _refresh_targets(self) -> None:
+        if not self._targets_dirty:
+            return
+        if self._groups_dirty:
+            self._rebuild_groups()
+        targets = self._target
+        targets[:] = self._zeros
+        weights = self._weights
+        # Typical configurations (fully shared, or a disjoint FG/BG
+        # partition) produce groups with pairwise disjoint masks, for
+        # which occupancy splits independently inside each group;
+        # arbitrary overlapping masks take the exact per-way path.
+        if self._groups_disjoint:
+            for ways, cores in self._groups:
                 total = 0.0
                 for core in cores:
-                    total += self._weights[core]
+                    total += weights[core]
                 for core in cores:
-                    targets[core] = ways * self._weights[core] / total
+                    targets[core] = ways * weights[core] / total
         else:
             for way in range(self._num_ways):
                 bit = 1 << way
                 sharers = [
                     core for core, cores_mask in enumerate(self._mask)
-                    if cores_mask & bit and self._weights[core] > 0
+                    if cores_mask & bit and weights[core] > 0
                 ]
                 if not sharers:
                     continue
-                total = sum(self._weights[core] for core in sharers)
+                total = sum(weights[core] for core in sharers)
                 for core in sharers:
-                    targets[core] += self._weights[core] / total
-        self._target = targets
+                    targets[core] += weights[core] / total
         self._targets_dirty = False
 
     def _check_core(self, core: int) -> None:

@@ -79,6 +79,21 @@ class CounterBank:
         self._llc_accesses[core] += llc_accesses
         self._llc_misses[core] += llc_misses
 
+    def hot_arrays(self) -> tuple:
+        """Direct references to the per-core accumulator lists.
+
+        Returns ``(instructions, cycles, llc_accesses, llc_misses)``; the
+        machine's tick kernel indexes these in place instead of paying a
+        :meth:`record` call per core per tick.  The list objects are
+        stable for the bank's lifetime.
+        """
+        return (
+            self._instructions,
+            self._cycles,
+            self._llc_accesses,
+            self._llc_misses,
+        )
+
     def snapshot(self, core: int, time_s: float) -> CounterSnapshot:
         """Return an immutable snapshot of ``core``'s counters."""
         self._check_core(core)

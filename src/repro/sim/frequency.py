@@ -23,6 +23,11 @@ class FrequencyGovernor:
         self._grade: List[int] = [top] * config.num_cores
         self._pending: List[Tuple[int, int]] = []  # (apply_tick, core) pairs
         self._pending_grade: List[int] = [top] * config.num_cores
+        # Effective frequency per core, kept in lock-step with _grade so
+        # the machine's tick kernel can index a list instead of paying a
+        # method call per core per tick.  The list object is stable.
+        top_ghz = config.freq_grades_ghz[top]
+        self._freq_ghz: List[float] = [top_ghz] * config.num_cores
 
     @property
     def grades_ghz(self) -> Tuple[float, ...]:
@@ -37,6 +42,14 @@ class FrequencyGovernor:
     def frequency_ghz(self, core: int) -> float:
         """Effective frequency of ``core`` in GHz."""
         return self.grades_ghz[self.grade(core)]
+
+    def effective_frequencies(self) -> List[float]:
+        """Live per-core effective frequencies in GHz (stable list).
+
+        Hot-path accessor: callers must treat the returned list as
+        read-only; it is updated in place as pending changes apply.
+        """
+        return self._freq_ghz
 
     def set_grade(self, core: int, grade: int, now_tick: int) -> None:
         """Request ``core`` to switch to ``grade``.
@@ -78,9 +91,12 @@ class FrequencyGovernor:
         if not self._pending:
             return
         remaining: List[Tuple[int, int]] = []
+        grades_ghz = self._config.freq_grades_ghz
         for apply_tick, core in self._pending:
             if apply_tick <= now_tick:
-                self._grade[core] = self._pending_grade[core]
+                grade = self._pending_grade[core]
+                self._grade[core] = grade
+                self._freq_ghz[core] = grades_ghz[grade]
             else:
                 remaining.append((apply_tick, core))
         self._pending = remaining

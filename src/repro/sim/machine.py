@@ -17,7 +17,8 @@ from repro.sim.config import MachineConfig
 from repro.sim.counters import CounterBank, CounterSnapshot
 from repro.sim.frequency import FrequencyGovernor
 from repro.sim.memory import MemorySystem
-from repro.sim.process import ExecutionRecord, Process
+from repro.sim.perf import FIXED_POINT_ITERATIONS, MPKI_SCALE
+from repro.sim.process import STATE_RUNNING, ExecutionRecord, Process
 from repro.sim.timebase import TimerWheel, VirtualClock, derive_rng
 from repro.workloads.spec import WorkloadSpec
 
@@ -43,6 +44,27 @@ class Machine:
             for core in range(self.config.num_cores)
         ]
         self._input_rng = derive_rng(self.config.seed, "input")
+        # Hot-path state, hoisted once so tick() avoids per-tick method
+        # dispatch and attribute chains (see docs/performance.md).
+        num_cores = self.config.num_cores
+        self._gauss_fns = [rng.gauss for rng in self._jitter_rngs]
+        self._sigma = self.config.os_jitter_sigma
+        self._jitter_mu = -0.5 * self._sigma * self._sigma
+        self._cnt_arrays = self.counters.hot_arrays()
+        self._gov_freqs = self.governor.effective_frequencies()
+        self._cache_eff = self.cache.effective_list()
+        self._cache_tick = self.cache.tick_update
+        self._b_core = [0] * num_cores
+        self._b_proc: List[Optional[Process]] = [None] * num_cores
+        self._b_phase: List[object] = [None] * num_cores
+        self._b_mpki = [0.0] * num_cores
+        self._b_freq = [0.0] * num_cores
+        self._b_coef = [0.0] * num_cores
+        self._b_sens = [0.0] * num_cores
+        self._b_fh = [0.0] * num_cores
+        self._b_cpi0 = [0.0] * num_cores
+        self._b_jit = [0.0] * num_cores
+        self._b_ips = [0.0] * num_cores
         self._procs_by_core: List[Optional[Process]] = (
             [None] * self.config.num_cores
         )
@@ -190,46 +212,100 @@ class Machine:
         self._settled = True
 
     def run_ticks(self, ticks: int) -> None:
-        """Advance the machine by ``ticks`` ticks."""
+        """Advance the machine by ``ticks`` ticks (batched fast path)."""
         if ticks < 0:
             raise SimulationError("ticks must be >= 0")
+        tick = self.tick
         for _ in range(ticks):
-            self.tick()
+            tick()
 
     def run_seconds(self, seconds: float) -> None:
-        """Advance the machine by approximately ``seconds``."""
+        """Advance the machine by approximately ``seconds``.
+
+        Any positive duration runs at least one tick, so short sleeps
+        cannot silently round down to a no-op.
+        """
         if seconds < 0:
             raise SimulationError("seconds must be >= 0")
-        self.run_ticks(int(round(seconds / self.config.tick_s)))
+        ticks = int(round(seconds / self.config.tick_s))
+        if ticks == 0 and seconds > 0:
+            ticks = 1
+        self.run_ticks(ticks)
 
     def tick(self) -> None:
-        """Advance the machine by one tick."""
+        """Advance the machine by one tick.
+
+        This is the simulator's hot kernel: invariant lookups are hoisted
+        into per-entry arrays before the fixed point, counters are
+        accumulated through direct array references, and the timer wheel,
+        jitter RNG, and energy accounting are skipped outright when idle,
+        disabled, or noise-free.  Floating-point evaluation order matches
+        the reference model in :mod:`repro.sim.perf` exactly (see
+        ``tests/sim/test_machine_model_consistency.py``).
+        """
         if not self._settled:
             self.settle_cache()
-        self.governor.tick(self.clock.tick)
-        for callback in self.timers.due():
-            callback()
+        clock = self.clock
+        now_tick = clock._tick
+        governor = self.governor
+        if governor._pending:
+            governor.tick(now_tick)
+        timers = self.timers
+        if timers._heap:
+            for callback in timers.due():
+                callback()
 
         config = self.config
         dt = config.tick_s
-        sigma = config.os_jitter_sigma
-        mu = -0.5 * sigma * sigma
+        sigma = self._sigma
+        mu = self._jitter_mu
+        exp_ = math.exp
 
-        # Gather per-core model inputs (one phase lookup per process).
-        active: List[Tuple[int, Process, object, float, float, float]] = []
-        for core in range(config.num_cores):
-            proc = self._procs_by_core[core]
-            if proc is None or not proc.is_running:
+        # Gather per-core model inputs (one phase lookup per process)
+        # into flat reusable buffers.
+        cores = self._b_core
+        procs_a = self._b_proc
+        phases = self._b_phase
+        mpki_a = self._b_mpki
+        freq_a = self._b_freq
+        coef = self._b_coef
+        sens = self._b_sens
+        fh = self._b_fh
+        cpi0 = self._b_cpi0
+        jit = self._b_jit
+        ips_a = self._b_ips
+        eff = self._cache_eff
+        gov_freqs = self._gov_freqs
+        gauss_fns = self._gauss_fns
+        n = 0
+        for core, proc in enumerate(self._procs_by_core):
+            if proc is None or proc.state != STATE_RUNNING:
                 continue
-            phase = proc.current_phase()
-            mpki = phase.mpki(self.cache.effective_ways(core))
-            jitter = (
-                math.exp(self._jitter_rngs[core].gauss(mu, sigma))
-                if sigma > 0
-                else 1.0
-            )
-            freq = self.governor.frequency_ghz(core)
-            active.append((core, proc, phase, mpki, jitter, freq))
+            # Inline Process.current_phase: the cached cursor almost
+            # always covers the current progress point.
+            progress = proc.progress
+            if not proc._phase_start <= progress < proc._phase_end:
+                proc._sync_phase_cursor()
+            phase = proc._spec.phases[proc._phase_index]
+            # Inline PhaseSpec.mpki (same operations, same order).
+            w = eff[core]
+            if w < 0.0:
+                w = 0.0
+            floor = phase.mpki_floor
+            mpki = floor + (phase.mpki_peak - floor) * exp_(-w / phase.ways_scale)
+            jitter = exp_(gauss_fns[core](mu, sigma)) if sigma > 0 else 1.0
+            freq = gov_freqs[core]
+            cores[n] = core
+            procs_a[n] = proc
+            phases[n] = phase
+            mpki_a[n] = mpki
+            freq_a[n] = freq
+            coef[n] = mpki * MPKI_SCALE
+            sens[n] = phase.mem_sensitivity
+            fh[n] = freq * 1e9
+            cpi0[n] = phase.base_cpi
+            jit[n] = jitter
+            n += 1
 
         # Inline fixed point over memory utilization (see repro.sim.perf).
         memory = self.memory
@@ -238,15 +314,14 @@ class Machine:
         rho_cap = memory.rho_cap
         inv_peak = memory.seconds_per_miss_at_peak
         rho = self._rho
-        ips_list = [0.0] * len(active)
-        for _ in range(3):
+        for _ in range(FIXED_POINT_ITERATIONS):
             penalty_ns = base_ns * (1.0 + scale * rho / (1.0 - rho))
             total_miss_rate = 0.0
-            for idx, (core, proc, phase, mpki, jitter, freq) in enumerate(active):
-                stall = mpki * 1e-3 * penalty_ns * phase.mem_sensitivity * freq
-                ips = freq * 1e9 / (phase.base_cpi + stall) * jitter
-                ips_list[idx] = ips
-                total_miss_rate += ips * mpki * 1e-3
+            for i in range(n):
+                stall = coef[i] * penalty_ns * sens[i] * freq_a[i]
+                ips = fh[i] / (cpi0[i] + stall) * jit[i]
+                ips_a[i] = ips
+                total_miss_rate += ips * mpki_a[i] * MPKI_SCALE
             new_rho = total_miss_rate * inv_peak
             rho = new_rho if new_rho < rho_cap else rho_cap
         memory.observe(rho)
@@ -254,32 +329,35 @@ class Machine:
 
         completions: List[Tuple[Process, ExecutionRecord]] = []
         weights = [0.0] * config.num_cores
-        for idx, (core, proc, phase, mpki, jitter, freq) in enumerate(active):
-            ips = ips_list[idx]
-            self._ips_prev[core] = ips
-            weights[core] = phase.apki * ips
-            stolen = self._stolen_s[core]
+        ips_prev = self._ips_prev
+        stolen_a = self._stolen_s
+        cnt_i, cnt_c, cnt_a, cnt_m = self._cnt_arrays
+        for i in range(n):
+            core = cores[i]
+            proc = procs_a[i]
+            phase = phases[i]
+            ips = ips_a[i]
+            ips_prev[core] = ips
+            apki = phase.apki
+            weights[core] = apki * ips
+            stolen = stolen_a[core]
             if stolen:
-                self._stolen_s[core] = 0.0
+                stolen_a[core] = 0.0
             dt_eff = dt - stolen
             if dt_eff <= 0.0:
                 continue
             instructions = ips * dt_eff
-            misses = ips * mpki * 1e-3 * dt_eff
-            accesses = instructions * phase.apki * 1e-3 if phase.apki > 0 else misses
-            self.counters.record(
-                core,
-                instructions=instructions,
-                cycles=freq * 1e9 * jitter * dt_eff,
-                llc_accesses=accesses,
-                llc_misses=misses,
-            )
-            if proc.is_foreground:
-                remaining = proc.target_instructions - proc.progress
+            misses = ips * mpki_a[i] * MPKI_SCALE * dt_eff
+            cnt_i[core] += instructions
+            cnt_c[core] += fh[i] * jit[i] * dt_eff
+            cnt_a[core] += instructions * apki * MPKI_SCALE if apki > 0 else misses
+            cnt_m[core] += misses
+            if proc.is_fg:
+                remaining = proc._target_total - proc.progress
                 if instructions >= remaining > 0:
                     # Interpolate the completion instant inside the tick.
                     dt_to_finish = remaining / ips
-                    end_s = self.clock.now + dt_to_finish
+                    end_s = clock.now + dt_to_finish
                     miss_share = misses * (remaining / instructions)
                     proc.advance(remaining, miss_share)
                     record = proc.complete_execution(end_s)
@@ -288,24 +366,25 @@ class Machine:
                     leftover = instructions - remaining
                     proc.advance(leftover, misses - miss_share)
                     continue
-            proc.advance(instructions, misses)
+            # Inline Process.advance (amounts are non-negative by
+            # construction).
+            proc.progress += instructions
+            proc.execution_misses += misses
 
         if self._energy is not None:
             busy = [False] * config.num_cores
-            freqs = [0.0] * config.num_cores
-            for core in range(config.num_cores):
-                freqs[core] = self.governor.frequency_ghz(core)
-            for core, proc, phase, mpki, jitter, freq in active:
-                busy[core] = True
+            freqs = list(gov_freqs)
+            for i in range(n):
+                busy[cores[i]] = True
             self._energy.accumulate(dt, freqs, busy)
 
-        self.cache.set_weights(weights)
-        self.cache.step(dt)
-        self.clock.advance()
+        self._cache_tick(weights, dt)
+        clock._tick = now_tick + 1
 
-        for proc, record in completions:
-            for listener in self._completion_listeners:
-                listener(proc, record)
+        if completions:
+            for proc, record in completions:
+                for listener in self._completion_listeners:
+                    listener(proc, record)
 
     @property
     def rho(self) -> float:

@@ -26,6 +26,10 @@ class MemorySystem:
         self._rho_cap = config.mem_rho_cap
         self._peak_bytes_per_s = config.mem_peak_gbps * 1e9
         self._line_bytes = config.cache_line_bytes
+        # Precomputed so the hot path multiplies instead of dividing; the
+        # machine's inline loop and utilization_for() must use the same
+        # constant so they round identically.
+        self._seconds_per_miss = self._line_bytes / self._peak_bytes_per_s
         self._rho = 0.0
 
     @property
@@ -51,7 +55,7 @@ class MemorySystem:
     @property
     def seconds_per_miss_at_peak(self) -> float:
         """Line transfer time at peak bandwidth (bytes/miss over peak B/s)."""
-        return self._line_bytes / self._peak_bytes_per_s
+        return self._seconds_per_miss
 
     def observe(self, rho: float) -> None:
         """Record an externally computed utilization (fast-path ticks)."""
@@ -63,8 +67,7 @@ class MemorySystem:
         """Utilization implied by an aggregate miss rate (misses/second)."""
         if total_misses_per_s < 0:
             raise SimulationError("miss rate must be >= 0")
-        demand = total_misses_per_s * self._line_bytes
-        return min(self._rho_cap, demand / self._peak_bytes_per_s)
+        return min(self._rho_cap, total_misses_per_s * self._seconds_per_miss)
 
     def penalty_ns(self, rho: float) -> float:
         """Loaded miss penalty at utilization ``rho``."""

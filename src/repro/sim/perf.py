@@ -26,6 +26,17 @@ from typing import List, Sequence, Tuple
 from repro.errors import SimulationError
 from repro.sim.memory import MemorySystem
 
+#: Fixed-point iterations over the aggregate utilization ``rho``.  Shared
+#: with the inlined hot loop in :meth:`repro.sim.machine.Machine.tick` so
+#: the two implementations cannot drift apart.
+FIXED_POINT_ITERATIONS = 3
+
+#: Per-kilo-instruction scale applied to MPKI/APKI terms.  Multiplication
+#: by this constant (rather than division by 1000.0) is the canonical
+#: form; the machine's inline loop uses the same constant so both paths
+#: round identically.
+MPKI_SCALE = 1e-3
+
 
 @dataclass(frozen=True)
 class PerfInput:
@@ -67,7 +78,8 @@ def solve_tick(
     inputs: Sequence[PerfInput],
     memory: MemorySystem,
     rho_hint: float = 0.0,
-    iterations: int = 3,
+    iterations: int = FIXED_POINT_ITERATIONS,
+    refine_final: bool = True,
 ) -> Tuple[List[PerfOutput], float]:
     """Solve one tick's coupled progress rates.
 
@@ -77,6 +89,10 @@ def solve_tick(
         rho_hint: Starting utilization guess, typically last tick's value;
             the fixed point converges in 2-3 iterations from a warm start.
         iterations: Fixed-point iterations to run.
+        refine_final: Re-evaluate the outputs once more at the converged
+            utilization so outputs and rho agree exactly.  The machine's
+            inline hot loop skips this refinement as a deliberate economy;
+            pass False to reproduce its results bit-for-bit.
 
     Returns:
         Per-process outputs (aligned with ``inputs``) and the final
@@ -91,15 +107,17 @@ def solve_tick(
         outputs = [_evaluate(entry, penalty_ns) for entry in inputs]
         total_miss_rate = sum(out.miss_rate for out in outputs)
         rho = memory.utilization_for(total_miss_rate)
-    # Final evaluation at the converged utilization so outputs and rho agree.
-    penalty_ns = memory.penalty_ns(rho)
-    outputs = [_evaluate(entry, penalty_ns) for entry in inputs]
+    if refine_final:
+        # Final evaluation at the converged utilization so outputs and
+        # rho agree.
+        penalty_ns = memory.penalty_ns(rho)
+        outputs = [_evaluate(entry, penalty_ns) for entry in inputs]
     return outputs, rho
 
 
 def _evaluate(entry: PerfInput, penalty_ns: float) -> PerfOutput:
     stall_cycles = (
-        entry.mpki / 1000.0
+        entry.mpki * MPKI_SCALE
         * penalty_ns
         * entry.mem_sensitivity
         * entry.freq_ghz  # ns -> cycles at freq_ghz GHz
@@ -108,7 +126,7 @@ def _evaluate(entry: PerfInput, penalty_ns: float) -> PerfOutput:
     ips = entry.freq_ghz * 1e9 / cpi * entry.jitter
     return PerfOutput(
         ips=ips,
-        miss_rate=ips * entry.mpki / 1000.0,
+        miss_rate=ips * entry.mpki * MPKI_SCALE,
         cpi=cpi,
         cycles_per_s=entry.freq_ghz * 1e9 * entry.jitter,
     )

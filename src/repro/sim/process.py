@@ -70,6 +70,11 @@ class Process:
         self.execution_index = 0
         self.execution_start_s = start_s
         self.execution_misses = 0.0
+        # Plain-attribute mirrors of spec properties, read every tick by
+        # the machine's hot loop (kept in sync by switch_spec).
+        self.is_fg = spec.is_foreground
+        self._total = spec.total_instructions
+        self._fg_cap = self._total * (1.0 - 1e-12)
         self._target_total = self._draw_target_total()
         # Cached phase lookup to avoid scanning the program every tick.
         self._phase_index = 0
@@ -84,7 +89,7 @@ class Process:
     @property
     def is_foreground(self) -> bool:
         """True for latency-critical processes."""
-        return self._spec.is_foreground
+        return self.is_fg
 
     @property
     def is_running(self) -> bool:
@@ -157,6 +162,9 @@ class Process:
         if self.is_foreground:
             raise SimulationError("cannot switch the spec of a FG process")
         self._spec = spec
+        self.is_fg = spec.is_foreground
+        self._total = spec.total_instructions
+        self._fg_cap = self._total * (1.0 - 1e-12)
         self.progress = 0.0
         self.execution_start_s = now_s
         self.execution_misses = 0.0
@@ -174,18 +182,23 @@ class Process:
         return total
 
     def _sync_phase_cursor(self) -> None:
-        phases = self._spec.phases
-        total = self._spec.total_instructions
-        offset = self.progress % total if self.progress >= total else self.progress
-        if not self.is_foreground and self.progress >= total:
+        progress = self.progress
+        # Fast path: the cached cursor still covers the current progress
+        # point (phase windows never extend past the program total, so a
+        # wrapped BG or an overrun FG cannot take this branch).
+        if self._phase_start <= progress < self._phase_end:
+            return
+        total = self._total
+        offset = progress % total if progress >= total else progress
+        if not self.is_fg and progress >= total:
             # BG loops: recompute the cursor for the wrapped offset.
             if offset < self._phase_start or offset >= self._phase_end:
                 self._seek(offset)
             return
-        if self.is_foreground:
+        if self.is_fg:
             # Input jitter can push progress past the nominal program; the
             # tail of the last phase simply extends.
-            offset = min(self.progress, total * (1.0 - 1e-12))
+            offset = progress if progress < self._fg_cap else self._fg_cap
         if offset < self._phase_start or offset >= self._phase_end:
             self._seek(offset)
 

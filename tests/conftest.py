@@ -7,11 +7,29 @@ catalog with reduced execution counts.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
 from repro.workloads.spec import KIND_BG, KIND_FG, PhaseSpec, WorkloadSpec
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    """Point the persistent result cache at a throwaway directory.
+
+    Tests must neither read a developer's warm ``.repro_cache`` (results
+    could mask regressions) nor delete it (``clear_caches`` purges disk).
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro_cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 def make_phase(

@@ -1,0 +1,158 @@
+"""Persistent result cache: key correctness, durability, invalidation."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.policies import BASELINE, DIRIGENT
+from repro.experiments import harness
+from repro.experiments.diskcache import (
+    DiskCache,
+    cache_key,
+    code_version_tag,
+    get_cache,
+)
+from repro.experiments.mixes import Mix
+from repro.sim.config import MachineConfig
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(tmp_path / "cache")
+
+
+def _mix(**overrides):
+    fields = dict(
+        name="ferret bwaves", fg_name="ferret", fg_count=1,
+        bg_name="bwaves",
+    )
+    fields.update(overrides)
+    return Mix(**fields)
+
+
+class TestCacheKeys:
+    def test_same_parts_same_key(self):
+        parts = (_mix(), MachineConfig(), 8, 2, 0)
+        assert cache_key("run", parts) == cache_key("run", parts)
+
+    def test_seed_changes_key(self):
+        config = MachineConfig()
+        one = cache_key("run", (_mix(), config, 8, 2, 0))
+        two = cache_key("run", (_mix(), config, 8, 2, 1))
+        assert one != two
+
+    def test_config_seed_changes_key(self):
+        one = cache_key("run", (_mix(), MachineConfig(seed=0), 8, 2, 0))
+        two = cache_key("run", (_mix(), MachineConfig(seed=1), 8, 2, 0))
+        assert one != two
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("mem_peak_gbps", 21.0),
+            ("llc_ways", 12),
+            ("num_cores", 4),
+            ("os_jitter_sigma", 0.0),
+            ("tick_s", 2e-3),
+        ],
+    )
+    def test_single_config_field_changes_key(self, field, value):
+        base = MachineConfig()
+        changed = MachineConfig(**{field: value})
+        assert getattr(base, field) != getattr(changed, field)
+        one = cache_key("run", (_mix(), base, 8, 2, 0))
+        two = cache_key("run", (_mix(), changed, 8, 2, 0))
+        assert one != two
+
+    def test_mix_and_policy_change_key(self):
+        config = MachineConfig()
+        base = cache_key("run", (_mix(), BASELINE, config, 8, 2, 0))
+        other_mix = cache_key(
+            "run", (_mix(bg_name="lbm"), BASELINE, config, 8, 2, 0)
+        )
+        other_policy = cache_key(
+            "run", (_mix(), DIRIGENT, config, 8, 2, 0)
+        )
+        assert len({base, other_mix, other_policy}) == 3
+
+    def test_kind_namespaces_keys(self):
+        parts = (_mix(), MachineConfig(), 8, 2, 0)
+        assert cache_key("run", parts) != cache_key("baseline", parts)
+
+    def test_code_version_tag_is_stable(self):
+        assert code_version_tag() == code_version_tag()
+        assert len(code_version_tag()) == 16
+
+
+class TestDiskCacheStore:
+    def test_roundtrip(self, cache):
+        parts = ("ferret", MachineConfig(), 5)
+        assert cache.get("standalone", parts) == (False, None)
+        cache.put("standalone", parts, {"answer": 42})
+        hit, value = cache.get("standalone", parts)
+        assert hit and value == {"answer": 42}
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, cache):
+        parts = ("ferret", 0)
+        cache.put("run", parts, [1, 2, 3])
+        path = cache._path("run", cache_key("run", parts))
+        path.write_bytes(b"not a pickle")
+        hit, value = cache.get("run", parts)
+        assert not hit and value is None
+        assert not path.exists()
+
+    def test_disabled_cache_never_stores(self, tmp_path):
+        cache = DiskCache(tmp_path / "off", enabled=False)
+        cache.put("run", ("x",), 1)
+        assert cache.get("run", ("x",)) == (False, None)
+        assert not (tmp_path / "off").exists()
+
+    def test_clear_removes_entries(self, cache):
+        cache.put("run", ("a",), 1)
+        cache.put("baseline", ("b",), 2)
+        assert cache.stats()["total_entries"] == 2
+        assert cache.clear() == 2
+        assert cache.stats()["total_entries"] == 0
+
+    def test_stats_counts_hits_and_misses(self, cache):
+        cache.get("run", ("nope",))
+        cache.put("run", ("yes",), 3)
+        cache.get("run", ("yes",))
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"]["run"] == 1
+
+
+class TestHarnessIntegration:
+    def test_get_cache_honors_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert str(get_cache().root) == str(tmp_path / "envcache")
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert not get_cache().enabled
+
+    def test_clear_caches_purges_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "purge"))
+        disk = get_cache()
+        disk.put("run", ("cell",), 1)
+        disk.put("profile", ("prof",), 2)
+        assert disk.stats()["total_entries"] == 2
+        harness.clear_caches()
+        assert get_cache().stats()["total_entries"] == 0
+
+    def test_results_survive_process_memory(self, tmp_path, monkeypatch):
+        """A fresh in-memory cache still hits the persisted result."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "persist"))
+        from repro.experiments.mixes import mix_by_name
+
+        mix = mix_by_name("ferret bwaves")
+        first = harness.measure_baseline(mix, executions=2, warmup=1)
+        # Drop only the in-memory layer; keep disk.
+        harness._BASELINE_CACHE.clear()
+        disk = get_cache()
+        hits_before = disk.hits
+        second = harness.measure_baseline(mix, executions=2, warmup=1)
+        assert disk.hits == hits_before + 1
+        assert first is not second
+        assert repr(first) == repr(second)

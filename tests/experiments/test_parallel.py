@@ -1,0 +1,116 @@
+"""Parallel sweep engine: coverage, timings, and serial equivalence.
+
+The load-bearing property: a multi-worker sweep must reproduce the
+serial sweep *exactly* — every cell derives its randomness from
+``(config.seed, mix.name, seed)`` alone, and workers coordinate only
+through the content-addressed disk cache.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import BASELINE, DIRIGENT, STATIC_FREQ
+from repro.experiments import harness
+from repro.experiments.mixes import mix_by_name
+from repro.experiments.parallel import (
+    SweepResult,
+    default_workers,
+    run_grid,
+    set_default_workers,
+)
+
+MIXES = ["ferret bwaves", "raytrace rs", "bodytrack pca"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    harness.clear_caches()
+    yield
+    harness.clear_caches()
+
+
+def _snapshot(sweep: SweepResult) -> dict:
+    return {key: repr(result) for key, result in sweep.results.items()}
+
+
+class TestRunGrid:
+    def test_serial_covers_every_cell(self):
+        mixes = [mix_by_name(name) for name in MIXES[:2]]
+        policies = [BASELINE, STATIC_FREQ]
+        sweep = run_grid(mixes, policies, executions=2, warmup=1, workers=1)
+        assert sweep.mode == "serial"
+        assert set(sweep.results) == {
+            (m.name, p.name) for m in mixes for p in policies
+        }
+        assert set(sweep.cell_timings) == set(sweep.results)
+        assert all(t >= 0 for t in sweep.cell_timings.values())
+        assert sweep.elapsed_s > 0
+
+    def test_parallel_matches_serial_exactly(self):
+        mixes = [mix_by_name(name) for name in MIXES]
+        policies = [BASELINE, DIRIGENT]
+        serial = run_grid(mixes, policies, executions=2, warmup=1, workers=1)
+        harness.clear_caches()
+        parallel = run_grid(
+            mixes, policies, executions=2, warmup=1, workers=2
+        )
+        assert parallel.mode == "parallel"
+        assert _snapshot(serial) == _snapshot(parallel)
+
+    def test_warm_cache_hits_are_fast(self):
+        mixes = [mix_by_name(MIXES[0])]
+        policies = [BASELINE, STATIC_FREQ]
+        cold = run_grid(mixes, policies, executions=2, warmup=1, workers=1)
+        warm = run_grid(mixes, policies, executions=2, warmup=1, workers=1)
+        assert _snapshot(cold) == _snapshot(warm)
+        assert warm.elapsed_s < cold.elapsed_s
+
+    def test_sweep_result_get_accessor(self):
+        mix = mix_by_name(MIXES[0])
+        sweep = run_grid([mix], [BASELINE], executions=2, warmup=1, workers=1)
+        assert sweep.get(mix, BASELINE).policy_name == BASELINE.name
+
+
+class TestWorkerDefaults:
+    def test_set_default_workers_overrides(self):
+        previous = default_workers()
+        try:
+            set_default_workers(3)
+            assert default_workers() == 3
+            set_default_workers(0)  # clamped
+            assert default_workers() == 1
+        finally:
+            set_default_workers(previous)
+
+    def test_env_variable_respected(self, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "_default_workers", None)
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert default_workers() == 5
+        monkeypatch.setenv("REPRO_WORKERS", "junk")
+        assert default_workers() >= 1
+
+
+class TestDeterminismGuard:
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_two_worker_sweep_reproduces_serial(self, seed):
+        """Property: parallel(2) == serial for any experiment seed."""
+        mixes = [mix_by_name(name) for name in MIXES]
+        policies = [BASELINE, DIRIGENT]
+        harness.clear_caches()
+        serial = run_grid(
+            mixes, policies, executions=2, warmup=1, seed=seed, workers=1
+        )
+        harness.clear_caches()
+        parallel = run_grid(
+            mixes, policies, executions=2, warmup=1, seed=seed, workers=2
+        )
+        harness.clear_caches()
+        assert _snapshot(serial) == _snapshot(parallel)

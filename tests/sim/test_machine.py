@@ -224,6 +224,16 @@ class TestDeterminism:
         machine.run_seconds(0.05)
         assert machine.clock.tick == 50
 
+    def test_run_seconds_sub_tick_duration_runs_one_tick(self, machine):
+        # Durations below tick_s/2 used to round down to zero ticks,
+        # silently turning short sleeps into no-ops.
+        machine.run_seconds(machine.config.tick_s / 10)
+        assert machine.clock.tick == 1
+
+    def test_run_seconds_zero_is_a_no_op(self, machine):
+        machine.run_seconds(0.0)
+        assert machine.clock.tick == 0
+
     def test_negative_runs_rejected(self, machine):
         with pytest.raises(SimulationError):
             machine.run_ticks(-1)

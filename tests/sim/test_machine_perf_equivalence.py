@@ -1,0 +1,114 @@
+"""Exact-equality regression: the machine's inlined tick kernel versus
+the reference model in :mod:`repro.sim.perf`.
+
+The inline loop in :meth:`Machine.tick` duplicates ``solve_tick`` for
+speed; both share ``FIXED_POINT_ITERATIONS`` and ``MPKI_SCALE`` and
+evaluate in the same floating-point order, so with the final
+re-evaluation disabled (``refine_final=False``) the two must agree to
+the bit — not just approximately.  Any optimization that reorders a
+float expression shows up here as a hard failure.
+"""
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.perf import (
+    FIXED_POINT_ITERATIONS,
+    MPKI_SCALE,
+    PerfInput,
+    solve_tick,
+)
+from tests.conftest import make_bg, make_fg
+
+
+def _quiet_config(**overrides):
+    base = dict(
+        seed=7, os_jitter_sigma=0.0, timer_jitter_prob=0.0
+    )
+    base.update(overrides)
+    return MachineConfig(**base)
+
+
+def _reference_inputs(machine):
+    """PerfInputs for every running process, from pre-tick state.
+
+    Pending DVFS changes apply at the head of ``Machine.tick`` before
+    the model evaluates, so due changes are applied here first (the
+    governor's tick is idempotent for a given clock tick).
+    """
+    machine.governor.tick(machine.clock.tick)
+    inputs = []
+    cores = []
+    for core in range(machine.config.num_cores):
+        proc = machine.process_on_core(core)
+        if proc is None or not proc.is_running:
+            continue
+        phase = proc.current_phase()
+        inputs.append(
+            PerfInput(
+                freq_ghz=machine.governor.frequency_ghz(core),
+                base_cpi=phase.base_cpi,
+                mpki=phase.mpki(machine.cache.effective_ways(core)),
+                mem_sensitivity=phase.mem_sensitivity,
+                jitter=1.0,
+            )
+        )
+        cores.append(core)
+    return inputs, cores
+
+
+class TestBitIdenticalFixedPoint:
+    def test_rho_and_counters_match_reference_every_tick(self):
+        """Tick-by-tick, rho and all counter deltas equal the reference."""
+        machine = Machine(_quiet_config())
+        machine.spawn(make_fg(), core=0)
+        machine.spawn(make_bg(), core=1)
+        machine.spawn(make_bg(name="tiny-bg-2", heavy=False), core=2)
+        machine.settle_cache()
+        dt = machine.config.tick_s
+        # Accumulate expectations exactly as the counter bank does, so
+        # cumulative totals stay comparable with == (floating-point
+        # addition is not associative; deltas would drift).
+        instr = [0.0] * machine.config.num_cores
+        misses = [0.0] * machine.config.num_cores
+        for _ in range(200):
+            inputs, cores = _reference_inputs(machine)
+            outputs, rho = solve_tick(
+                inputs,
+                machine.memory,
+                rho_hint=machine.rho,
+                iterations=FIXED_POINT_ITERATIONS,
+                refine_final=False,
+            )
+            machine.tick()
+            assert machine.rho == rho  # exact
+            for out, core in zip(outputs, cores):
+                instr[core] += out.ips * dt
+                misses[core] += out.miss_rate * dt
+                snap = machine.read_counters(core)
+                assert snap.instructions == instr[core]
+                assert snap.llc_misses == misses[core]
+
+    def test_matches_under_throttling_and_partitioning(self):
+        """Equality holds with DVFS grades and an FG cache partition."""
+        machine = Machine(_quiet_config())
+        machine.spawn(make_fg(), core=0)
+        machine.spawn(make_bg(), core=1)
+        machine.set_fg_partition([0], 6)
+        machine.set_frequency_grade(1, 0)
+        machine.settle_cache()
+        for _ in range(machine.config.freq_transition_ticks + 50):
+            inputs, _ = _reference_inputs(machine)
+            _, rho = solve_tick(
+                inputs,
+                machine.memory,
+                rho_hint=machine.rho,
+                iterations=FIXED_POINT_ITERATIONS,
+                refine_final=False,
+            )
+            machine.tick()
+            assert machine.rho == rho
+
+    def test_shared_constants(self):
+        """The constants the two implementations share are the paper's."""
+        assert FIXED_POINT_ITERATIONS == 3
+        assert MPKI_SCALE == 1e-3
