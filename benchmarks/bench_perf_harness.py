@@ -1,18 +1,23 @@
-"""Before/after performance benchmark: tick kernel, cache, sweep engine.
+"""Before/after performance benchmark: tick kernel, backends, sweep.
 
-Measures the three layers this repository's experiment pipeline is
-optimized along and emits ``BENCH_harness.json`` at the repository
-root:
+Measures the layers this repository's experiment pipeline is optimized
+along and emits ``BENCH_harness.json`` at the repository root:
 
 1. **Tick kernel**: single-machine tick throughput (default and
    noise-free configurations), best of three fresh machines, against
    the pre-optimization rates recorded in ``baseline_pre_pr.json``.
-2. **Sweep engine + persistent cache**: wall-clock of a 3-mix x
+2. **Backends**: scalar reference kernel vs the event-horizon batch
+   engine (``repro.sim.batch``), as ticks/s on an event-sparse workload
+   (single FG, no BG, jitter off — long stationary spans) and on the
+   standard contended 'ferret rs' mix, plus an end-to-end Dirigent
+   ``run_policy`` wall-clock under each backend.
+3. **Sweep engine + persistent cache**: wall-clock of a 3-mix x
    2-policy figure sweep — serial with cold caches, 4-worker parallel
    with cold caches, and 4-worker parallel with a warm disk cache.
-3. **Correctness**: the serial and parallel sweeps must produce
+4. **Correctness**: the serial and parallel sweeps must produce
    identical RunResults (also property-tested in
-   ``tests/experiments/test_parallel.py``).
+   ``tests/experiments/test_parallel.py``; scalar/batch equivalence is
+   pinned by ``tests/sim/test_batch_equivalence.py``).
 
 On a single-core host the parallel-cold time roughly matches the
 serial-cold time (there is nothing to fan out onto) and the headline
@@ -34,21 +39,45 @@ from pathlib import Path
 
 from repro.core.policies import BASELINE, DIRIGENT
 from repro.experiments import harness
-from repro.experiments.harness import build_machine
+from repro.experiments.harness import build_machine, run_policy
 from repro.experiments.mixes import mix_by_name
 from repro.experiments.parallel import run_grid
+from repro.sim.batch import BACKEND_BATCH, BACKEND_SCALAR, ENV_BACKEND
 from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.workloads.catalog import get_workload
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 PRE_PR_FILE = Path(__file__).with_name("baseline_pre_pr.json")
 ARTIFACT = REPO_ROOT / "BENCH_harness.json"
 
 TICKS = 30_000
+BACKEND_REPS = 5
 SWEEP_MIXES = ("ferret bwaves", "raytrace rs", "bodytrack pca")
 SWEEP_POLICIES = (BASELINE, DIRIGENT)
 SWEEP_EXECUTIONS = 8
 SWEEP_WARMUP = 2
 SWEEP_WORKERS = 4
+
+SPARSE_CONFIG = MachineConfig(os_jitter_sigma=0.0, timer_jitter_prob=0.0)
+
+
+def _sparse_machine(backend: str) -> Machine:
+    """Event-sparse workload: one FG task alone, noise-free."""
+    machine = Machine(SPARSE_CONFIG, backend=backend)
+    machine.spawn(get_workload("ferret"), core=0, nice=-5)
+    machine.settle_cache()
+    return machine
+
+
+def _contended_machine(backend: str) -> Machine:
+    """The standard contended mix (1 FG + 5 BG, default noise)."""
+    machine = Machine(MachineConfig(), backend=backend)
+    machine.spawn(get_workload("ferret"), core=0, nice=-5)
+    for core in range(1, machine.config.num_cores):
+        machine.spawn(get_workload("rs"), core=core, nice=5)
+    machine.settle_cache()
+    return machine
 
 
 def _tick_rate(config: MachineConfig) -> float:
@@ -63,6 +92,38 @@ def _tick_rate(config: MachineConfig) -> float:
     return best
 
 
+def _backend_rate(factory, backend: str) -> float:
+    """Best-of-N tick throughput of fresh machines under ``backend``."""
+    best = 0.0
+    for _ in range(BACKEND_REPS):
+        machine = factory(backend)
+        start = time.perf_counter()
+        machine.run_ticks(TICKS)
+        elapsed = time.perf_counter() - start
+        best = max(best, TICKS / elapsed)
+    return best
+
+
+def _end_to_end_s(backend: str) -> float:
+    """Cold-cache Dirigent run_policy wall-clock under ``backend``."""
+    previous = os.environ.get(ENV_BACKEND)
+    os.environ[ENV_BACKEND] = backend
+    try:
+        harness.clear_caches()
+        start = time.perf_counter()
+        run_policy(
+            mix_by_name("ferret rs"), DIRIGENT,
+            executions=SWEEP_EXECUTIONS, warmup=SWEEP_WARMUP,
+        )
+        return time.perf_counter() - start
+    finally:
+        harness.clear_caches()
+        if previous is None:
+            os.environ.pop(ENV_BACKEND, None)
+        else:
+            os.environ[ENV_BACKEND] = previous
+
+
 def _snapshot(sweep) -> dict:
     return {"%s|%s" % key: repr(result) for key, result in sweep.results.items()}
 
@@ -75,6 +136,16 @@ def test_bench_harness_artifact():
     rate_sigma0 = _tick_rate(
         MachineConfig(os_jitter_sigma=0.0, timer_jitter_prob=0.0)
     )
+
+    # Scalar vs batch backend, same workloads, same seeds.
+    sparse_scalar = _backend_rate(_sparse_machine, BACKEND_SCALAR)
+    sparse_batch = _backend_rate(_sparse_machine, BACKEND_BATCH)
+    contended_scalar = _backend_rate(_contended_machine, BACKEND_SCALAR)
+    contended_batch = _backend_rate(_contended_machine, BACKEND_BATCH)
+    sparse_speedup = sparse_batch / sparse_scalar
+    contended_speedup = contended_batch / contended_scalar
+    e2e_scalar_s = _end_to_end_s(BACKEND_SCALAR)
+    e2e_batch_s = _end_to_end_s(BACKEND_BATCH)
 
     harness.clear_caches()
     serial = run_grid(
@@ -117,6 +188,29 @@ def test_bench_harness_artifact():
             "pre_pr_ticks_per_s_sigma0": pre["tick_rate_sigma0"],
             "speedup_default": round(speedup_default, 3),
             "speedup_sigma0": round(speedup_sigma0, 3),
+            "note": "run_ticks under the session backend (batch default)",
+        },
+        "backends": {
+            "ticks": TICKS,
+            "reps": BACKEND_REPS,
+            "event_sparse": {
+                "workload": "single FG (ferret), no BG, jitter off",
+                "scalar_ticks_per_s": round(sparse_scalar, 2),
+                "batch_ticks_per_s": round(sparse_batch, 2),
+                "speedup": round(sparse_speedup, 3),
+            },
+            "contended": {
+                "workload": "ferret rs (1 FG + 5 BG), default config",
+                "scalar_ticks_per_s": round(contended_scalar, 2),
+                "batch_ticks_per_s": round(contended_batch, 2),
+                "speedup": round(contended_speedup, 3),
+            },
+            "end_to_end_dirigent": {
+                "workload": "run_policy('ferret rs', DIRIGENT), cold caches",
+                "scalar_s": round(e2e_scalar_s, 3),
+                "batch_s": round(e2e_batch_s, 3),
+                "speedup": round(e2e_scalar_s / e2e_batch_s, 3),
+            },
         },
         "sweep": {
             "mixes": list(SWEEP_MIXES),
@@ -145,3 +239,5 @@ def test_bench_harness_artifact():
     # thresholds leave slack for slow shared CI hosts).
     assert speedup_default >= 1.2, artifact["tick_kernel"]
     assert sweep_speedup_warm >= 4.0, artifact["sweep"]
+    assert sparse_speedup >= 3.0, artifact["backends"]["event_sparse"]
+    assert contended_speedup >= 1.3, artifact["backends"]["contended"]

@@ -38,6 +38,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--workers", type=int, default=None,
                      help="worker processes for the sweep (default: "
                           "REPRO_WORKERS or the CPU count; 1 = serial)")
+    fig.add_argument("--backend", choices=("scalar", "batch"), default=None,
+                     help="simulation backend (default: REPRO_SIM_BACKEND "
+                          "or batch); scalar is the bit-exact reference")
     sub.add_parser("table1", help="print the benchmark inventory")
     cache = sub.add_parser("cache", help="inspect or purge the result cache")
     cache.add_argument("action", choices=("stats", "clear"))
@@ -77,6 +80,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.workers is not None:
         from repro.experiments.parallel import set_default_workers
         set_default_workers(args.workers)
+    if args.backend is not None:
+        # Exported rather than passed down: workers inherit the
+        # environment, and every cache key folds the resolved backend in.
+        import os
+
+        from repro.sim.batch import ENV_BACKEND
+        os.environ[ENV_BACKEND] = args.backend
     result = driver(seed=args.seed, **kwargs)
     print(render(result, max_rows=args.max_rows))
     return 0

@@ -42,7 +42,9 @@ from repro.experiments.metrics import (
     success_ratio,
 )
 from repro.experiments.mixes import Mix
+from repro.sim.batch import resolve_backend
 from repro.sim.config import MachineConfig
+from repro.sim.counters import CounterSnapshot
 from repro.sim.machine import Machine
 from repro.sim.process import ExecutionRecord, Process
 from repro.workloads.catalog import get_rotate_pair, get_workload
@@ -55,9 +57,20 @@ DEFAULT_EXECUTIONS = int(os.environ.get("REPRO_EXECUTIONS", "40"))
 #: Executions discarded before measurement begins.
 DEFAULT_WARMUP = 5
 
-_PROFILE_CACHE: Dict[Tuple[str, MachineConfig, float], ExecutionProfile] = {}
-_BASELINE_CACHE: Dict[Tuple[str, MachineConfig, int, int, int], "RunResult"] = {}
-_PARTITION_CACHE: Dict[Tuple[str, MachineConfig, int], int] = {}
+#: Ticks between bookkeeping checks while driving a session; the
+#: machine advances in blocks of this size through the batched engine.
+DRIVE_BLOCK_TICKS = 32
+
+# All result caches (in memory and on disk) fold the active simulation
+# backend into their keys, so results produced by one backend are never
+# served to a run under the other.
+_PROFILE_CACHE: Dict[
+    Tuple[str, MachineConfig, float, str], ExecutionProfile
+] = {}
+_BASELINE_CACHE: Dict[
+    Tuple[str, MachineConfig, int, int, int, str], "RunResult"
+] = {}
+_PARTITION_CACHE: Dict[Tuple[str, MachineConfig, int, str], int] = {}
 
 
 @dataclass(frozen=True)
@@ -176,7 +189,7 @@ def get_profile(
 ) -> ExecutionProfile:
     """Offline profile of an FG benchmark (cached)."""
     config = config or MachineConfig()
-    key = (fg_name, config, sampling_period_s)
+    key = (fg_name, config, sampling_period_s, resolve_backend())
     profile = _PROFILE_CACHE.get(key)
     if profile is None:
         disk = get_cache()
@@ -235,7 +248,7 @@ def run_policy(
         runtime_options=runtime_options,
     )
     while not session.done:
-        session.tick()
+        session.advance(DRIVE_BLOCK_TICKS)
     return session.result()
 
 
@@ -348,6 +361,21 @@ class PolicySession:
 
         machine.add_completion_listener(collect)
 
+        # Open the measurement window from the completion stream rather
+        # than by per-tick polling: a listener fires at exactly the tick
+        # the warmup-th completion lands (same counters, same clock), so
+        # the machine can be driven in batched blocks in between.
+        def open_window(proc: Process, record: ExecutionRecord) -> None:
+            if self._meas_start is None and all(
+                len(bucket) >= self._warmup
+                for bucket in self._records.values()
+            ):
+                self._meas_start = _counter_totals(
+                    self.machine, self._fg_cores, self._bg_cores
+                )
+
+        machine.add_completion_listener(open_window)
+
         self._target = warmup + executions
         self._fg_cores = [p.core for p in fg_procs]
         self._bg_cores = [p.core for p in bg_procs]
@@ -369,35 +397,65 @@ class PolicySession:
         return [len(self._records[p.pid]) for p in self._fg_procs]
 
     def tick(self) -> None:
-        """Advance the node by one simulator tick."""
+        """Advance the node by one simulator tick.
+
+        Used by the cluster layer to step several sessions in lockstep;
+        single-node runs go through the batched :meth:`advance`.
+        """
         if self._done:
             return
         self.machine.tick()
         self._ticks += 1
-        if self._ticks % 32 == 0 or self._meas_start is None:
-            done = self.completions()
-            if self._meas_start is None and all(
-                d >= self._warmup for d in done
-            ):
-                self._meas_start = _counter_totals(
-                    self.machine, self._fg_cores, self._bg_cores
-                )
-            if all(d >= self._target for d in done):
-                self._done = True
-                if self.runtime is not None:
-                    self.runtime.stop()
+        if self._ticks % DRIVE_BLOCK_TICKS == 0 or self._meas_start is None:
+            self._bookkeep()
+
+    def advance(self, ticks: int = DRIVE_BLOCK_TICKS) -> None:
+        """Advance the node by up to ``ticks`` ticks through the machine's
+        batched fast path, then run the completion/guard bookkeeping.
+
+        The measurement window still opens at the exact warmup
+        completion tick (a completion listener handles it), so block
+        driving changes nothing about what is measured.
+        """
+        if self._done:
+            return
+        if self._meas_start is None and self._warmup == 0:
+            # With no warmup the window opens after the first tick (no
+            # completion ever fires "at" it); take that tick alone.
+            self.machine.run_ticks(1)
+            self._ticks += 1
+            self._bookkeep()
+            ticks -= 1
+            if ticks <= 0 or self._done:
                 return
-            if self._ticks > self._max_ticks:
-                raise ExperimentError(
-                    "run of %r under %s did not finish within the tick "
-                    "guard (%d completions of %d)"
-                    % (
-                        self.mix.name,
-                        self.policy.name,
-                        min(done),
-                        self._target,
-                    )
+        self.machine.run_ticks(ticks)
+        self._ticks += ticks
+        self._bookkeep()
+
+    def _bookkeep(self) -> None:
+        done = self.completions()
+        if self._meas_start is None and all(
+            d >= self._warmup for d in done
+        ):
+            self._meas_start = _counter_totals(
+                self.machine, self._fg_cores, self._bg_cores
+            )
+        if all(d >= self._target for d in done):
+            self._done = True
+            if self.runtime is not None:
+                self.runtime.stop()
+            return
+        if self._ticks > self._max_ticks:
+            raise ExperimentError(
+                "run of %r under %s did not finish within the tick "
+                "guard (%d completions of %d)"
+                % (
+                    self.mix.name,
+                    self.policy.name,
+                    min(done),
+                    self._target,
                 )
+            )
 
     def result(self) -> RunResult:
         """Measured results; only valid once :attr:`done`."""
@@ -477,7 +535,9 @@ class StandaloneResult:
         return duration_stats(list(self.durations_s))
 
 
-_STANDALONE_CACHE: Dict[Tuple[str, MachineConfig, int, int, int], StandaloneResult] = {}
+_STANDALONE_CACHE: Dict[
+    Tuple[str, MachineConfig, int, int, int, str], StandaloneResult
+] = {}
 
 
 def measure_standalone(
@@ -489,7 +549,7 @@ def measure_standalone(
 ) -> StandaloneResult:
     """Run an FG benchmark alone at maximum frequency (cached)."""
     config = config or MachineConfig()
-    key = (fg_name, config, executions, warmup, seed)
+    key = (fg_name, config, executions, warmup, seed, resolve_backend())
     cached = _STANDALONE_CACHE.get(key)
     if cached is not None:
         return cached
@@ -504,22 +564,32 @@ def measure_standalone(
     proc = machine.spawn(get_workload(fg_name), core=0, nice=-5)
     machine.settle_cache()
     records: List[ExecutionRecord] = []
-    machine.add_completion_listener(lambda p, r: records.append(r))
     target = warmup + executions
-    start_snap = None
+    snaps: Dict[str, CounterSnapshot] = {}
+
+    def on_completion(p: Process, r: ExecutionRecord) -> None:
+        records.append(r)
+        # Snapshot the window bounds at the exact completion ticks, so
+        # the machine can run in batched blocks in between.
+        if len(records) == warmup and warmup > 0:
+            snaps["start"] = machine.read_counters(0)
+        elif len(records) == target:
+            snaps["end"] = machine.read_counters(0)
+
+    machine.add_completion_listener(on_completion)
+    if warmup == 0:
+        machine.run_ticks(1)
+        snaps.setdefault("start", machine.read_counters(0))
     guard = int(600.0 / config.tick_s)
     ticks = 0
     while len(records) < target:
-        machine.tick()
-        ticks += 1
-        if start_snap is None and len(records) >= warmup:
-            start_snap = machine.read_counters(0)
+        machine.run_ticks(DRIVE_BLOCK_TICKS)
+        ticks += DRIVE_BLOCK_TICKS
         if ticks > guard:
             raise ExperimentError(
                 "standalone run of %r did not finish in time" % fg_name
             )
-    end_snap = machine.read_counters(0)
-    delta = end_snap.delta(start_snap)
+    delta = snaps["end"].delta(snaps["start"])
     result = StandaloneResult(
         fg_name=fg_name,
         durations_s=tuple(r.duration_s for r in records[warmup:target]),
@@ -539,11 +609,12 @@ def measure_baseline(
 ) -> RunResult:
     """Run the Baseline configuration (cached)."""
     config = config or MachineConfig()
-    key = (mix.name, config, executions, warmup, seed)
+    backend = resolve_backend()
+    key = (mix.name, config, executions, warmup, seed, backend)
     result = _BASELINE_CACHE.get(key)
     if result is None:
         disk = get_cache()
-        disk_key = (mix, config, executions, warmup, seed)
+        disk_key = (mix, config, executions, warmup, seed, backend)
         hit, result = disk.get("baseline", disk_key)
         if not hit:
             result = run_policy(
@@ -589,7 +660,8 @@ def find_static_partition(
     FG time is within ``knee_tolerance`` of the sweep's best.
     """
     config = config or MachineConfig()
-    key = (mix.name, config, seed)
+    backend = resolve_backend()
+    key = (mix.name, config, seed, backend)
     cached = _PARTITION_CACHE.get(key)
     if cached is not None:
         return cached
@@ -598,7 +670,7 @@ def find_static_partition(
     disk = get_cache()
     disk_key = (
         mix, config, seed, tuple(candidates), executions, warmup,
-        knee_tolerance,
+        knee_tolerance, backend,
     )
     hit, cached = disk.get("partition", disk_key)
     if hit:
@@ -653,7 +725,7 @@ def run_policy_cached(
             seed=seed,
         )
     disk = get_cache()
-    disk_key = (mix, policy, executions, warmup, config, seed)
+    disk_key = (mix, policy, executions, warmup, config, seed, resolve_backend())
     hit, result = disk.get("run", disk_key)
     if hit:
         return result

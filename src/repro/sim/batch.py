@@ -1,0 +1,497 @@
+"""Run-to-next-event batch execution engine for the simulated machine.
+
+The scalar kernel (:meth:`repro.sim.machine.Machine.tick`) pays full
+Python dispatch — gather, fixed point, counter writes, timer and
+governor checks — for every tick, even across long stretches where
+nothing discrete happens.  This module amortizes that overhead the way
+batching amortizes per-step cost in inference engines: it computes an
+**event horizon** — the earliest tick at which the machine's trajectory
+can deviate from straight-line execution — and advances all ticks up to
+that horizon in one fused kernel.
+
+The horizon is the minimum of:
+
+(a) the timer wheel's next deadline (:meth:`TimerWheel.next_deadline`),
+    since firing callbacks can pause/resume processes, change DVFS
+    grades, repartition the cache, or charge runtime overhead;
+(b) the governor's next pending DVFS transition
+    (:meth:`FrequencyGovernor.next_transition_tick`), since an applied
+    grade changes every subsequent tick's frequency inputs;
+(c) each running process's estimated ticks to its next phase boundary
+    (``(phase_end - progress) / (ips * tick_s)``), since crossing one
+    swaps the per-phase model inputs; and
+(d) each FG task's estimated ticks to completion, since completions
+    dispatch listeners (prediction bookkeeping, BG rotation) that may
+    mutate arbitrary machine state.
+
+Estimates (c) and (d) use the previous tick's progress rates, which
+drift as cache occupancy and bandwidth contention evolve, so they bound
+the span *heuristically*; correctness never depends on them.  Inside
+the fused kernel every tick re-checks, before mutating anything, that
+each process is still inside its gathered phase window, and handles FG
+completions with exactly the scalar kernel's logic, exiting the span
+whenever an event actually occurs.
+
+**Bit-identical semantics.**  The fused kernel performs the same
+floating-point operations in the same order as ``Machine.tick``: the
+per-tick miss-curve evaluation, OS-jitter draw (same RNG streams, same
+draw order), three-iteration rho fixed point, counter accumulation,
+and ``SharedCache.tick_update`` are all preserved.  What the span
+structure removes is pure interpreter overhead: per-tick timer/governor
+checks, the per-core gather of phase attributes, and — once a span
+becomes *stationary* (no jitter, cache occupancy and rho exactly
+converged) — the fixed point and cache update themselves, whose outputs
+are provably equal to the previous tick's.  Equivalence is enforced by
+``tests/sim/test_batch_equivalence.py``.
+
+Backend selection is environment-driven: ``REPRO_SIM_BACKEND=scalar``
+pins the reference per-tick loop, ``batch`` (the default) enables this
+engine.  :class:`repro.sim.machine.Machine` also accepts an explicit
+``backend=`` argument.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.perf import FIXED_POINT_ITERATIONS, MPKI_SCALE
+from repro.sim.process import STATE_RUNNING, ExecutionRecord, Process
+
+#: Reference per-tick loop (bit-exact baseline pinned by
+#: ``tests/sim/test_machine_perf_equivalence.py``).
+BACKEND_SCALAR = "scalar"
+
+#: Run-to-next-event batch engine (this module).
+BACKEND_BATCH = "batch"
+
+#: All recognized backends.
+BACKENDS = (BACKEND_SCALAR, BACKEND_BATCH)
+
+#: Environment variable that selects the simulation backend.
+ENV_BACKEND = "REPRO_SIM_BACKEND"
+
+#: Backend used when neither the environment nor the caller chooses.
+DEFAULT_BACKEND = BACKEND_BATCH
+
+
+def resolve_backend(override: Optional[str] = None) -> str:
+    """Resolve the active simulation backend name.
+
+    Precedence: the explicit ``override`` argument, then the
+    ``REPRO_SIM_BACKEND`` environment variable, then
+    :data:`DEFAULT_BACKEND`.
+
+    Raises:
+        ConfigurationError: if the requested backend is unknown.
+    """
+    name = override or os.environ.get(ENV_BACKEND) or DEFAULT_BACKEND
+    name = name.strip().lower()
+    if name not in BACKENDS:
+        raise ConfigurationError(
+            "unknown simulation backend %r (expected one of %s)"
+            % (name, ", ".join(BACKENDS))
+        )
+    return name
+
+
+class BatchEngine:
+    """Advances a :class:`~repro.sim.machine.Machine` span-by-span.
+
+    The engine is a friend of the machine: it reads the same hoisted
+    hot-path state (``_cnt_arrays``, ``_cache_eff``, ``_gov_freqs``,
+    ...) the scalar kernel uses, plus the public event peeks added for
+    it (``timers.next_deadline()``, ``governor.next_transition_tick()``,
+    ``clock.tick``).  All per-span buffers are allocated once here and
+    reused, so steady-state spans allocate nothing.
+    """
+
+    def __init__(self, machine) -> None:
+        self._m = machine
+        num_cores = machine.config.num_cores
+        self._cores = [0] * num_cores
+        self._procs: List[Optional[Process]] = [None] * num_cores
+        self._floor = [0.0] * num_cores
+        self._delta = [0.0] * num_cores
+        self._wscale = [1.0] * num_cores
+        self._sens = [0.0] * num_cores
+        self._freq = [0.0] * num_cores
+        self._fh = [0.0] * num_cores
+        self._cpi0 = [0.0] * num_cores
+        self._apki = [0.0] * num_cores
+        self._isfg = [False] * num_cores
+        self._jfns: List[object] = [None] * num_cores
+        self._prev_w = [-1.0] * num_cores
+        self._mpki = [0.0] * num_cores
+        self._coef = [0.0] * num_cores
+        self._jit = [1.0] * num_cores
+        self._ips = [0.0] * num_cores
+        self._instr_inc = [0.0] * num_cores
+        self._cyc_inc = [0.0] * num_cores
+        self._acc_inc = [0.0] * num_cores
+        self._miss_inc = [0.0] * num_cores
+        self._weights = [0.0] * num_cores
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run_ticks(self, ticks: int) -> None:
+        """Advance the machine by exactly ``ticks`` ticks."""
+        m = self._m
+        remaining = ticks
+        while remaining > 0:
+            horizon = self._horizon(remaining)
+            if horizon > 1:
+                executed = self._run_span(horizon)
+                if executed:
+                    remaining -= executed
+                    continue
+            # An event is due at the current tick (timer, DVFS apply,
+            # phase resync) or the horizon is a single tick: the scalar
+            # kernel handles it — it is the semantic reference.
+            m.tick()
+            remaining -= 1
+
+    # ------------------------------------------------------------------
+    # Event horizon
+    # ------------------------------------------------------------------
+
+    def _horizon(self, budget: int) -> int:
+        """Ticks that can run before the next discrete event (estimate).
+
+        Components (a) and (b) — timer deadlines and DVFS transitions —
+        are exact; (c) and (d) — phase boundaries and FG completions —
+        extrapolate the previous tick's progress rates and are verified
+        tick-by-tick inside the span.
+        """
+        m = self._m
+        now = m.clock.tick
+        horizon = budget
+        deadline = m.timers.next_deadline()
+        if deadline is not None and deadline - now < horizon:
+            horizon = deadline - now
+        transition = m.governor.next_transition_tick()
+        if transition is not None and transition - now < horizon:
+            horizon = transition - now
+        if horizon <= 1:
+            return horizon
+        dt = m.config.tick_s
+        ips_prev = m._ips_prev
+        for proc in m._procs_by_core:
+            if proc is None or proc.state != STATE_RUNNING:
+                continue
+            step = ips_prev[proc.core] * dt
+            if step <= 0.0:
+                continue  # no rate estimate yet; the span guard covers it
+            progress = proc.progress
+            if proc.is_fg:
+                if proc._phase_index != len(proc._spec.phases) - 1:
+                    ticks_to_boundary = int(
+                        (proc._phase_end - progress) / step
+                    ) + 1
+                    if ticks_to_boundary < horizon:
+                        horizon = ticks_to_boundary
+                to_target = proc._target_total - progress
+                if to_target > 0:
+                    ticks_to_completion = int(to_target / step) + 1
+                    if ticks_to_completion < horizon:
+                        horizon = ticks_to_completion
+            else:
+                # BG phase windows cover the *wrapped* offset; a phase
+                # spanning the whole program never produces an event.
+                total = proc._total
+                if proc._phase_start > 0.0 or proc._phase_end < total:
+                    offset = progress % total if progress >= total else progress
+                    ticks_to_boundary = int(
+                        (proc._phase_end - offset) / step
+                    ) + 1
+                    if ticks_to_boundary < horizon:
+                        horizon = ticks_to_boundary
+        return horizon
+
+    # ------------------------------------------------------------------
+    # Fused multi-tick kernel
+    # ------------------------------------------------------------------
+
+    def _run_span(self, span: int) -> int:
+        """Run up to ``span`` event-free ticks; returns ticks executed.
+
+        May return early (including 0) when a phase boundary arrives
+        sooner than estimated or an FG execution completes; the caller
+        falls back to the scalar kernel for the event tick.
+        """
+        m = self._m
+        if not m._settled:
+            m.settle_cache()
+        clock = m.clock
+        config = m.config
+        num_cores = config.num_cores
+        dt = config.tick_s
+        sigma = m._sigma
+        mu = m._jitter_mu
+        exp_ = math.exp
+        eff = m._cache_eff
+        gov_freqs = m._gov_freqs
+        cnt_i, cnt_c, cnt_a, cnt_m = m._cnt_arrays
+        stolen_a = m._stolen_s
+        ips_prev = m._ips_prev
+        cache_tick = m._cache_tick
+        listeners = m._completion_listeners
+        energy = m._energy
+        memory = m.memory
+        base_ns = memory.base_latency_ns
+        scale = memory.contention_scale
+        rho_cap = memory.rho_cap
+        inv_peak = memory.seconds_per_miss_at_peak
+
+        # ---- Gather per-core model inputs once for the whole span ----
+        # (the scalar kernel re-reads these every tick; within a span
+        # the running set, phases, and frequencies cannot change).
+        cores = self._cores
+        procs = self._procs
+        floor_a = self._floor
+        delta_a = self._delta
+        wscale = self._wscale
+        sens = self._sens
+        freq_a = self._freq
+        fh = self._fh
+        cpi0 = self._cpi0
+        apki_a = self._apki
+        isfg = self._isfg
+        jfns = self._jfns
+        prev_w = self._prev_w
+        mpki_a = self._mpki
+        coef = self._coef
+        jit = self._jit
+        ips_a = self._ips
+        weights = self._weights
+        gauss_fns = m._gauss_fns
+
+        guards: List[Tuple[Process, float]] = []
+        n = 0
+        for core, proc in enumerate(m._procs_by_core):
+            if proc is None or proc.state != STATE_RUNNING:
+                continue
+            if not proc._phase_start <= proc.progress < proc._phase_end:
+                proc._sync_phase_cursor()
+            phase = proc._spec.phases[proc._phase_index]
+            floor = phase.mpki_floor
+            cores[n] = core
+            procs[n] = proc
+            floor_a[n] = floor
+            delta_a[n] = phase.mpki_peak - floor
+            wscale[n] = phase.ways_scale
+            sens[n] = phase.mem_sensitivity
+            freq = gov_freqs[core]
+            freq_a[n] = freq
+            fh[n] = freq * 1e9
+            cpi0[n] = phase.base_cpi
+            apki_a[n] = phase.apki
+            is_fg = proc.is_fg
+            isfg[n] = is_fg
+            jfns[n] = gauss_fns[core]
+            prev_w[n] = -1.0  # force a miss-curve evaluation on tick 1
+            if sigma <= 0.0:
+                jit[n] = 1.0
+            if is_fg:
+                # FG pinned to its *last* phase only leaves it by
+                # completing, which the completion path detects exactly.
+                if proc._phase_index != len(proc._spec.phases) - 1:
+                    guards.append((proc, proc._phase_end))
+            else:
+                # BG phase windows cover the wrapped offset; translate
+                # the exit point into raw-progress terms.  A phase that
+                # spans the whole program never produces a boundary.
+                progress = proc.progress
+                total = proc._total
+                if proc._phase_start > 0.0 or proc._phase_end < total:
+                    offset = progress % total if progress >= total else progress
+                    guards.append((proc, progress - offset + proc._phase_end))
+            n += 1
+        for core in range(num_cores):
+            weights[core] = 0.0
+
+        freqs_list: Optional[List[float]] = None
+        busy_list: Optional[List[bool]] = None
+        if energy is not None:
+            # EnergyModel.accumulate reads (never retains) its inputs;
+            # the per-span constants are shared across ticks.
+            freqs_list = list(gov_freqs)
+            busy_list = [False] * num_cores
+            for i in range(n):
+                busy_list[cores[i]] = True
+
+        instr_inc = self._instr_inc
+        cyc_inc = self._cyc_inc
+        acc_inc = self._acc_inc
+        miss_inc = self._miss_inc
+
+        rho = m._rho
+        now_tick = clock.tick
+        executed = 0
+        stationary = False
+        jitter_free = sigma <= 0.0 or n == 0
+        # Overhead can only be charged during timer/completion callbacks,
+        # which never run mid-span, so only the span's first tick can
+        # carry stolen time.
+        has_stolen = any(stolen_a)
+        completions: List[Tuple[Process, ExecutionRecord]] = []
+
+        while executed < span:
+            # Event guard: exit (before mutating anything, including the
+            # RNG streams) as soon as a process leaves its gathered
+            # phase window — the scalar kernel then re-syncs it.
+            for g_proc, g_end in guards:
+                if g_proc.progress >= g_end:
+                    m._rho = rho
+                    memory.observe(rho)
+                    return executed
+
+            if stationary:
+                # Cache occupancy, rho, and (jitter-free) rates are all
+                # exactly converged: this tick's model outputs equal the
+                # previous tick's, so only the accumulation side runs.
+                for i in range(n):
+                    core = cores[i]
+                    instructions = instr_inc[i]
+                    misses = miss_inc[i]
+                    cnt_i[core] += instructions
+                    cnt_c[core] += cyc_inc[i]
+                    cnt_a[core] += acc_inc[i]
+                    cnt_m[core] += misses
+                    proc = procs[i]
+                    if isfg[i]:
+                        remaining = proc._target_total - proc.progress
+                        if instructions >= remaining > 0:
+                            ips = ips_a[i]
+                            dt_to_finish = remaining / ips
+                            end_s = now_tick * dt + dt_to_finish
+                            miss_share = misses * (remaining / instructions)
+                            proc.advance(remaining, miss_share)
+                            record = proc.complete_execution(end_s)
+                            completions.append((proc, record))
+                            leftover = instructions - remaining
+                            proc.advance(leftover, misses - miss_share)
+                            continue
+                    proc.progress += instructions
+                    proc.execution_misses += misses
+                if energy is not None:
+                    energy.accumulate(dt, freqs_list, busy_list)
+                now_tick += 1
+                clock.tick = now_tick
+                executed += 1
+                if completions:
+                    break
+                continue
+
+            # ---- Full model tick (scalar float semantics) ----
+            w_changed = False
+            for i in range(n):
+                w = eff[cores[i]]
+                if w < 0.0:
+                    w = 0.0
+                if w != prev_w[i]:
+                    w_changed = True
+                    prev_w[i] = w
+                    mpki = floor_a[i] + delta_a[i] * exp_(-w / wscale[i])
+                    mpki_a[i] = mpki
+                    coef[i] = mpki * MPKI_SCALE
+                if sigma > 0.0:
+                    jit[i] = exp_(jfns[i](mu, sigma))
+
+            rho_in = rho
+            for _ in range(FIXED_POINT_ITERATIONS):
+                penalty_ns = base_ns * (1.0 + scale * rho / (1.0 - rho))
+                total_miss_rate = 0.0
+                for i in range(n):
+                    stall = coef[i] * penalty_ns * sens[i] * freq_a[i]
+                    ips = fh[i] / (cpi0[i] + stall) * jit[i]
+                    ips_a[i] = ips
+                    total_miss_rate += ips * mpki_a[i] * MPKI_SCALE
+                new_rho = total_miss_rate * inv_peak
+                rho = new_rho if new_rho < rho_cap else rho_cap
+
+            for i in range(n):
+                core = cores[i]
+                proc = procs[i]
+                ips = ips_a[i]
+                ips_prev[core] = ips
+                apki = apki_a[i]
+                weights[core] = apki * ips
+                if has_stolen:
+                    stolen = stolen_a[core]
+                    if stolen:
+                        stolen_a[core] = 0.0
+                    dt_eff = dt - stolen
+                    if dt_eff <= 0.0:
+                        continue
+                else:
+                    dt_eff = dt  # dt - 0.0 == dt: matches the scalar path
+                instructions = ips * dt_eff
+                misses = ips * mpki_a[i] * MPKI_SCALE * dt_eff
+                cnt_i[core] += instructions
+                cnt_c[core] += fh[i] * jit[i] * dt_eff
+                cnt_a[core] += (
+                    instructions * apki * MPKI_SCALE if apki > 0 else misses
+                )
+                cnt_m[core] += misses
+                if isfg[i]:
+                    remaining = proc._target_total - proc.progress
+                    if instructions >= remaining > 0:
+                        dt_to_finish = remaining / ips
+                        end_s = now_tick * dt + dt_to_finish
+                        miss_share = misses * (remaining / instructions)
+                        proc.advance(remaining, miss_share)
+                        record = proc.complete_execution(end_s)
+                        completions.append((proc, record))
+                        leftover = instructions - remaining
+                        proc.advance(leftover, misses - miss_share)
+                        continue
+                proc.progress += instructions
+                proc.execution_misses += misses
+
+            if energy is not None:
+                energy.accumulate(dt, freqs_list, busy_list)
+
+            cache_tick(weights, dt)
+            has_stolen = False
+            now_tick += 1
+            clock.tick = now_tick
+            executed += 1
+            if completions:
+                break
+
+            if jitter_free and not w_changed and rho == rho_in:
+                # The occupancy filter and fixed point are at their
+                # exact float fixed points: every input of the next tick
+                # equals this tick's, so its outputs (and the no-op
+                # cache update) are bit-identical.  Precompute the
+                # per-tick counter increments; ``dt - 0.0 == dt``, so
+                # they match the scalar kernel's stolen-free path.
+                for i in range(n):
+                    ips = ips_a[i]
+                    instructions = ips * dt
+                    instr_inc[i] = instructions
+                    cyc_inc[i] = fh[i] * jit[i] * dt
+                    misses = ips * mpki_a[i] * MPKI_SCALE * dt
+                    miss_inc[i] = misses
+                    apki = apki_a[i]
+                    acc_inc[i] = (
+                        instructions * apki * MPKI_SCALE if apki > 0
+                        else misses
+                    )
+                stationary = True
+
+        # Mid-span nothing can observe rho (events break spans), so the
+        # per-tick ``memory.observe`` of the scalar kernel collapses to a
+        # single write-back at span exit.
+        m._rho = rho
+        memory.observe(rho)
+        if completions:
+            for proc, record in completions:
+                for listener in listeners:
+                    listener(proc, record)
+        return executed

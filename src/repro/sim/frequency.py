@@ -8,7 +8,7 @@ is requested.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.config import MachineConfig
@@ -87,19 +87,49 @@ class FrequencyGovernor:
         return True
 
     def tick(self, now_tick: int) -> None:
-        """Apply any pending frequency changes that are due."""
-        if not self._pending:
+        """Apply any pending frequency changes that are due.
+
+        The pending list is filtered in place so the object returned by
+        :meth:`pending_transitions` stays valid across ticks.
+        """
+        pending = self._pending
+        if not pending:
             return
-        remaining: List[Tuple[int, int]] = []
         grades_ghz = self._config.freq_grades_ghz
-        for apply_tick, core in self._pending:
+        keep = 0
+        for entry in pending:
+            apply_tick, core = entry
             if apply_tick <= now_tick:
                 grade = self._pending_grade[core]
                 self._grade[core] = grade
                 self._freq_ghz[core] = grades_ghz[grade]
             else:
-                remaining.append((apply_tick, core))
-        self._pending = remaining
+                pending[keep] = entry
+                keep += 1
+        del pending[keep:]
+
+    def pending_transitions(self) -> List[Tuple[int, int]]:
+        """Live ``(apply_tick, core)`` pairs not yet applied (stable list).
+
+        Hot-path accessor: callers must treat the returned list as
+        read-only; it is mutated in place as requests arrive and apply,
+        so a reference hoisted once stays valid for the governor's
+        lifetime (the machine's tick kernel uses it for its
+        anything-pending check).
+        """
+        return self._pending
+
+    def next_transition_tick(self) -> Optional[int]:
+        """Earliest tick at which a pending DVFS change applies, or None.
+
+        Used by the batch engine to bound its event horizon; ticks
+        strictly before the returned value cannot observe a frequency
+        change.
+        """
+        pending = self._pending
+        if not pending:
+            return None
+        return min(apply_tick for apply_tick, _ in pending)
 
     def is_max(self, core: int) -> bool:
         """True when the core's pending grade is the highest."""

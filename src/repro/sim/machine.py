@@ -12,6 +12,7 @@ import math
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.sim.batch import BACKEND_BATCH, BatchEngine, resolve_backend
 from repro.sim.cache import SharedCache
 from repro.sim.config import MachineConfig
 from repro.sim.counters import CounterBank, CounterSnapshot
@@ -28,8 +29,17 @@ CompletionListener = Callable[[Process, ExecutionRecord], None]
 class Machine:
     """Discrete-time multicore node with one pinned process per core."""
 
-    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         self.config = config or MachineConfig()
+        #: Active simulation backend ("scalar" or "batch"); resolved from
+        #: the ``backend`` argument, then ``REPRO_SIM_BACKEND``, then the
+        #: default.  Only affects how ``run_ticks`` advances the machine;
+        #: ``tick()`` is always the scalar reference kernel.
+        self.backend = resolve_backend(backend)
         self.clock = VirtualClock(self.config.tick_s)
         self._timer_rng = derive_rng(self.config.seed, "timer")
         self.timers = TimerWheel(
@@ -52,6 +62,8 @@ class Machine:
         self._jitter_mu = -0.5 * self._sigma * self._sigma
         self._cnt_arrays = self.counters.hot_arrays()
         self._gov_freqs = self.governor.effective_frequencies()
+        self._gov_pending = self.governor.pending_transitions()
+        self._timer_heap = self.timers.pending_heap()
         self._cache_eff = self.cache.effective_list()
         self._cache_tick = self.cache.tick_update
         self._b_core = [0] * num_cores
@@ -76,6 +88,15 @@ class Machine:
         self._settled = False
         self._ips_prev: List[float] = [0.0] * self.config.num_cores
         self._energy = None  # optional EnergyModel
+        self._batch_engine = (
+            BatchEngine(self) if self.backend == BACKEND_BATCH else None
+        )
+        # Cached process-list views, invalidated on spawn (the runtime
+        # reads these every fine interval; rebuilding them per access
+        # showed up in profiles).
+        self._proc_list: Optional[List[Process]] = None
+        self._fg_list: Optional[List[Process]] = None
+        self._bg_list: Optional[List[Process]] = None
 
     # ------------------------------------------------------------------
     # Process management
@@ -99,6 +120,9 @@ class Machine:
         self._procs_by_core[core] = proc
         self._procs_by_pid[proc.pid] = proc
         self._settled = False
+        self._proc_list = None
+        self._fg_list = None
+        self._bg_list = None
         return proc
 
     def process_on_core(self, core: int) -> Optional[Process]:
@@ -116,18 +140,30 @@ class Machine:
 
     @property
     def processes(self) -> List[Process]:
-        """All spawned processes, in core order."""
-        return [p for p in self._procs_by_core if p is not None]
+        """All spawned processes, in core order (cached; don't mutate)."""
+        procs = self._proc_list
+        if procs is None:
+            procs = [p for p in self._procs_by_core if p is not None]
+            self._proc_list = procs
+        return procs
 
     @property
     def foreground_processes(self) -> List[Process]:
-        """All FG processes, in core order."""
-        return [p for p in self.processes if p.is_foreground]
+        """All FG processes, in core order (cached; don't mutate)."""
+        procs = self._fg_list
+        if procs is None:
+            procs = [p for p in self.processes if p.is_foreground]
+            self._fg_list = procs
+        return procs
 
     @property
     def background_processes(self) -> List[Process]:
-        """All BG processes, in core order."""
-        return [p for p in self.processes if not p.is_foreground]
+        """All BG processes, in core order (cached; don't mutate)."""
+        procs = self._bg_list
+        if procs is None:
+            procs = [p for p in self.processes if not p.is_foreground]
+            self._bg_list = procs
+        return procs
 
     def add_completion_listener(self, listener: CompletionListener) -> None:
         """Register a callback invoked on every FG execution completion."""
@@ -212,9 +248,19 @@ class Machine:
         self._settled = True
 
     def run_ticks(self, ticks: int) -> None:
-        """Advance the machine by ``ticks`` ticks (batched fast path)."""
+        """Advance the machine by ``ticks`` ticks.
+
+        With the batch backend, event-free spans are advanced by the
+        fused multi-tick kernel in :mod:`repro.sim.batch`; the scalar
+        backend (and every tick that carries an event) goes through the
+        reference :meth:`tick` kernel.
+        """
         if ticks < 0:
             raise SimulationError("ticks must be >= 0")
+        engine = self._batch_engine
+        if engine is not None:
+            engine.run_ticks(ticks)
+            return
         tick = self.tick
         for _ in range(ticks):
             tick()
@@ -246,13 +292,11 @@ class Machine:
         if not self._settled:
             self.settle_cache()
         clock = self.clock
-        now_tick = clock._tick
-        governor = self.governor
-        if governor._pending:
-            governor.tick(now_tick)
-        timers = self.timers
-        if timers._heap:
-            for callback in timers.due():
+        now_tick = clock.tick
+        if self._gov_pending:
+            self.governor.tick(now_tick)
+        if self._timer_heap:
+            for callback in self.timers.due():
                 callback()
 
         config = self.config
@@ -379,7 +423,7 @@ class Machine:
             self._energy.accumulate(dt, freqs, busy)
 
         self._cache_tick(weights, dt)
-        clock._tick = now_tick + 1
+        clock.tick = now_tick + 1
 
         if completions:
             for proc, record in completions:

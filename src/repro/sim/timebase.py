@@ -24,27 +24,32 @@ class VirtualClock:
         if tick_s <= 0:
             raise SimulationError("tick_s must be positive")
         self.tick_s = tick_s
-        self._tick = 0
-
-    @property
-    def tick(self) -> int:
-        """Current tick index (number of completed ticks)."""
-        return self._tick
+        #: Current tick index (number of completed ticks).  Public plain
+        #: attribute so hot loops (the machine's tick kernel and the batch
+        #: engine) read and advance it without property dispatch; treat it
+        #: as owned by whichever engine is driving the machine.
+        self.tick = 0
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
-        return self._tick * self.tick_s
+        return self.tick * self.tick_s
 
     def advance(self) -> None:
         """Advance the clock by one tick."""
-        self._tick += 1
+        self.tick += 1
 
     def ticks_for(self, seconds: float) -> int:
-        """Number of whole ticks closest to ``seconds`` (at least 1)."""
+        """Number of whole ticks closest to ``seconds`` (at least 1).
+
+        Exact half-tick delays round *up* (``2.5 -> 3``): Python's
+        built-in ``round`` uses banker's rounding, under which a timer
+        for an exact half-tick delay would silently fire a tick early
+        whenever the nearest even count is the lower one.
+        """
         if seconds <= 0:
             raise SimulationError("timer delay must be positive")
-        return max(1, round(seconds / self.tick_s))
+        return max(1, int(seconds / self.tick_s + 0.5))
 
 
 class TimerWheel:
@@ -77,6 +82,26 @@ class TimerWheel:
         heapq.heappush(self._heap, (fire_tick, self._seq, callback))
         self._seq += 1
         return fire_tick
+
+    def next_deadline(self) -> Optional[int]:
+        """Tick index of the earliest pending timer, or None when empty.
+
+        A cheap peek — nothing is popped — used by the batch engine to
+        bound its event horizon.
+        """
+        heap = self._heap
+        return heap[0][0] if heap else None
+
+    def pending_heap(self) -> List[Tuple[int, int, TimerCallback]]:
+        """Live heap of pending timers (stable list).
+
+        Hot-path accessor: callers must treat the returned list as
+        read-only; it is mutated in place by :meth:`schedule`,
+        :meth:`due`, and :meth:`clear`, so a reference hoisted once
+        stays valid for the wheel's lifetime (the machine's tick kernel
+        uses it for its is-anything-pending check).
+        """
+        return self._heap
 
     def due(self) -> List[TimerCallback]:
         """Pop and return every callback due at the current tick."""

@@ -102,3 +102,37 @@ class TestTick:
     def test_out_of_range_core_rejected(self, governor):
         with pytest.raises(SimulationError):
             governor.grade(6)
+
+
+class TestHotPathAccessors:
+    def test_next_transition_tick_none_when_idle(self, governor):
+        assert governor.next_transition_tick() is None
+
+    def test_next_transition_tick_earliest(self, governor):
+        governor.set_grade(0, 0, now_tick=5)
+        governor.set_grade(1, 1, now_tick=2)
+        assert governor.next_transition_tick() == 3  # 2 + 1 transition tick
+
+    def test_next_transition_clears_after_apply(self, governor):
+        governor.set_grade(0, 0, now_tick=0)
+        governor.tick(governor.next_transition_tick())
+        assert governor.next_transition_tick() is None
+
+    def test_pending_transitions_is_stable(self, governor):
+        pending = governor.pending_transitions()
+        assert pending == []
+        governor.set_grade(0, 0, now_tick=0)
+        governor.set_grade(1, 2, now_tick=0)
+        assert len(pending) == 2  # same list object, mutated in place
+        governor.tick(1)
+        assert pending == []
+        assert governor.pending_transitions() is pending
+
+    def test_in_place_filter_keeps_future_transitions(self, governor):
+        pending = governor.pending_transitions()
+        governor.set_grade(0, 0, now_tick=0)   # applies at tick 1
+        governor.set_grade(1, 2, now_tick=4)   # applies at tick 5
+        governor.tick(1)
+        assert pending == [(5, 1)]
+        assert governor.grade(0) == 0
+        assert governor.grade(1) == 4  # still pending

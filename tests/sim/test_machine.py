@@ -31,6 +31,19 @@ class TestSpawn:
         assert machine.foreground_processes == [fg]
         assert machine.background_processes == [bg]
 
+    def test_process_listing_cached_until_spawn(self, machine, tiny_fg,
+                                                tiny_bg):
+        # The runtime reads these every fine interval; repeated access
+        # must not rebuild the lists, but a spawn must invalidate them.
+        fg = machine.spawn(tiny_fg, core=0)
+        assert machine.processes is machine.processes
+        assert machine.foreground_processes is machine.foreground_processes
+        assert machine.background_processes is machine.background_processes
+        bg = machine.spawn(tiny_bg, core=1)
+        assert machine.processes == [fg, bg]
+        assert machine.foreground_processes == [fg]
+        assert machine.background_processes == [bg]
+
     def test_unknown_pid_rejected(self, machine):
         with pytest.raises(SimulationError):
             machine.process_by_pid(99)

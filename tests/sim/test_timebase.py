@@ -27,6 +27,15 @@ class TestVirtualClock:
         assert clock.ticks_for(5.4e-3) == 5
         assert clock.ticks_for(5.6e-3) == 6
 
+    def test_ticks_for_rounds_half_up(self):
+        # Regression: round() uses banker's rounding, under which an
+        # exact half-tick delay (2.5 ticks) fired a timer a tick EARLY
+        # whenever the nearest even count was the lower one.
+        clock = VirtualClock(1e-3)
+        assert clock.ticks_for(2.5e-3) == 3
+        assert clock.ticks_for(4.5e-3) == 5
+        assert clock.ticks_for(3.5e-3) == 4
+
     def test_ticks_for_minimum_one(self):
         clock = VirtualClock(1e-3)
         assert clock.ticks_for(1e-7) == 1
@@ -109,6 +118,59 @@ class TestTimerWheel:
             1 for _ in range(1000) if wheel.schedule(5e-3, lambda: None) == 6
         )
         assert 120 < late < 280  # ~20%
+
+    def test_jitter_deterministic_across_reschedules(self):
+        # Two identically seeded wheels must draw the same jitter for
+        # the same schedule sequence, even when timers fire and are
+        # rescheduled from inside their own callbacks (the runtime's
+        # periodic sampling pattern).
+        def run(seed):
+            clock = VirtualClock(1e-3)
+            wheel = TimerWheel(clock, random.Random(seed), jitter_prob=0.5)
+            fired = []
+
+            def periodic():
+                fired.append(clock.tick)
+                wheel.schedule(4e-3, periodic)
+
+            wheel.schedule(4e-3, periodic)
+            for _ in range(100):
+                for cb in wheel.due():
+                    cb()
+                clock.advance()
+            return fired
+
+        first = run(seed=9)
+        assert len(first) > 10
+        assert first == run(seed=9)
+        assert any(b - a == 5 for a, b in zip(first, first[1:]))  # jittered
+        assert any(b - a == 4 for a, b in zip(first, first[1:]))  # on time
+
+    def test_next_deadline_peeks_earliest(self):
+        clock, wheel = self._wheel()
+        assert wheel.next_deadline() is None
+        wheel.schedule(5e-3, lambda: None)
+        wheel.schedule(2e-3, lambda: None)
+        assert wheel.next_deadline() == 2
+        assert len(wheel) == 2  # peek pops nothing
+        clock.advance()
+        clock.advance()
+        wheel.due()
+        assert wheel.next_deadline() == 5
+
+    def test_pending_heap_is_stable(self):
+        clock, wheel = self._wheel()
+        heap = wheel.pending_heap()
+        assert heap == []
+        wheel.schedule(1e-3, lambda: None)
+        assert len(heap) == 1  # same list object, mutated in place
+        clock.advance()
+        wheel.due()
+        assert heap == []
+        wheel.schedule(1e-3, lambda: None)
+        wheel.clear()
+        assert heap == []
+        assert wheel.pending_heap() is heap
 
 
 class TestDeriveRng:
