@@ -27,6 +27,10 @@ each component separately so the numbers stay honest across hosts.
 Reproduce with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_perf_harness.py -q
+
+or through the CLI (optionally under cProfile)::
+
+    PYTHONPATH=src python -m repro bench [--profile profile.pstats]
 """
 
 from __future__ import annotations
@@ -41,8 +45,13 @@ from repro.core.policies import BASELINE, DIRIGENT
 from repro.experiments import harness
 from repro.experiments.harness import build_machine, run_policy
 from repro.experiments.mixes import mix_by_name
-from repro.experiments.parallel import run_grid
-from repro.sim.batch import BACKEND_BATCH, BACKEND_SCALAR, ENV_BACKEND
+from repro.experiments.parallel import default_workers, run_grid
+from repro.sim.batch import (
+    BACKEND_BATCH,
+    BACKEND_SCALAR,
+    ENV_BACKEND,
+    resolve_backend,
+)
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
 from repro.workloads.catalog import get_workload
@@ -92,30 +101,44 @@ def _tick_rate(config: MachineConfig) -> float:
     return best
 
 
-def _backend_rate(factory, backend: str) -> float:
-    """Best-of-N tick throughput of fresh machines under ``backend``."""
+def _backend_rate(factory, backend: str):
+    """Best-of-N tick throughput of fresh machines under ``backend``.
+
+    Returns ``(rate, stats)`` with ``stats`` the fast-path counters of
+    the last machine (None under the scalar backend).
+    """
     best = 0.0
+    stats = None
     for _ in range(BACKEND_REPS):
         machine = factory(backend)
         start = time.perf_counter()
         machine.run_ticks(TICKS)
         elapsed = time.perf_counter() - start
         best = max(best, TICKS / elapsed)
-    return best
+        stats = machine.backend_stats()
+    return best, stats
 
 
 def _end_to_end_s(backend: str) -> float:
-    """Cold-cache Dirigent run_policy wall-clock under ``backend``."""
+    """Cold-cache Dirigent run_policy wall-clock under ``backend``.
+
+    Best of three runs — each from cold caches — so a scheduler hiccup
+    on a shared host does not distort the recorded ratio.
+    """
     previous = os.environ.get(ENV_BACKEND)
     os.environ[ENV_BACKEND] = backend
+    best = None
     try:
-        harness.clear_caches()
-        start = time.perf_counter()
-        run_policy(
-            mix_by_name("ferret rs"), DIRIGENT,
-            executions=SWEEP_EXECUTIONS, warmup=SWEEP_WARMUP,
-        )
-        return time.perf_counter() - start
+        for _ in range(3):
+            harness.clear_caches()
+            start = time.perf_counter()
+            run_policy(
+                mix_by_name("ferret rs"), DIRIGENT,
+                executions=SWEEP_EXECUTIONS, warmup=SWEEP_WARMUP,
+            )
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
     finally:
         harness.clear_caches()
         if previous is None:
@@ -128,7 +151,13 @@ def _snapshot(sweep) -> dict:
     return {"%s|%s" % key: repr(result) for key, result in sweep.results.items()}
 
 
-def test_bench_harness_artifact():
+def run_benchmark() -> dict:
+    """Measure every layer and write ``BENCH_harness.json``.
+
+    Returns the artifact dict; floors are checked separately by
+    :func:`check_floors` so the CLI can render measurements even when a
+    slow host misses a floor.
+    """
     pre = json.loads(PRE_PR_FILE.read_text())
     mixes = [mix_by_name(name) for name in SWEEP_MIXES]
 
@@ -138,10 +167,12 @@ def test_bench_harness_artifact():
     )
 
     # Scalar vs batch backend, same workloads, same seeds.
-    sparse_scalar = _backend_rate(_sparse_machine, BACKEND_SCALAR)
-    sparse_batch = _backend_rate(_sparse_machine, BACKEND_BATCH)
-    contended_scalar = _backend_rate(_contended_machine, BACKEND_SCALAR)
-    contended_batch = _backend_rate(_contended_machine, BACKEND_BATCH)
+    sparse_scalar, _ = _backend_rate(_sparse_machine, BACKEND_SCALAR)
+    sparse_batch, sparse_stats = _backend_rate(_sparse_machine, BACKEND_BATCH)
+    contended_scalar, _ = _backend_rate(_contended_machine, BACKEND_SCALAR)
+    contended_batch, contended_stats = _backend_rate(
+        _contended_machine, BACKEND_BATCH
+    )
     sparse_speedup = sparse_batch / sparse_scalar
     contended_speedup = contended_batch / contended_scalar
     e2e_scalar_s = _end_to_end_s(BACKEND_SCALAR)
@@ -173,12 +204,20 @@ def test_bench_harness_artifact():
     sweep_speedup_warm = pre["sweep_serial_cold_s"] / parallel_warm.elapsed_s
     sweep_speedup_cold = pre["sweep_serial_cold_s"] / parallel_cold.elapsed_s
 
+    try:
+        loadavg_1m = round(os.getloadavg()[0], 2)
+    except (AttributeError, OSError):
+        loadavg_1m = None
+
     artifact = {
         "generated_by": "benchmarks/bench_perf_harness.py",
         "host": {
             "cpu_count": os.cpu_count(),
+            "loadavg_1m": loadavg_1m,
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "backend": resolve_backend(),
+            "workers": default_workers(),
         },
         "tick_kernel": {
             "ticks": TICKS,
@@ -211,6 +250,14 @@ def test_bench_harness_artifact():
                 "batch_s": round(e2e_batch_s, 3),
                 "speedup": round(e2e_scalar_s / e2e_batch_s, 3),
             },
+            "fast_path": {
+                "note": (
+                    "span-compiled kernel counters (repro.sim.spanplan) "
+                    "from the last batch rep of each backend benchmark"
+                ),
+                "event_sparse": sparse_stats,
+                "contended": contended_stats,
+            },
         },
         "sweep": {
             "mixes": list(SWEEP_MIXES),
@@ -222,6 +269,7 @@ def test_bench_harness_artifact():
             "parallel_cold_s": round(parallel_cold.elapsed_s, 3),
             "parallel_warm_s": round(parallel_warm.elapsed_s, 3),
             "parallel_mode": parallel_cold.mode,
+            "pack_sizes": parallel_cold.pack_sizes,
             "pre_pr_serial_cold_s": pre["sweep_serial_cold_s"],
             "speedup_vs_pre_pr_serial_cold": round(sweep_speedup_cold, 3),
             "speedup_vs_pre_pr_serial_warm": round(sweep_speedup_warm, 3),
@@ -234,10 +282,30 @@ def test_bench_harness_artifact():
         "identical_results": True,
     }
     ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    return artifact
 
-    # Acceptance floors (artifact records the exact measurements above;
-    # thresholds leave slack for slow shared CI hosts).
-    assert speedup_default >= 1.2, artifact["tick_kernel"]
-    assert sweep_speedup_warm >= 4.0, artifact["sweep"]
-    assert sparse_speedup >= 3.0, artifact["backends"]["event_sparse"]
-    assert contended_speedup >= 1.3, artifact["backends"]["contended"]
+
+def check_floors(artifact: dict) -> None:
+    """Assert the acceptance floors against a benchmark artifact.
+
+    The artifact records the exact measurements; thresholds leave slack
+    for slow shared CI hosts.
+    """
+    backends = artifact["backends"]
+    assert artifact["tick_kernel"]["speedup_default"] >= 1.2, (
+        artifact["tick_kernel"]
+    )
+    assert artifact["sweep"]["speedup_vs_pre_pr_serial_warm"] >= 4.0, (
+        artifact["sweep"]
+    )
+    assert backends["event_sparse"]["speedup"] >= 3.0, (
+        backends["event_sparse"]
+    )
+    assert backends["contended"]["speedup"] >= 2.0, backends["contended"]
+    assert backends["end_to_end_dirigent"]["speedup"] >= 1.5, (
+        backends["end_to_end_dirigent"]
+    )
+
+
+def test_bench_harness_artifact():
+    check_floors(run_benchmark())

@@ -8,6 +8,7 @@ Usage::
     python -m repro table1
     python -m repro cache stats
     python -m repro cache clear
+    python -m repro bench [--profile profile.pstats] [--skip-floors]
 """
 
 from __future__ import annotations
@@ -44,7 +45,86 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table1", help="print the benchmark inventory")
     cache = sub.add_parser("cache", help="inspect or purge the result cache")
     cache.add_argument("action", choices=("stats", "clear"))
+    bench = sub.add_parser(
+        "bench",
+        help="run the performance benchmark harness "
+             "(writes BENCH_harness.json)",
+    )
+    bench.add_argument(
+        "--profile", metavar="PSTATS", nargs="?",
+        const="bench_profile.pstats", default=None,
+        help="run under cProfile: dump the stats to PSTATS (default "
+             "bench_profile.pstats) and print the top 25 functions by "
+             "cumulative time",
+    )
+    bench.add_argument(
+        "--skip-floors", action="store_true",
+        help="record measurements without asserting the acceptance "
+             "floors (useful on slow shared hosts)",
+    )
     return parser
+
+
+def _load_bench_module():
+    """Import ``benchmarks/bench_perf_harness.py`` from the repo tree."""
+    import importlib.util
+    from pathlib import Path
+
+    path = (
+        Path(__file__).resolve().parents[2]
+        / "benchmarks" / "bench_perf_harness.py"
+    )
+    if not path.exists():
+        raise FileNotFoundError(
+            "benchmark harness not found at %s (the bench command runs "
+            "from a source checkout)" % path
+        )
+    spec = importlib.util.spec_from_file_location("bench_perf_harness", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run_bench(args) -> int:
+    """Handler for the ``bench`` subcommand."""
+    bench = _load_bench_module()
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            artifact = bench.run_benchmark()
+        finally:
+            profiler.disable()
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(25)
+        print("profile written to %s" % args.profile)
+    else:
+        artifact = bench.run_benchmark()
+    backends = artifact["backends"]
+    print("artifact written to %s" % bench.ARTIFACT)
+    print("tick kernel speedup (default): %.3fx"
+          % artifact["tick_kernel"]["speedup_default"])
+    print("event-sparse batch/scalar:     %.3fx"
+          % backends["event_sparse"]["speedup"])
+    print("contended batch/scalar:        %.3fx"
+          % backends["contended"]["speedup"])
+    print("end-to-end Dirigent:           %.3fx"
+          % backends["end_to_end_dirigent"]["speedup"])
+    print("sweep speedup (warm cache):    %.3fx"
+          % artifact["sweep"]["speedup_vs_pre_pr_serial_warm"])
+    if args.skip_floors:
+        return 0
+    try:
+        bench.check_floors(artifact)
+    except AssertionError as exc:
+        print("FLOOR MISSED: %s" % exc)
+        return 1
+    print("all acceptance floors met")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -57,6 +137,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table1":
         print(render(FIGURES["table1"]()))
         return 0
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "cache":
         from repro.experiments.diskcache import get_cache
         cache = get_cache()

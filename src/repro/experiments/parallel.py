@@ -22,6 +22,15 @@ Worker count comes from, in order: the ``workers`` argument,
 :func:`set_default_workers` (the CLI's ``--workers``), the
 ``REPRO_WORKERS`` environment variable, then ``os.cpu_count()``.  Any
 failure to stand up the process pool degrades to the serial path.
+
+Policy cells are dispatched **lane-packed**: instead of one cell per
+pool task, each task carries a pack of K cells grouped by mix, so a
+worker that has warmed a mix's prerequisites (profile, baseline,
+partition — all memoized in-process by :mod:`repro.experiments.harness`)
+runs that mix's remaining policies against its warm in-memory caches
+rather than re-deserializing them from the disk cache per cell.  Packing
+changes scheduling only, never results.  ``REPRO_PACK_CELLS`` overrides
+the per-pack cell cap.
 """
 
 from __future__ import annotations
@@ -47,6 +56,9 @@ from repro.experiments.mixes import Mix
 from repro.sim.config import MachineConfig
 
 _default_workers: Optional[int] = None
+
+#: Environment override for the lane-pack size (cells per pool task).
+ENV_PACK_CELLS = "REPRO_PACK_CELLS"
 
 
 def set_default_workers(workers: int) -> None:
@@ -81,6 +93,8 @@ class SweepResult:
         workers: Worker processes the sweep ran with (1 = serial).
         mode: ``"serial"`` or ``"parallel"``.
         elapsed_s: End-to-end wall-clock time of the sweep.
+        pack_sizes: Cells carried by each pool task (parallel mode only;
+            empty for serial sweeps).
     """
 
     results: Dict[Tuple[str, str], RunResult] = field(default_factory=dict)
@@ -89,6 +103,7 @@ class SweepResult:
     workers: int = 1
     mode: str = "serial"
     elapsed_s: float = 0.0
+    pack_sizes: List[int] = field(default_factory=list)
 
     def get(self, mix: Mix, policy: Policy) -> RunResult:
         """The cached cell for ``(mix, policy)``."""
@@ -122,6 +137,44 @@ def _policy_cell(args: Tuple) -> Tuple[str, str, RunResult, float]:
         seed=seed,
     )
     return mix.name, policy.name, result, time.perf_counter() - start
+
+
+def _run_pack(pack: List[Tuple]) -> List[Tuple[str, str, RunResult, float]]:
+    """Worker: run a lane pack of cells back to back.
+
+    Cells in a pack share a mix, so after the first cell the worker's
+    in-process caches hold the mix's profile, baseline, and partition;
+    the remaining cells skip the disk-cache round trips entirely.  Each
+    cell is still computed by :func:`_policy_cell`, so results are
+    byte-identical to unpacked dispatch.
+    """
+    return [_policy_cell(cell) for cell in pack]
+
+
+def _pack_cells(cells: List[Tuple], workers: int) -> List[List[Tuple]]:
+    """Group cells into per-mix packs of at most K cells.
+
+    K defaults to an even split of the grid over the workers (so packing
+    never *reduces* parallelism when there are spare workers) and can be
+    pinned with ``REPRO_PACK_CELLS``.
+    """
+    cap = 0
+    env = os.environ.get(ENV_PACK_CELLS)
+    if env:
+        try:
+            cap = max(1, int(env))
+        except ValueError:
+            cap = 0
+    if cap < 1:
+        cap = max(1, -(-len(cells) // max(1, workers)))
+    by_mix: Dict[str, List[Tuple]] = {}
+    for cell in cells:
+        by_mix.setdefault(cell[0].name, []).append(cell)
+    packs: List[List[Tuple]] = []
+    for group in by_mix.values():
+        for index in range(0, len(group), cap):
+            packs.append(group[index:index + cap])
+    return packs
 
 
 def run_grid(
@@ -185,6 +238,7 @@ def _run_parallel(
         (mix, tuple(policies), executions, warmup, config, seed)
         for mix in mixes
     ]
+    packs = _pack_cells(cells, workers)
     try:
         with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
             if needs_prepare and len(mixes) > 0:
@@ -193,18 +247,18 @@ def _run_parallel(
                     _prepare_cell, prepare_args, chunksize=chunk
                 ):
                     sweep.prepare_timings[name] = spent
-            chunk = _chunksize(len(cells), workers)
-            for mix_name, policy_name, result, spent in pool.map(
-                _policy_cell, cells, chunksize=chunk
-            ):
-                sweep.results[(mix_name, policy_name)] = result
-                sweep.cell_timings[(mix_name, policy_name)] = spent
+            sweep.pack_sizes = [len(pack) for pack in packs]
+            for pack_results in pool.map(_run_pack, packs, chunksize=1):
+                for mix_name, policy_name, result, spent in pack_results:
+                    sweep.results[(mix_name, policy_name)] = result
+                    sweep.cell_timings[(mix_name, policy_name)] = spent
     except (OSError, BrokenProcessPool, RuntimeError, PermissionError):
         # No fork/spawn, no semaphores, or the pool died: the sweep is
         # still fully computable in this process.
         sweep.results.clear()
         sweep.cell_timings.clear()
         sweep.prepare_timings.clear()
+        sweep.pack_sizes = []
         return False
     return True
 

@@ -36,7 +36,11 @@ def percentile(values: Sequence[float], q: float) -> float:
     lo = int(math.floor(pos))
     hi = int(math.ceil(pos))
     frac = pos - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    value = ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    # The two rounded products can overshoot the bracketing samples by an
+    # ulp (e.g. equal endpoints with an irrational frac); clamp so the
+    # result always lies between the samples it interpolates.
+    return min(max(value, ordered[lo]), ordered[hi])
 
 
 def reservation_for(

@@ -59,6 +59,7 @@ from typing import List, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.sim.perf import FIXED_POINT_ITERATIONS, MPKI_SCALE
 from repro.sim.process import STATE_RUNNING, ExecutionRecord, Process
+from repro.sim.spanplan import SpanPlanner, SpanStats, span_compile_enabled
 
 #: Reference per-tick loop (bit-exact baseline pinned by
 #: ``tests/sim/test_machine_perf_equivalence.py``).
@@ -110,6 +111,12 @@ class BatchEngine:
 
     def __init__(self, machine) -> None:
         self._m = machine
+        #: Fast-path observability counters (see SpanStats).
+        self.stats = SpanStats()
+        self._planner = (
+            SpanPlanner(machine, self.stats)
+            if span_compile_enabled() else None
+        )
         num_cores = machine.config.num_cores
         self._cores = [0] * num_cores
         self._procs: List[Optional[Process]] = [None] * num_cores
@@ -144,14 +151,20 @@ class BatchEngine:
         remaining = ticks
         while remaining > 0:
             horizon = self._horizon(remaining)
-            if horizon > 1:
-                executed = self._run_span(horizon)
+            if horizon < 1:
+                # An event is due at the current tick (timer or DVFS
+                # apply): run the start-of-tick preamble by itself, then
+                # re-plan.  The tick itself stays on the span path.
+                m.dispatch_events()
+                horizon = self._horizon(remaining)
+            if horizon >= 1:
+                executed = self._dispatch_span(horizon)
                 if executed:
                     remaining -= executed
                     continue
-            # An event is due at the current tick (timer, DVFS apply,
-            # phase resync) or the horizon is a single tick: the scalar
-            # kernel handles it — it is the semantic reference.
+            # No span progress (an in-span guard tripped immediately, or
+            # a timer callback scheduled work for this same tick): the
+            # scalar kernel handles it — it is the semantic reference.
             m.tick()
             remaining -= 1
 
@@ -215,6 +228,31 @@ class BatchEngine:
     # ------------------------------------------------------------------
     # Fused multi-tick kernel
     # ------------------------------------------------------------------
+
+    def _dispatch_span(self, span: int) -> int:
+        """Route a span to the compiled fast path or the generic kernel.
+
+        Compiled kernels (see :mod:`repro.sim.spanplan`) cover the
+        common shapes; spans carrying stolen time, overlapping cache
+        groups, an idle machine, or a substituted jitter RNG fall back
+        to :meth:`_run_span`, whose semantics they replicate exactly.
+        """
+        stats = self.stats
+        stats.spans += 1
+        planner = self._planner
+        if planner is not None:
+            plan = planner.plan_for_span()
+            if plan is not None:
+                stats.compiled_spans += 1
+                if any(self._m._stolen_s):
+                    # Overhead is only charged during callbacks, which
+                    # never run mid-span, so exactly the span's first
+                    # tick carries stolen time: the stolen variant peels
+                    # that tick and charges it scalar-style.
+                    return plan.run(span, plan.kernel_stolen)
+                return plan.run(span)
+        stats.generic_spans += 1
+        return self._run_span(span)
 
     def _run_span(self, span: int) -> int:
         """Run up to ``span`` event-free ticks; returns ticks executed.
@@ -464,7 +502,10 @@ class BatchEngine:
             if completions:
                 break
 
-            if jitter_free and not w_changed and rho == rho_in:
+            if (
+                jitter_free and not w_changed and rho == rho_in
+                and self._idle_converged(weights)
+            ):
                 # The occupancy filter and fixed point are at their
                 # exact float fixed points: every input of the next tick
                 # equals this tick's, so its outputs (and the no-op
@@ -495,3 +536,28 @@ class BatchEngine:
                 for listener in listeners:
                     listener(proc, record)
         return executed
+
+    def _idle_converged(self, weights: List[float]) -> bool:
+        """Whether every zero-weight core's occupancy is exactly frozen.
+
+        The stationary fast path skips the cache update wholesale,
+        which is only sound once the update is an exact no-op for
+        *every* core.  Active cores are covered by the ``w_changed``
+        check (their occupancy feeds next tick's miss curves); cores
+        with zero weight — idle, paused, or APKI-0 — have a 0.0 target
+        nothing reads, so their occupancy keeps decaying until the
+        inertia step rounds to identity, and stationarity must wait for
+        them too.
+        """
+        m = self._m
+        cache = m.cache
+        if cache._tau <= 0:
+            return True  # snap mode: occupancy equals its target already
+        alpha = cache._alpha_cache[1]
+        eff = m._cache_eff
+        for core, weight in enumerate(weights):
+            if weight == 0.0:
+                e = eff[core]
+                if e != 0.0 and e + alpha * (0.0 - e) != e:
+                    return False
+        return True

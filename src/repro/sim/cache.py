@@ -16,7 +16,7 @@ time scale control.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.config import MachineConfig
@@ -59,6 +59,12 @@ class SharedCache:
         self._active_bits = -1
         self._alpha_cache: Tuple[float, float] = (-1.0, 0.0)
         self._zeros: List[float] = [0.0] * config.num_cores
+        # Span-plan support (repro.sim.spanplan): the mask epoch counts
+        # repartitions so compiled span kernels can validate their baked
+        # grouping with one integer compare; _span_groupings memoizes
+        # the grouping per hypothetical active set within an epoch.
+        self._mask_epoch = 0
+        self._span_groupings: dict = {}
 
     @property
     def num_ways(self) -> int:
@@ -85,6 +91,8 @@ class SharedCache:
             self._mask[core] = mask
             self._targets_dirty = True
             self._groups_dirty = True
+            self._mask_epoch += 1
+            self._span_groupings.clear()
 
     def set_fg_partition(
         self, fg_cores: Iterable[int], fg_ways: int
@@ -203,6 +211,82 @@ class SharedCache:
         for core in range(len(effective)):
             gap = target[core] - effective[core]
             effective[core] += alpha * gap
+
+    @property
+    def mask_epoch(self) -> int:
+        """Counter bumped on every effective mask change (repartition)."""
+        return self._mask_epoch
+
+    def span_grouping(
+        self, active_bits: int
+    ) -> Tuple[Tuple[Tuple[int, Tuple[int, ...]], ...], bool]:
+        """Mask grouping for a hypothetical active-core set (memoized).
+
+        Returns ``(groups, disjoint)`` with ``groups`` a tuple of
+        ``(way_count, cores)`` in exactly the order
+        :meth:`_rebuild_groups` would produce for the same active set.
+        Used by span plans, which fix the active set for a whole span.
+        """
+        got = self._span_groupings.get(active_bits)
+        if got is None:
+            groups: dict = {}
+            for core in range(self._config.num_cores):
+                if active_bits >> core & 1:
+                    groups.setdefault(self._mask[core], []).append(core)
+            masks = list(groups)
+            disjoint = True
+            for i, left in enumerate(masks):
+                for right in masks[i + 1:]:
+                    if left & right:
+                        disjoint = False
+                        break
+                if not disjoint:
+                    break
+            got = (
+                tuple(
+                    (bin(mask).count("1"), tuple(cores))
+                    for mask, cores in groups.items()
+                ),
+                disjoint,
+            )
+            self._span_groupings[active_bits] = got
+        return got
+
+    def inertia_alpha(self, dt_s: float) -> float:
+        """Inertia-filter gain for a ``dt_s`` step (pure; no caching)."""
+        if self._tau <= 0:
+            raise SimulationError("inertia_alpha undefined for tau <= 0")
+        cached_dt, alpha = self._alpha_cache
+        if dt_s == cached_dt:
+            return alpha
+        return 1.0 - math.exp(-dt_s / self._tau)
+
+    def span_commit(
+        self,
+        weights: Sequence[float],
+        targets: Sequence[float],
+        active_bits: int,
+        groups: List[Tuple[int, List[int]]],
+        disjoint: bool,
+        alpha_entry: Optional[Tuple[float, float]],
+    ) -> None:
+        """Install span-final occupancy state from a compiled kernel.
+
+        The kernel updated ``self._effective`` in place tick by tick;
+        this writes back the matching weights, targets, and grouping
+        exactly as a trailing :meth:`tick_update` would have left them
+        (``alpha_entry`` is None in snap mode, where ``tick_update``
+        never touches the alpha cache).
+        """
+        self._weights[:] = weights
+        self._target[:] = targets
+        self._targets_dirty = False
+        self._groups = groups
+        self._groups_disjoint = disjoint
+        self._groups_dirty = False
+        self._active_bits = active_bits
+        if alpha_entry is not None:
+            self._alpha_cache = alpha_entry
 
     def _rebuild_groups(self) -> None:
         """Recompute the mask/active-core grouping (rare; see below).

@@ -278,6 +278,23 @@ class Machine:
             ticks = 1
         self.run_ticks(ticks)
 
+    def dispatch_events(self) -> None:
+        """Run the start-of-tick event preamble without executing the tick.
+
+        Applies due DVFS transitions and fires due timers exactly as the
+        first lines of :meth:`tick` would.  The batch engine calls this
+        when an event lands on the current tick, then advances the tick
+        itself through the fused span kernel; :meth:`tick` performs the
+        same preamble inline, so scalar semantics are unchanged.
+        """
+        if not self._settled:
+            self.settle_cache()
+        if self._gov_pending:
+            self.governor.tick(self.clock.tick)
+        if self._timer_heap:
+            for callback in self.timers.due():
+                callback()
+
     def tick(self) -> None:
         """Advance the machine by one tick.
 
@@ -429,6 +446,16 @@ class Machine:
             for proc, record in completions:
                 for listener in self._completion_listeners:
                     listener(proc, record)
+
+    def backend_stats(self) -> Optional[Dict[str, int]]:
+        """Batch-engine fast-path counters, or None on the scalar backend.
+
+        See :class:`repro.sim.spanplan.SpanStats` for the fields.
+        """
+        engine = self._batch_engine
+        if engine is None:
+            return None
+        return engine.stats.as_dict()
 
     @property
     def rho(self) -> float:

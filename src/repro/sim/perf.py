@@ -21,7 +21,7 @@ point over the aggregate utilization ``rho``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.memory import MemorySystem
@@ -104,15 +104,62 @@ def solve_tick(
     outputs: List[PerfOutput] = []
     for _ in range(iterations):
         penalty_ns = memory.penalty_ns(rho)
-        outputs = [_evaluate(entry, penalty_ns) for entry in inputs]
+        outputs = [_evaluate_memo(entry, penalty_ns) for entry in inputs]
         total_miss_rate = sum(out.miss_rate for out in outputs)
         rho = memory.utilization_for(total_miss_rate)
     if refine_final:
         # Final evaluation at the converged utilization so outputs and
         # rho agree.
         penalty_ns = memory.penalty_ns(rho)
-        outputs = [_evaluate(entry, penalty_ns) for entry in inputs]
+        outputs = [_evaluate_memo(entry, penalty_ns) for entry in inputs]
     return outputs, rho
+
+
+#: Exact-input memo over :func:`_evaluate`.  The function is pure and its
+#: inputs are plain floats, so a hit returns a bit-identical (and shared,
+#: frozen) PerfOutput; keys are the exact float tuple, never a rounded or
+#: hashed approximation.  Offline profiling sweeps re-solve the same
+#: (phase, allocation, frequency) points many times, which is where the
+#: memo pays.  Bounded to keep long parameter sweeps from hoarding memory.
+_EVAL_MEMO: Dict[Tuple[float, ...], PerfOutput] = {}
+_EVAL_MEMO_MAX = 4096
+_eval_memo_hits = 0
+_eval_memo_misses = 0
+
+
+def _evaluate_memo(entry: PerfInput, penalty_ns: float) -> PerfOutput:
+    global _eval_memo_hits, _eval_memo_misses
+    key = (
+        entry.freq_ghz, entry.base_cpi, entry.mpki,
+        entry.mem_sensitivity, entry.jitter, penalty_ns,
+    )
+    out = _EVAL_MEMO.get(key)
+    if out is not None:
+        _eval_memo_hits += 1
+        return out
+    _eval_memo_misses += 1
+    out = _evaluate(entry, penalty_ns)
+    if len(_EVAL_MEMO) >= _EVAL_MEMO_MAX:
+        _EVAL_MEMO.clear()
+    _EVAL_MEMO[key] = out
+    return out
+
+
+def evaluate_memo_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the :func:`solve_tick` evaluation memo."""
+    return {
+        "hits": _eval_memo_hits,
+        "misses": _eval_memo_misses,
+        "size": len(_EVAL_MEMO),
+    }
+
+
+def clear_evaluate_memo() -> None:
+    """Drop the evaluation memo and reset its counters (test isolation)."""
+    global _eval_memo_hits, _eval_memo_misses
+    _EVAL_MEMO.clear()
+    _eval_memo_hits = 0
+    _eval_memo_misses = 0
 
 
 def _evaluate(entry: PerfInput, penalty_ns: float) -> PerfOutput:

@@ -80,6 +80,9 @@ class Process:
         self._phase_index = 0
         self._phase_start = 0.0
         self._phase_end = spec.phases[0].instructions
+        # Bumped whenever the phase program is replaced, so span plans
+        # keyed on (pid, spec epoch, phase index) can detect rotation.
+        self._spec_epoch = 0
 
     @property
     def spec(self) -> WorkloadSpec:
@@ -162,6 +165,7 @@ class Process:
         if self.is_foreground:
             raise SimulationError("cannot switch the spec of a FG process")
         self._spec = spec
+        self._spec_epoch += 1
         self.is_fg = spec.is_foreground
         self._total = spec.total_instructions
         self._fg_cap = self._total * (1.0 - 1e-12)

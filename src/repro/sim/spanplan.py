@@ -1,0 +1,805 @@
+"""Span-compiled fast path for the batch engine's contended spans.
+
+The generic fused kernel in :mod:`repro.sim.batch` already amortizes
+event checks across a span, but its inner loop still pays interpreted
+``for i in range(n)`` dispatch, list indexing, and per-tick method calls
+(``rng.gauss``, ``SharedCache.tick_update``) for every tick.  On the
+contended shapes every Dirigent figure simulates (1 FG + 5 BG, jitter
+on), that interpreter overhead dominates — the stationary fast path
+never engages because jittered spans never converge.
+
+This module compiles each *span shape* into a specialized kernel:
+
+* **Span plan** — when a span opens, the gathered per-core state is
+  frozen into a structure-of-arrays plan (one lane per running process)
+  holding the per-lane model constants, the cache grouping, and the
+  persistent per-lane miss-curve state.  Plans are cached by a value
+  signature (pid, spec epoch, phase index, frequency per lane, plus the
+  cache-mask epoch), so back-to-back spans over the same machine state
+  skip the gather entirely and only pay a cheap revalidation.
+* **Shape-specialized kernels** — for each distinct shape (lane count
+  and cores, jitter on/off, FG/BG roles, cache grouping, energy on/off,
+  snap-vs-inertia occupancy) a Python kernel is *generated and
+  ``exec``-compiled* with every lane unrolled into locals: no lists, no
+  indexing, no per-tick attribute lookups.  The OS-jitter draw inlines
+  CPython's ``random.Random.gauss`` (same algorithm, same RNG stream,
+  same draw order), and the cache target/inertia update inlines
+  ``SharedCache.tick_update`` for the span-constant grouping.
+* **Exact-input memoization** — the rho fixed point is a pure function
+  of ``(rho, mpki_0..mpki_{n-1})`` once the span constants are fixed;
+  jitter-free kernels memoize its outputs keyed on those exact float
+  inputs, so a revisited input tuple replays bit-identical outputs
+  without re-running the iterations.  Together with the per-lane
+  ``prev_w`` guard (only lanes whose occupancy moved re-evaluate their
+  miss curve — per-core partial recompute), this generalizes the
+  whole-machine stationary fast path to per-core stationarity.
+
+**Bit-exactness.**  Every generated kernel performs the same
+floating-point operations in the same order as ``Machine.tick``:
+sequential lane order, left-associated accumulations, identical
+operator shapes.  Where a specialization drops an operation it is one
+with a provably identity result (``x * 1.0`` for the jitter factor at
+sigma 0, ``0.0 + x`` for the first fixed-point summand).  Memo hits
+replay stored outputs of the identical pure computation.  The
+equivalence suite (``tests/sim/test_batch_equivalence.py`` and
+``tests/sim/test_spanplan.py``) pins all of this against the scalar
+reference.
+
+Set ``REPRO_SPAN_COMPILE=0`` to disable the compiled path (the generic
+fused kernel then handles every span); this is a debugging aid, not a
+supported configuration knob.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.perf import (
+    FIXED_POINT_ITERATIONS as _FIXED_POINT_ITERATIONS,
+    MPKI_SCALE,
+)
+from repro.sim.process import STATE_RUNNING
+
+#: Environment variable that disables span compilation when set to one of
+#: ``0``/``off``/``false`` (case-insensitive).
+ENV_SPAN_COMPILE = "REPRO_SPAN_COMPILE"
+
+#: Cap on cached plans per engine; machine states cycle through a small
+#: working set (phases x frequency grades), so this is generous.
+MAX_PLANS = 64
+
+#: Cap on fixed-point memo entries per plan.
+MAX_MEMO = 4096
+
+#: CPython's ``random.gauss`` angle scale (``2*pi``); bound once so the
+#: generated kernels and the interpreter use the very same constant.
+TWO_PI = 2.0 * math.pi
+
+
+def span_compile_enabled() -> bool:
+    """True unless ``REPRO_SPAN_COMPILE`` disables the compiled path."""
+    flag = os.environ.get(ENV_SPAN_COMPILE, "").strip().lower()
+    return flag not in ("0", "off", "false")
+
+
+class SpanStats:
+    """Fast-path observability counters (one instance per engine).
+
+    Attributes mirror the benchmark's ``fast_path`` block:
+
+    * ``spans``: spans the batch engine opened (compiled or generic);
+    * ``compiled_spans`` / ``generic_spans``: which kernel ran them;
+    * ``compiled_ticks``: ticks executed by compiled kernels;
+    * ``stationary_ticks``: ticks that skipped the model entirely
+      (compiled kernels only; the generic kernel keeps its own path);
+    * ``memo_hits`` / ``memo_misses``: fixed-point memo lookups;
+    * ``misscurve_evals``: per-lane miss-curve re-evaluations (the
+      per-core partial recomputes; lanes whose occupancy did not move
+      skip this);
+    * ``plan_builds`` / ``plan_reuses``: span-plan cache behavior;
+    * ``kernels_compiled``: distinct span shapes compiled to code.
+    """
+
+    __slots__ = (
+        "spans",
+        "compiled_spans",
+        "generic_spans",
+        "compiled_ticks",
+        "stationary_ticks",
+        "memo_hits",
+        "memo_misses",
+        "misscurve_evals",
+        "plan_builds",
+        "plan_reuses",
+        "kernels_compiled",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (benchmark/JSON surface)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+# ----------------------------------------------------------------------
+# Kernel code generation
+# ----------------------------------------------------------------------
+#
+# A *shape* is everything the generated code depends on structurally:
+#
+#   (num_cores, cores, isfg, apki_pos, jitter, snap, groups, guard_lanes,
+#    has_energy)
+#
+# with ``cores`` the lane -> core map, ``groups`` the cache grouping in
+# lane indices, and ``guard_lanes`` the lanes carrying a phase-boundary
+# guard.  All float constants stay *outside* the shape — they are bound
+# by the per-plan factory — so kernels are shared across plans that
+# differ only in model constants (frequencies, phase parameters).
+
+_KERNEL_CODE_CACHE: Dict[tuple, object] = {}
+
+
+def _generate_source(shape: tuple) -> str:
+    """Generate the ``_factory``/``run`` source for one span shape.
+
+    The emitted ``run`` performs, tick by tick, exactly the float
+    operations of the scalar reference (see the per-section comments in
+    :meth:`repro.sim.machine.Machine.tick` and the generic
+    ``BatchEngine._run_span``), with each lane unrolled into locals.
+
+    When ``shape`` carries the stolen flag, the span's first tick is
+    peeled out of the loop and charges each lane's pending runtime
+    overhead exactly as the scalar kernel does (``dt_eff = dt -
+    stolen``; a fully-stolen tick skips the lane's accumulation);
+    subsequent ticks are overhead-free by construction, so the main
+    loop is identical to the stolen-free kernel's.
+    """
+    (num_cores, cores, isfg, apki_pos, jitter, snap, groups,
+     guard_lanes, has_energy, stolen) = shape
+    n = len(cores)
+    lane_of_core = {cores[i]: i for i in range(n) if apki_pos[i]}
+    inactive = [c for c in range(num_cores) if c not in lane_of_core]
+    track_idle = (not jitter) and (not snap) and bool(inactive)
+    use_memo = not jitter
+
+    lines: List[str] = []
+    add = lines.append
+
+    add("def _factory(plan, e_, lg_, cs_, sn_, sq_, ln_, ms_):")
+    # ---- per-plan constant bindings (closure cells of ``run``) ----
+    for i in range(n):
+        add("    proc_%d = plan.procs[%d]" % (i, i))
+        add("    fl_%d = plan.floor[%d]" % (i, i))
+        add("    dl_%d = plan.delta[%d]" % (i, i))
+        add("    ws_%d = plan.wscale[%d]" % (i, i))
+        add("    se_%d = plan.sens[%d]" % (i, i))
+        add("    fq_%d = plan.freq[%d]" % (i, i))
+        add("    fh_%d = plan.fh[%d]" % (i, i))
+        add("    cp_%d = plan.cpi0[%d]" % (i, i))
+        if apki_pos[i]:
+            add("    ap_%d = plan.apki[%d]" % (i, i))
+        if jitter:
+            add("    rng_%d = plan.rngs[%d]" % (i, i))
+            add("    rnd_%d = rng_%d.random" % (i, i))
+    add("    pwa = plan.prev_w")
+    add("    mpa = plan.mpki_a")
+    add("    coa = plan.coef")
+    add("    eff = plan.eff")
+    add("    ci_a = plan.cnt_i")
+    add("    cc_a = plan.cnt_c")
+    add("    ca_a = plan.cnt_a")
+    add("    cm_a = plan.cnt_m")
+    add("    ipv = plan.ips_prev")
+    add("    clock = plan.clock")
+    add("    wb = plan.wbuf")
+    add("    tb = plan.tbuf")
+    add("    dt = plan.dt")
+    add("    base_ns = plan.base_ns")
+    add("    scl = plan.scale")
+    add("    rho_cap = plan.rho_cap")
+    add("    inv_peak = plan.inv_peak")
+    if jitter:
+        add("    sigma = plan.sigma")
+        add("    mu = plan.mu")
+        add("    TWOPI = plan.two_pi")
+    if not snap:
+        add("    alpha = plan.alpha")
+    if use_memo:
+        add("    memo = plan.memo")
+        add("    memo_get = memo.get")
+        add("    maxm = plan.max_memo")
+    if has_energy:
+        add("    acc_e = plan.energy_accumulate")
+        add("    frl = plan.freqs_list")
+        add("    bsl = plan.busy_list")
+    if stolen:
+        add("    sta = plan.stolen")
+
+    g_args = "".join(", g_%d" % j for j in range(len(guard_lanes)))
+    add("    def run(span, rho, now%s):" % g_args)
+
+    # ---- prologue: load mutable state into locals ----
+    for c in range(num_cores):
+        add("        ef_%d = eff[%d]" % (c, c))
+    for i in range(n):
+        add("        pw_%d = pwa[%d]" % (i, i))
+        add("        mp_%d = mpa[%d]" % (i, i))
+        add("        co_%d = coa[%d]" % (i, i))
+        add("        p_%d = proc_%d.progress" % (i, i))
+        add("        em_%d = proc_%d.execution_misses" % (i, i))
+        if isfg[i]:
+            add("        tt_%d = proc_%d._target_total" % (i, i))
+        if jitter:
+            add("        gn_%d = rng_%d.gauss_next" % (i, i))
+        core = cores[i]
+        add("        ci_%d = ci_a[%d]" % (i, core))
+        add("        cc_%d = cc_a[%d]" % (i, core))
+        add("        ca_%d = ca_a[%d]" % (i, core))
+        add("        cm_%d = cm_a[%d]" % (i, core))
+    add("        completions = []")
+    add("        executed = 0")
+    add("        stat_ticks = 0")
+    add("        mh = 0")
+    add("        mm = 0")
+    add("        mce = 0")
+    if use_memo:
+        add("        stationary = False")
+
+    def emit_guards(ind: str) -> None:
+        for j, lane in enumerate(guard_lanes):
+            add(ind + "if p_%d >= g_%d:" % (lane, j))
+            add(ind + "    break")
+
+    def emit_completion(ind: str, i: int, inst: str, mis: str,
+                        ips: str) -> None:
+        # Same operations/order as the scalar kernel's FG completion
+        # path; locals are written back before Process methods run.
+        add(ind + "rem = tt_%d - p_%d" % (i, i))
+        add(ind + "if %s >= rem > 0:" % inst)
+        add(ind + "    dtf = rem / %s" % ips)
+        add(ind + "    msh = %s * (rem / %s)" % (mis, inst))
+        add(ind + "    proc_%d.progress = p_%d" % (i, i))
+        add(ind + "    proc_%d.execution_misses = em_%d" % (i, i))
+        add(ind + "    proc_%d.advance(rem, msh)" % i)
+        add(ind + "    completions.append((proc_%d, "
+            "proc_%d.complete_execution(now * dt + dtf)))" % (i, i))
+        add(ind + "    proc_%d.advance(%s - rem, %s - msh)" % (i, inst, mis))
+        add(ind + "    p_%d = proc_%d.progress" % (i, i))
+        add(ind + "    em_%d = proc_%d.execution_misses" % (i, i))
+        add(ind + "    tt_%d = proc_%d._target_total" % (i, i))
+        add(ind + "else:")
+        add(ind + "    p_%d = p_%d + %s" % (i, i, inst))
+        add(ind + "    em_%d = em_%d + %s" % (i, i, mis))
+
+    ips_tuple = ", ".join("ips_%d" % i for i in range(n))
+    mp_tuple = ", ".join("mp_%d" % i for i in range(n))
+
+    def emit_fixed_point(ind: str) -> None:
+        for _ in range(_FIXED_POINT_ITERATIONS):
+            add(ind + "pen = base_ns * (1.0 + scl * rho / (1.0 - rho))")
+            for i in range(n):
+                expr = ("fh_%d / (cp_%d + co_%d * pen * se_%d * fq_%d)"
+                        % (i, i, i, i, i))
+                if jitter:
+                    expr += " * jt_%d" % i
+                add(ind + "ips_%d = %s" % (i, expr))
+                if i == 0:
+                    add(ind + "tmr = ips_0 * mp_0 * ms_")
+                else:
+                    add(ind + "tmr = tmr + ips_%d * mp_%d * ms_" % (i, i))
+            add(ind + "nr = tmr * inv_peak")
+            add(ind + "rho = nr if nr < rho_cap else rho_cap")
+
+    def emit_model_tick(ind: str, stolen_tick: bool) -> None:
+        """One full-model tick; ``stolen_tick`` charges pending overhead."""
+        # -- per-lane miss curve (+ jitter draw), lane order = core order --
+        if use_memo:
+            add(ind + "wch = False")
+        for i in range(n):
+            add(ind + "w = ef_%d" % cores[i])
+            add(ind + "if w < 0.0:")
+            add(ind + "    w = 0.0")
+            add(ind + "if w != pw_%d:" % i)
+            if use_memo:
+                add(ind + "    wch = True")
+            add(ind + "    pw_%d = w" % i)
+            add(ind + "    mce += 1")
+            add(ind + "    mp_%d = fl_%d + dl_%d * e_(-w / ws_%d)"
+                % (i, i, i, i))
+            add(ind + "    co_%d = mp_%d * ms_" % (i, i))
+            if jitter:
+                # Inline CPython's random.Random.gauss (same algorithm,
+                # same stream, same draw order; gauss_next synced at the
+                # span boundary).
+                add(ind + "z = gn_%d" % i)
+                add(ind + "if z is None:")
+                add(ind + "    x2 = rnd_%d() * TWOPI" % i)
+                add(ind + "    g2 = sq_(-2.0 * lg_(1.0 - rnd_%d()))" % i)
+                add(ind + "    z = cs_(x2) * g2")
+                add(ind + "    gn_%d = sn_(x2) * g2" % i)
+                add(ind + "else:")
+                add(ind + "    gn_%d = None" % i)
+                add(ind + "jt_%d = e_(mu + z * sigma)" % i)
+
+        # -- rho fixed point (optionally memoized on exact inputs) --
+        if use_memo:
+            add(ind + "rho_in = rho")
+            add(ind + "mk = (rho, %s)" % mp_tuple)
+            add(ind + "hit = memo_get(mk)")
+            add(ind + "if hit is None:")
+            add(ind + "    mm += 1")
+            emit_fixed_point(ind + "    ")
+            add(ind + "    if ln_(memo) >= maxm:")
+            add(ind + "        memo.clear()")
+            add(ind + "    memo[mk] = (%s, rho)" % ips_tuple)
+            add(ind + "else:")
+            add(ind + "    mh += 1")
+            add(ind + "    %s, rho = hit" % ips_tuple)
+        else:
+            emit_fixed_point(ind)
+
+        # -- per-lane accumulation, weights, FG completion --
+        for i in range(n):
+            jt = " * jt_%d" % i if jitter else ""
+            if apki_pos[i]:
+                add(ind + "wt_%d = ap_%d * ips_%d" % (i, i, i))
+            if stolen_tick:
+                # Scalar order: weights first, then the overhead charge;
+                # a fully-stolen tick skips the lane's accumulation.
+                core = cores[i]
+                add(ind + "st = sta[%d]" % core)
+                add(ind + "if st:")
+                add(ind + "    sta[%d] = 0.0" % core)
+                add(ind + "de = dt - st")
+                add(ind + "if de > 0.0:")
+                bind = ind + "    "
+                dt_name = "de"
+            else:
+                bind = ind
+                dt_name = "dt"
+            add(bind + "inst = ips_%d * %s" % (i, dt_name))
+            add(bind + "mis = ips_%d * mp_%d * ms_ * %s" % (i, i, dt_name))
+            add(bind + "ci_%d = ci_%d + inst" % (i, i))
+            add(bind + "cc_%d = cc_%d + fh_%d%s * %s" % (i, i, i, jt, dt_name))
+            if apki_pos[i]:
+                add(bind + "ca_%d = ca_%d + inst * ap_%d * ms_" % (i, i, i))
+            else:
+                add(bind + "ca_%d = ca_%d + mis" % (i, i))
+            add(bind + "cm_%d = cm_%d + mis" % (i, i))
+            if isfg[i]:
+                emit_completion(bind, i, "inst", "mis", "ips_%d" % i)
+            else:
+                add(bind + "p_%d = p_%d + inst" % (i, i))
+                add(bind + "em_%d = em_%d + mis" % (i, i))
+
+        if has_energy:
+            add(ind + "acc_e(dt, frl, bsl)")
+
+        # -- inline SharedCache.tick_update for the span grouping --
+        if track_idle:
+            add(ind + "ichg = False")
+        for ways, lanes_g in groups:
+            terms = " + ".join("wt_%d" % l for l in lanes_g)
+            add(ind + "tot = %s" % terms)
+            for l in lanes_g:
+                add(ind + "tg_%d = %d * wt_%d / tot" % (l, ways, l))
+        for c in range(num_cores):
+            i = lane_of_core.get(c)
+            if snap:
+                if i is None:
+                    add(ind + "ef_%d = 0.0" % c)
+                else:
+                    add(ind + "ef_%d = tg_%d" % (c, i))
+            elif i is None:
+                if track_idle:
+                    add(ind + "nef = ef_%d + alpha * (0.0 - ef_%d)"
+                        % (c, c))
+                    add(ind + "if nef != ef_%d:" % c)
+                    add(ind + "    ichg = True")
+                    add(ind + "ef_%d = nef" % c)
+                else:
+                    add(ind + "ef_%d = ef_%d + alpha * (0.0 - ef_%d)"
+                        % (c, c, c))
+            else:
+                add(ind + "ef_%d = ef_%d + alpha * (tg_%d - ef_%d)"
+                    % (c, c, i, c))
+
+        add(ind + "now += 1")
+        add(ind + "executed += 1")
+
+    # ================= peeled stolen tick =================
+    if stolen:
+        # Only the span's first tick can carry overhead (callbacks never
+        # run mid-span); peeling it keeps the main loop overhead-free.
+        add("        while executed < span:")
+        emit_guards("            ")
+        emit_model_tick("            ", True)
+        add("            break")
+        add("        if executed and not completions:")
+        m0 = "            "
+    else:
+        m0 = "        "
+    m1 = m0 + "    "
+    m2 = m1 + "    "
+
+    # ================= full-model loop =================
+    add(m0 + "while executed < span:")
+    emit_guards(m1)
+    emit_model_tick(m1, False)
+    add(m1 + "if completions:")
+    add(m1 + "    break")
+
+    # -- stationarity: per-lane occupancy, rho, and (when tracked) idle
+    #    occupancy are all at their exact float fixed points --
+    if use_memo:
+        cond = "not wch and rho == rho_in"
+        if track_idle:
+            cond += " and not ichg"
+        add(m1 + "if %s:" % cond)
+        for i in range(n):
+            add(m2 + "ii_%d = ips_%d * dt" % (i, i))
+            add(m2 + "ic_%d = fh_%d * dt" % (i, i))
+            add(m2 + "im_%d = ips_%d * mp_%d * ms_ * dt" % (i, i, i))
+            if apki_pos[i]:
+                add(m2 + "ia_%d = ii_%d * ap_%d * ms_" % (i, i, i))
+            else:
+                add(m2 + "ia_%d = im_%d" % (i, i))
+        add(m2 + "stationary = True")
+        add(m2 + "break")
+
+    # ================= stationary loop =================
+    if use_memo:
+        add(m0 + "if stationary:")
+        add(m1 + "while executed < span:")
+        emit_guards(m2)
+        for i in range(n):
+            add(m2 + "ci_%d = ci_%d + ii_%d" % (i, i, i))
+            add(m2 + "cc_%d = cc_%d + ic_%d" % (i, i, i))
+            add(m2 + "ca_%d = ca_%d + ia_%d" % (i, i, i))
+            add(m2 + "cm_%d = cm_%d + im_%d" % (i, i, i))
+            if isfg[i]:
+                emit_completion(m2, i, "ii_%d" % i, "im_%d" % i,
+                                "ips_%d" % i)
+            else:
+                add(m2 + "p_%d = p_%d + ii_%d" % (i, i, i))
+                add(m2 + "em_%d = em_%d + im_%d" % (i, i, i))
+        if has_energy:
+            add(m2 + "acc_e(dt, frl, bsl)")
+        add(m2 + "now += 1")
+        add(m2 + "executed += 1")
+        add(m2 + "stat_ticks += 1")
+        add(m2 + "if completions:")
+        add(m2 + "    break")
+
+    # ---- epilogue: write mutable state back ----
+    add("        if executed:")
+    for c in range(num_cores):
+        add("            eff[%d] = ef_%d" % (c, c))
+    for i in range(n):
+        add("            pwa[%d] = pw_%d" % (i, i))
+        add("            mpa[%d] = mp_%d" % (i, i))
+        add("            coa[%d] = co_%d" % (i, i))
+        add("            proc_%d.progress = p_%d" % (i, i))
+        add("            proc_%d.execution_misses = em_%d" % (i, i))
+        if jitter:
+            add("            rng_%d.gauss_next = gn_%d" % (i, i))
+        core = cores[i]
+        add("            ci_a[%d] = ci_%d" % (core, i))
+        add("            cc_a[%d] = cc_%d" % (core, i))
+        add("            ca_a[%d] = ca_%d" % (core, i))
+        add("            cm_a[%d] = cm_%d" % (core, i))
+        add("            ipv[%d] = ips_%d" % (core, i))
+    for c in range(num_cores):
+        i = lane_of_core.get(c)
+        if i is None:
+            add("            wb[%d] = 0.0" % c)
+            add("            tb[%d] = 0.0" % c)
+        else:
+            add("            wb[%d] = wt_%d" % (c, i))
+            add("            tb[%d] = tg_%d" % (c, i))
+    add("            clock.tick = now")
+    add("        return executed, rho, stat_ticks, mh, mm, mce, completions")
+    add("    return run")
+    add("")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Span plans
+# ----------------------------------------------------------------------
+
+
+class SpanPlan:
+    """Structure-of-arrays snapshot of one span's model inputs.
+
+    Lane ``i`` is the ``i``-th running process in core order.  The
+    constant arrays feed the generated kernel's factory; ``prev_w`` /
+    ``mpki_a`` / ``coef`` persist *across* spans of the same plan — a
+    lane whose occupancy did not move between spans keeps its memoized
+    miss-curve outputs (recomputing a pure function on an equal input
+    is bit-identical, so skipping it is too).
+    """
+
+    __slots__ = (
+        "machine", "stats", "kernel", "kernel_stolen", "stolen", "energy",
+        "procs", "rngs", "floor", "delta", "wscale", "sens", "freq",
+        "fh", "cpi0", "apki", "prev_w", "mpki_a", "coef",
+        "eff", "cnt_i", "cnt_c", "cnt_a", "cnt_m", "ips_prev", "clock",
+        "dt", "sigma", "mu", "alpha", "base_ns", "scale", "rho_cap",
+        "inv_peak", "memo", "max_memo", "two_pi",
+        "energy_accumulate", "freqs_list", "busy_list",
+        "wbuf", "tbuf", "active_bits", "groups_commit", "disjoint",
+        "guard_procs",
+    )
+
+    def run(self, span: int, kernel=None) -> int:
+        """Run up to ``span`` event-free ticks; returns ticks executed.
+
+        Mirrors the generic ``BatchEngine._run_span`` contract: may
+        return early when a guard fires or an FG execution completes;
+        rho observation, cache write-back, and completion listeners all
+        happen here, in the scalar kernel's order.  Pass
+        ``self.kernel_stolen`` when a core carries stolen overhead time:
+        that variant peels the span's first tick and charges the
+        overhead exactly as the scalar kernel would.
+        """
+        if kernel is None:
+            kernel = self.kernel
+        m = self.machine
+        if not m._settled:
+            m.settle_cache()
+        if self.freqs_list is not None:
+            # Re-snapshot so idle cores' frequencies match the list the
+            # scalar kernel would rebuild each tick.
+            self.freqs_list[:] = m._gov_freqs
+        bounds = []
+        for proc, is_fg in self.guard_procs:
+            if is_fg:
+                bounds.append(proc._phase_end)
+            else:
+                progress = proc.progress
+                total = proc._total
+                offset = progress % total if progress >= total else progress
+                bounds.append(progress - offset + proc._phase_end)
+        executed, rho, stat, mh, mm, mce, completions = kernel(
+            span, m._rho, m.clock.tick, *bounds
+        )
+        stats = self.stats
+        stats.memo_hits += mh
+        stats.memo_misses += mm
+        stats.misscurve_evals += mce
+        if executed:
+            stats.compiled_ticks += executed
+            stats.stationary_ticks += stat
+            m._rho = rho
+            m.memory.observe(rho)
+            m.cache.span_commit(
+                self.wbuf, self.tbuf, self.active_bits,
+                self.groups_commit, self.disjoint,
+                None if self.alpha is None else (self.dt, self.alpha),
+            )
+            if completions:
+                listeners = m._completion_listeners
+                for proc, record in completions:
+                    for listener in listeners:
+                        listener(proc, record)
+        return executed
+
+
+def _build_plan(machine, stats: SpanStats) -> Optional[SpanPlan]:
+    """Compile the machine's current running set into a SpanPlan.
+
+    Returns None for shapes the compiled path does not cover (no
+    running lanes, overlapping cache-mask groups, or a non-standard
+    jitter RNG); the generic fused kernel handles those.
+    """
+    m = machine
+    config = m.config
+    num_cores = config.num_cores
+    gov_freqs = m._gov_freqs
+    lanes = []
+    for core, proc in enumerate(m._procs_by_core):
+        if proc is None or proc.state != STATE_RUNNING:
+            continue
+        lanes.append((core, proc, proc._spec.phases[proc._phase_index]))
+    n = len(lanes)
+    if n == 0:
+        return None
+    sigma = m._sigma
+    jitter = sigma > 0.0
+    if jitter:
+        for core, _, _ in lanes:
+            # The inline gauss replays CPython's exact algorithm; any
+            # substituted RNG type falls back to the generic kernel.
+            if type(m._jitter_rngs[core]) is not random.Random:
+                return None
+    active_bits = 0
+    lane_index = {}
+    for i, (core, proc, phase) in enumerate(lanes):
+        lane_index[core] = i
+        if phase.apki > 0:
+            active_bits |= 1 << core
+    groups_cores, disjoint = m.cache.span_grouping(active_bits)
+    if not disjoint:
+        return None
+
+    plan = SpanPlan()
+    plan.machine = m
+    plan.stats = stats
+    plan.procs = [proc for _, proc, _ in lanes]
+    plan.rngs = [m._jitter_rngs[core] for core, _, _ in lanes]
+    plan.floor = [phase.mpki_floor for _, _, phase in lanes]
+    plan.delta = [
+        phase.mpki_peak - phase.mpki_floor for _, _, phase in lanes
+    ]
+    plan.wscale = [phase.ways_scale for _, _, phase in lanes]
+    plan.sens = [phase.mem_sensitivity for _, _, phase in lanes]
+    plan.freq = [gov_freqs[core] for core, _, _ in lanes]
+    plan.fh = [freq * 1e9 for freq in plan.freq]
+    plan.cpi0 = [phase.base_cpi for _, _, phase in lanes]
+    plan.apki = [phase.apki for _, _, phase in lanes]
+    plan.prev_w = [-1.0] * n
+    plan.mpki_a = [0.0] * n
+    plan.coef = [0.0] * n
+    plan.eff = m._cache_eff
+    cnt_i, cnt_c, cnt_a, cnt_m = m._cnt_arrays
+    plan.cnt_i = cnt_i
+    plan.cnt_c = cnt_c
+    plan.cnt_a = cnt_a
+    plan.cnt_m = cnt_m
+    plan.ips_prev = m._ips_prev
+    plan.clock = m.clock
+    plan.dt = config.tick_s
+    plan.sigma = sigma
+    plan.mu = m._jitter_mu
+    cache = m.cache
+    snap = cache._tau <= 0
+    plan.alpha = None if snap else cache.inertia_alpha(config.tick_s)
+    memory = m.memory
+    plan.base_ns = memory.base_latency_ns
+    plan.scale = memory.contention_scale
+    plan.rho_cap = memory.rho_cap
+    plan.inv_peak = memory.seconds_per_miss_at_peak
+    plan.memo = {}
+    plan.max_memo = MAX_MEMO
+    plan.two_pi = TWO_PI
+    plan.wbuf = [0.0] * num_cores
+    plan.tbuf = [0.0] * num_cores
+    plan.active_bits = active_bits
+    # _rebuild_groups format: List[(way_count, List[core])]; list
+    # objects are installed as-is by span_commit and never mutated by
+    # the cache, so one prebuilt copy serves every commit of this plan.
+    plan.groups_commit = [
+        (ways, list(cores_g)) for ways, cores_g in groups_cores
+    ]
+    plan.disjoint = disjoint
+
+    energy = m._energy
+    plan.energy = energy
+    if energy is not None:
+        plan.energy_accumulate = energy.accumulate
+        plan.freqs_list = list(gov_freqs)
+        busy = [False] * num_cores
+        for core, _, _ in lanes:
+            busy[core] = True
+        plan.busy_list = busy
+    else:
+        plan.energy_accumulate = None
+        plan.freqs_list = None
+        plan.busy_list = None
+
+    guard_procs = []
+    guard_lanes = []
+    for i, (core, proc, phase) in enumerate(lanes):
+        if proc.is_fg:
+            # FG pinned to its last phase only leaves it by completing,
+            # which the completion path detects exactly.
+            if proc._phase_index != len(proc._spec.phases) - 1:
+                guard_procs.append((proc, True))
+                guard_lanes.append(i)
+        else:
+            # BG phase windows cover the wrapped offset; a phase that
+            # spans the whole program never produces a boundary.
+            if proc._phase_start > 0.0 or proc._phase_end < proc._total:
+                guard_procs.append((proc, False))
+                guard_lanes.append(i)
+    plan.guard_procs = guard_procs
+
+    shape = (
+        num_cores,
+        tuple(core for core, _, _ in lanes),
+        tuple(proc.is_fg for _, proc, _ in lanes),
+        tuple(apki > 0 for apki in plan.apki),
+        jitter,
+        snap,
+        tuple(
+            (ways, tuple(lane_index[c] for c in cores_g))
+            for ways, cores_g in groups_cores
+        ),
+        tuple(guard_lanes),
+        energy is not None,
+    )
+    plan.stolen = m._stolen_s
+    plan.kernel = _compile_kernel(shape + (False,), plan, stats)
+    # The stolen variant peels the span's first tick to charge pending
+    # overhead time; with no overhead pending it is bit-identical to the
+    # plain kernel (dt - 0.0 == dt), so routing between the two is purely
+    # a performance decision.
+    plan.kernel_stolen = _compile_kernel(shape + (True,), plan, stats)
+    return plan
+
+
+def _compile_kernel(shape: tuple, plan: SpanPlan, stats: SpanStats):
+    """Compile (or fetch) the kernel for ``shape``, bound to ``plan``."""
+    code = _KERNEL_CODE_CACHE.get(shape)
+    if code is None:
+        source = _generate_source(shape)
+        code = compile(source, "<spanplan>", "exec")
+        _KERNEL_CODE_CACHE[shape] = code
+        stats.kernels_compiled += 1
+    namespace: Dict[str, object] = {"__builtins__": {}}
+    exec(code, namespace)
+    return namespace["_factory"](
+        plan, math.exp, math.log, math.cos, math.sin, math.sqrt, len,
+        MPKI_SCALE,
+    )
+
+
+class SpanPlanner:
+    """Caches SpanPlans by a value signature of the machine state.
+
+    The signature captures everything a plan bakes in: per lane
+    ``(pid, spec epoch, phase index, frequency)`` plus the cache-mask
+    epoch and the energy-model identity.  Dirigent runs cycle through a
+    small working set of states (phases x DVFS grades), so plans — and
+    their persistent miss-curve/fixed-point memos — are almost always
+    reused rather than rebuilt.
+    """
+
+    def __init__(self, machine, stats: SpanStats) -> None:
+        self._m = machine
+        self._stats = stats
+        self._plans: Dict[tuple, Optional[SpanPlan]] = {}
+
+    def plan_for_span(self) -> Optional[SpanPlan]:
+        """A plan matching the machine's current state, or None.
+
+        None means the shape is unsupported here and the caller should
+        run the generic fused kernel (which also re-syncs any stale
+        phase cursors — this method syncs them first, exactly as the
+        generic gather does).
+        """
+        m = self._m
+        gov_freqs = m._gov_freqs
+        sig_parts: List[object] = [
+            m.cache.mask_epoch, m._energy is not None,
+        ]
+        append = sig_parts.append
+        for core, proc in enumerate(m._procs_by_core):
+            if proc is None or proc.state != STATE_RUNNING:
+                continue
+            if not proc._phase_start <= proc.progress < proc._phase_end:
+                proc._sync_phase_cursor()
+            append(
+                (proc.pid, proc._spec_epoch, proc._phase_index, gov_freqs[core])
+            )
+        sig = tuple(sig_parts)
+        plans = self._plans
+        if sig in plans:
+            plan = plans[sig]
+            if plan is None or plan.energy is m._energy:
+                if plan is not None:
+                    self._stats.plan_reuses += 1
+                return plan
+        plan = _build_plan(m, self._stats)
+        if len(plans) >= MAX_PLANS:
+            plans.clear()
+        plans[sig] = plan
+        if plan is not None:
+            self._stats.plan_builds += 1
+        return plan

@@ -14,7 +14,9 @@ from repro.core.policies import BASELINE, DIRIGENT, STATIC_FREQ
 from repro.experiments import harness
 from repro.experiments.mixes import mix_by_name
 from repro.experiments.parallel import (
+    ENV_PACK_CELLS,
     SweepResult,
+    _pack_cells,
     default_workers,
     run_grid,
     set_default_workers,
@@ -70,6 +72,58 @@ class TestRunGrid:
         mix = mix_by_name(MIXES[0])
         sweep = run_grid([mix], [BASELINE], executions=2, warmup=1, workers=1)
         assert sweep.get(mix, BASELINE).policy_name == BASELINE.name
+
+
+class TestLanePacking:
+    """Lane-packed dispatch: scheduling changes, results never do."""
+
+    @staticmethod
+    def _cells(mix_names, per_mix):
+        class _FakeMix:
+            def __init__(self, name):
+                self.name = name
+
+        return [
+            (_FakeMix(name), "policy-%d" % index)
+            for name in mix_names
+            for index in range(per_mix)
+        ]
+
+    def test_packs_group_by_mix_and_split_evenly(self, monkeypatch):
+        monkeypatch.delenv(ENV_PACK_CELLS, raising=False)
+        cells = self._cells(["a", "b", "c"], per_mix=2)
+        packs = _pack_cells(cells, workers=3)
+        # 6 cells over 3 workers -> cap 2, one pack per mix.
+        assert [len(pack) for pack in packs] == [2, 2, 2]
+        for pack in packs:
+            assert len({cell[0].name for cell in pack}) == 1
+        assert sorted(
+            (cell[0].name, cell[1]) for pack in packs for cell in pack
+        ) == sorted((cell[0].name, cell[1]) for cell in cells)
+
+    def test_env_override_caps_pack_size(self, monkeypatch):
+        monkeypatch.setenv(ENV_PACK_CELLS, "1")
+        packs = _pack_cells(self._cells(["a", "b"], per_mix=3), workers=2)
+        assert [len(pack) for pack in packs] == [1] * 6
+
+    def test_invalid_env_override_falls_back(self, monkeypatch):
+        monkeypatch.setenv(ENV_PACK_CELLS, "many")
+        packs = _pack_cells(self._cells(["a"], per_mix=4), workers=2)
+        assert [len(pack) for pack in packs] == [2, 2]
+
+    def test_packed_sweep_matches_serial_and_records_sizes(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(ENV_PACK_CELLS, "2")
+        mixes = [mix_by_name(name) for name in MIXES[:2]]
+        policies = [BASELINE, STATIC_FREQ]
+        serial = run_grid(mixes, policies, executions=2, warmup=1, workers=1)
+        assert serial.pack_sizes == []
+        harness.clear_caches()
+        packed = run_grid(mixes, policies, executions=2, warmup=1, workers=2)
+        assert packed.mode == "parallel"
+        assert packed.pack_sizes == [2, 2]
+        assert _snapshot(serial) == _snapshot(packed)
 
 
 class TestWorkerDefaults:

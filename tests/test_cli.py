@@ -29,6 +29,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.command == "bench"
+        assert args.profile is None
+        assert args.skip_floors is False
+
+    def test_bench_profile_flag(self):
+        args = build_parser().parse_args(["bench", "--profile"])
+        assert args.profile == "bench_profile.pstats"
+        args = build_parser().parse_args(
+            ["bench", "--profile", "out.pstats", "--skip-floors"]
+        )
+        assert args.profile == "out.pstats"
+        assert args.skip_floors is True
+
 
 class TestMain:
     def test_list_prints_all_figures(self, capsys):
@@ -53,3 +68,14 @@ class TestMain:
         ) == 0
         out = capsys.readouterr().out
         assert "more rows" in out
+
+    def test_bench_loads_harness_module(self):
+        from repro.__main__ import _load_bench_module
+
+        bench = _load_bench_module()
+        assert callable(bench.run_benchmark)
+        assert callable(bench.check_floors)
+        # The floor checker accepts the artifact shape run_benchmark
+        # emits; a wrong artifact must raise, not pass silently.
+        with pytest.raises((AssertionError, KeyError, TypeError)):
+            bench.check_floors({})
