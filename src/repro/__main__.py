@@ -9,6 +9,7 @@ Usage::
     python -m repro cache stats
     python -m repro cache clear
     python -m repro bench [--profile profile.pstats] [--skip-floors]
+    python -m repro lint [paths ...] [--format=json] [--select=DET,ENV]
 """
 
 from __future__ import annotations
@@ -43,6 +44,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulation backend (default: REPRO_SIM_BACKEND "
                           "or batch); scalar is the bit-exact reference")
     sub.add_parser("table1", help="print the benchmark inventory")
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & invariant static analyzer",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to analyze "
+                           "(default: the installed repro package)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", dest="fmt",
+                      help="report format (default: text)")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule ids or family prefixes "
+                           "(e.g. DET,ENV003)")
+    lint.add_argument("--root", default=None,
+                      help="root for scope-relative paths")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule registry and exit")
     cache = sub.add_parser("cache", help="inspect or purge the result cache")
     cache.add_argument("action", choices=("stats", "clear"))
     bench = sub.add_parser(
@@ -139,6 +157,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "lint":
+        from repro.analysis.cli import run_lint
+
+        lint_argv: List[str] = list(args.paths)
+        lint_argv += ["--format", args.fmt]
+        if args.select:
+            lint_argv += ["--select", args.select]
+        if args.root:
+            lint_argv += ["--root", args.root]
+        if args.list_rules:
+            lint_argv.append("--list-rules")
+        return run_lint(lint_argv)
     if args.command == "cache":
         from repro.experiments.diskcache import get_cache
         cache = get_cache()
@@ -154,6 +184,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("  %-12s %d" % (kind, count))
         print("total entries: %d (%.1f KiB)"
               % (stats["total_entries"], stats["total_bytes"] / 1024.0))
+        print("corrupt drops: %d (unreadable entries discarded this "
+              "process)" % stats["corrupt_drops"])
         return 0
     driver = FIGURES[args.name]
     kwargs = {}

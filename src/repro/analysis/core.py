@@ -1,0 +1,436 @@
+"""Rule framework of the determinism & invariant analyzer.
+
+The analyzer is a small AST-based lint engine specialized to this
+repository's correctness contract: the perf work of PRs 1-3 made the
+simulator's results depend on invariants (bit-exact kernels, honest
+cache keys, share-nothing sweep workers) that runtime tests can only
+sample.  The rules here check them mechanically on every file, the way
+Dirigent itself continuously audits execution against a profiled
+contract.
+
+Structure:
+
+* :class:`Finding` — one diagnostic, with rule id, severity, location.
+* :class:`Rule` — per-module rules; :class:`ProjectRule` — rules that
+  need the whole analyzed set (cross-file checks, codegen audits).
+* :class:`SourceModule` — a parsed file plus the derived indexes rules
+  share: suppression comments, import-time node marking, and a parent
+  map.
+* :func:`analyze_paths` — the driver: collect files, parse, run every
+  registered rule, filter suppressed findings.
+
+Suppressions are inline comments on the offending line::
+
+    t0 = time.time()  # repro-lint: disable=DET001
+    x = f()           # repro-lint: disable        (all rules)
+
+Rules register themselves with the :func:`register` decorator; importing
+:mod:`repro.analysis.rules_det` (etc.) populates the registry, which
+:func:`default_rules` does on demand.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: Finding severities, in gating order.  ``error`` findings fail
+#: ``repro lint`` (exit 1); ``warning`` findings are reported only.
+SEVERITIES = ("error", "warning")
+
+#: Inline suppression syntax: ``# repro-lint: disable=RULE1,RULE2`` or a
+#: blanket ``# repro-lint: disable``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?:=(?P<rules>[A-Z0-9,\s]+))?"
+)
+
+#: Directory names never analyzed.
+_SKIP_DIRS = {"__pycache__", ".git", ".repro_cache"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule.
+
+    Attributes:
+        rule: Rule identifier (e.g. ``"DET001"``).
+        severity: ``"error"`` or ``"warning"``.
+        path: File the finding is in (as given to the analyzer).
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        message: Human-readable description of the violation.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` for text reporters."""
+        return "%s:%d:%d" % (self.path, self.line, self.col)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-reporter shape."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class SourceModule:
+    """A parsed source file plus the indexes rules share.
+
+    Attributes:
+        path: Filesystem path of the file.
+        relpath: Path relative to the analysis root, POSIX-style (rules
+            match scopes — e.g. ``sim/`` — against this).
+        text: Raw source text.
+        tree: Parsed :mod:`ast` module.
+        suppressions: line -> set of suppressed rule ids; the sentinel
+            ``"*"`` suppresses every rule on that line.
+    """
+
+    def __init__(self, path: Path, relpath: str, text: str,
+                 tree: ast.Module) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.tree = tree
+        self.suppressions = _collect_suppressions(text)
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        self._import_time: Optional[Set[ast.AST]] = None
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child -> parent map over the module tree (built lazily)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    @property
+    def import_time_nodes(self) -> Set[ast.AST]:
+        """Nodes whose code executes while the module is being imported.
+
+        Covers module-level statements, class bodies, decorators,
+        argument defaults and annotations of module/class-level ``def``s
+        — everything that runs before the first caller ever invokes a
+        function.  Bodies of functions (and lambdas) are excluded.
+        """
+        if self._import_time is None:
+            marked: Set[ast.AST] = set()
+
+            def mark(node: ast.AST, import_time: bool) -> None:
+                if import_time:
+                    marked.add(node)
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    # Decorators, defaults, and annotations evaluate at
+                    # def-time (import time for top-level/class defs);
+                    # the body does not.
+                    for dec in node.decorator_list:
+                        mark(dec, import_time)
+                    args = node.args
+                    for default in list(args.defaults) + [
+                        d for d in args.kw_defaults if d is not None
+                    ]:
+                        mark(default, import_time)
+                    for child in node.body:
+                        mark(child, False)
+                elif isinstance(node, ast.Lambda):
+                    for default in list(node.args.defaults) + [
+                        d for d in node.args.kw_defaults if d is not None
+                    ]:
+                        mark(default, import_time)
+                    mark(node.body, False)
+                else:
+                    for child in ast.iter_child_nodes(node):
+                        mark(child, import_time)
+
+            for stmt in self.tree.body:
+                mark(stmt, True)
+            self._import_time = marked
+        return self._import_time
+
+    def path_matches(self, *suffixes: str) -> bool:
+        """True when the module's relative path ends with any suffix."""
+        return any(self.relpath.endswith(suffix) for suffix in suffixes)
+
+    def in_scope(self, scope: Optional[str]) -> bool:
+        """True when the module lies under ``scope`` (``None`` = all)."""
+        if scope is None:
+            return True
+        return ("/%s" % scope) in ("/" + self.relpath)
+
+    def top_level_names(self) -> Set[str]:
+        """Names bound by module-level statements (defs, assigns, imports)."""
+        names: Set[str] = set()
+        for stmt in self.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    names.update(_target_names(target))
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                names.update(_target_names(stmt.target))
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    names.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    names.add(alias.asname or alias.name)
+        return names
+
+    def suppressed(self, finding: Finding) -> bool:
+        """True when an inline comment silences this finding."""
+        rules = self.suppressions.get(finding.line)
+        if not rules:
+            return False
+        return "*" in rules or finding.rule in rules
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            names.update(_target_names(element))
+    return names
+
+
+def _collect_suppressions(text: str) -> Dict[int, Set[str]]:
+    """Parse ``# repro-lint: disable[=...]`` comments, by line."""
+    suppressions: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if not match:
+                continue
+            raw = match.group("rules")
+            if raw is None:
+                rules = {"*"}
+            else:
+                rules = {r.strip() for r in raw.split(",") if r.strip()}
+            suppressions.setdefault(token.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass
+    return suppressions
+
+
+# ---------------------------------------------------------------------------
+# Rules and registry
+# ---------------------------------------------------------------------------
+
+
+class Rule:
+    """Base class for per-module rules.
+
+    Subclasses set ``id``, ``severity``, and ``description`` and
+    implement :meth:`check_module`.  The driver instantiates each rule
+    once per run.
+    """
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+    def finding(self, module: SourceModule, node: ast.AST,
+                message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that runs once over the whole analyzed module set."""
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterator[Finding]:
+        """Yield findings for the analyzed set as a whole."""
+        raise NotImplementedError
+
+
+#: Registered rule classes by id, in registration order.
+REGISTRY: Dict[str, type] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.id:
+        raise ValueError("rule %r has no id" % rule_cls)
+    if rule_cls.id in REGISTRY and REGISTRY[rule_cls.id] is not rule_cls:
+        raise ValueError("duplicate rule id %s" % rule_cls.id)
+    if rule_cls.severity not in SEVERITIES:
+        raise ValueError(
+            "rule %s has invalid severity %r" % (rule_cls.id,
+                                                 rule_cls.severity)
+        )
+    REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def default_rules() -> List[Rule]:
+    """Instantiate every registered rule (importing the rule modules)."""
+    # Imported here so the registry is populated exactly once, on first
+    # use, without import cycles at package-init time.
+    from repro.analysis import rules_det, rules_env, rules_gen, rules_par  # noqa: F401
+    return [REGISTRY[rule_id]() for rule_id in sorted(REGISTRY)]
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Dotted name of an expression (``a.b.c``), or None if not one."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """Dotted name a call targets (``a.b.c`` for ``a.b.c(...)``)."""
+    return dotted_name(call.func)
+
+
+def is_set_expression(node: ast.AST) -> bool:
+    """True for expressions that are unambiguously unordered sets."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        return name in ("set", "frozenset")
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand paths into the sorted list of ``.py`` files to analyze."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = set(candidate.parts)
+                if parts & _SKIP_DIRS or ".egg-info" in str(candidate):
+                    continue
+                files.append(candidate)
+    return files
+
+
+def load_module(path: Path, root: Optional[Path] = None) -> SourceModule:
+    """Parse one file into a :class:`SourceModule`.
+
+    Raises:
+        SyntaxError: when the file does not parse (reported by the
+            driver as an analyzer-level finding).
+    """
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    if root is not None:
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+    else:
+        relpath = path.as_posix()
+    return SourceModule(path, relpath, text, tree)
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over ``paths``.
+
+    Returns findings sorted by (path, line, rule) with inline
+    suppressions already filtered out.  Files that fail to parse yield
+    a synthetic ``PARSE`` error finding instead of aborting the run.
+    """
+    if rules is None:
+        rules = default_rules()
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    findings: List[Finding] = []
+    modules: List[SourceModule] = []
+    for path in collect_files([Path(p) for p in paths]):
+        try:
+            module = load_module(path, root=root)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="PARSE",
+                severity="error",
+                path=str(path),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message="file does not parse: %s" % exc.msg,
+            ))
+            continue
+        modules.append(module)
+        for rule in module_rules:
+            for finding in rule.check_module(module):
+                if not module.suppressed(finding):
+                    findings.append(finding)
+    by_path = {str(m.path): m for m in modules}
+    for rule in project_rules:
+        for finding in rule.check_project(modules):
+            module = by_path.get(finding.path)
+            if module is None or not module.suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_rule_info(rules: Iterable[Rule]) -> Iterator[Dict[str, str]]:
+    """Rule metadata rows for reporters and ``--list-rules``."""
+    for rule in rules:
+        yield {
+            "id": rule.id,
+            "severity": rule.severity,
+            "description": rule.description,
+        }

@@ -1,0 +1,206 @@
+"""DET rules: determinism of simulation results.
+
+Every result this repository produces must be a pure function of
+``(machine config, workload, run parameters, seed, code version)`` —
+the disk cache, the parallel sweep engine, and the scalar/batch/
+span-compiled equivalence suites all assume it.  These rules reject the
+code patterns that silently break that purity:
+
+* ``DET001`` — wall-clock or entropy read at import time.  A module
+  constant initialized from ``time.time()`` / ``random.random()``
+  changes between processes, so sweep workers and the parent disagree.
+* ``DET002`` — use of the process-global RNG (``random.random()`` and
+  friends) or an unseeded ``random.Random()``.  All simulator
+  randomness must flow from seeded per-stream generators
+  (:func:`repro.sim.timebase.derive_rng`), or parallel == serial breaks.
+* ``DET003`` — iteration directly over a set in ``sim/`` hot paths.
+  Set order depends on insertion history and string-hash randomization,
+  so float accumulation over a set reorders across runs; iterate a
+  sorted or list-backed view instead.
+* ``DET004`` — ``sum()``/``math.fsum()`` over a set expression.  Float
+  addition is not associative; an unordered reduction feeding counters
+  or energy totals is unreproducible.  (Flagged everywhere, not just
+  ``sim/`` — sums of measured floats appear in metrics and figures
+  too.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    Rule,
+    SourceModule,
+    call_name,
+    is_set_expression,
+    register,
+)
+
+#: Call targets that read a wall clock or entropy source.
+NONDETERMINISTIC_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+})
+
+#: Methods of the module-level shared RNG in :mod:`random`.
+GLOBAL_RNG_CALLS = frozenset({
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.uniform",
+    "random.gauss",
+    "random.normalvariate",
+    "random.lognormvariate",
+    "random.expovariate",
+    "random.betavariate",
+    "random.gammavariate",
+    "random.choice",
+    "random.choices",
+    "random.sample",
+    "random.shuffle",
+    "random.seed",
+})
+
+
+@register
+class ImportTimeNondeterminism(Rule):
+    """DET001: no wall-clock/entropy reads while a module imports."""
+
+    id = "DET001"
+    severity = "error"
+    description = (
+        "module-import-time call to a wall clock or entropy source "
+        "(time.time, datetime.now, random.random, ...): the value is "
+        "frozen per process, so sweep workers and tests diverge"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        import_time = module.import_time_nodes
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or node not in import_time:
+                continue
+            name = call_name(node)
+            if name in NONDETERMINISTIC_CALLS or name in GLOBAL_RNG_CALLS:
+                yield self.finding(
+                    module, node,
+                    "%s() called at import time; module state must not "
+                    "depend on when or where the import happened" % name,
+                )
+
+
+@register
+class SharedOrUnseededRng(Rule):
+    """DET002: no process-global or unseeded RNG anywhere."""
+
+    id = "DET002"
+    severity = "error"
+    description = (
+        "process-global random.* call or unseeded random.Random(): "
+        "simulator randomness must come from seeded per-stream "
+        "generators (repro.sim.timebase.derive_rng)"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in GLOBAL_RNG_CALLS:
+                yield self.finding(
+                    module, node,
+                    "%s() uses the process-global RNG; derive a seeded "
+                    "stream instead (repro.sim.timebase.derive_rng)" % name,
+                )
+            elif name in ("random.Random", "Random") and not (
+                node.args or node.keywords
+            ):
+                yield self.finding(
+                    module, node,
+                    "unseeded random.Random() seeds from OS entropy; pass "
+                    "an explicit seed so runs reproduce",
+                )
+
+
+@register
+class SetIterationInHotPath(Rule):
+    """DET003: no direct set iteration in ``sim/`` hot paths."""
+
+    id = "DET003"
+    severity = "error"
+    description = (
+        "iteration directly over a set in sim/ (for-loop or "
+        "comprehension): unordered iteration feeding float math "
+        "reorders accumulation between runs; sort first"
+    )
+
+    #: Only the simulator's hot paths are gated; elsewhere set iteration
+    #: is usually feeding order-insensitive logic.
+    scope = "sim/"
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.in_scope(self.scope):
+            return
+        for node in ast.walk(module.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if is_set_expression(it):
+                    yield self.finding(
+                        module, it,
+                        "iterating an unordered set in a sim/ hot path; "
+                        "wrap in sorted() to pin accumulation order",
+                    )
+
+
+@register
+class SumOverSet(Rule):
+    """DET004: no float reduction over an unordered set."""
+
+    id = "DET004"
+    severity = "error"
+    description = (
+        "sum()/math.fsum() over a set expression: float addition is "
+        "order-sensitive and set order is not reproducible"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            if call_name(node) not in ("sum", "math.fsum", "fsum"):
+                continue
+            arg = node.args[0]
+            targets = [arg]
+            if isinstance(arg, ast.GeneratorExp):
+                targets.extend(gen.iter for gen in arg.generators)
+            for target in targets:
+                if is_set_expression(target):
+                    yield self.finding(
+                        module, node,
+                        "reduction over an unordered set; sort the "
+                        "elements before accumulating floats",
+                    )
+                    break

@@ -1,0 +1,232 @@
+"""PAR rules: share-nothing parallel sweep workers.
+
+The sweep engine's parallel == serial guarantee rests on workers being
+pure: a cell's result may depend only on the cell's arguments, never on
+worker identity, scheduling order, or state smuggled through the parent
+process.  ``ProcessPoolExecutor`` additionally requires submitted
+callables to be picklable — importable at top level under their
+``__qualname__``.
+
+* ``PAR001`` — callables submitted to a pool (``pool.submit(f, ...)``,
+  ``pool.map(f, ...)``) must be module-level functions: lambdas and
+  functions nested inside other functions either fail to pickle or,
+  worse, capture closure state the worker will not have.
+* ``PAR002`` — worker functions (module-level functions submitted to a
+  pool in the same module) must not mutate module-level state: no
+  ``global`` rebinding, no subscript/attribute stores on module-level
+  names, no mutating method calls (``append``/``clear``/...) on them.
+  Such writes land in the *worker's* copy of the module and are lost —
+  or, under a ``fork`` start method, differ by scheduling history.
+
+Both rules are scoped to modules that actually use a process pool, so
+ordinary code pays nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.core import (
+    Finding,
+    Rule,
+    SourceModule,
+    call_name,
+    register,
+)
+
+#: Pool constructors whose instances dispatch work to other processes.
+POOL_CONSTRUCTORS = ("ProcessPoolExecutor",
+                     "concurrent.futures.ProcessPoolExecutor",
+                     "futures.ProcessPoolExecutor",
+                     "multiprocessing.Pool", "Pool")
+
+#: Pool methods that take a callable to run in a worker.
+SUBMIT_METHODS = {"submit": 0, "map": 0, "imap": 0, "imap_unordered": 0,
+                  "apply_async": 0, "starmap": 0}
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "add",
+    "discard", "update", "setdefault", "popitem", "sort", "reverse",
+    "appendleft", "popleft",
+})
+
+
+def _pool_names(tree: ast.Module) -> Set[str]:
+    """Names bound to process-pool instances anywhere in the module."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        value: Optional[ast.AST] = None
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, list(node.targets)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            value, targets = node.context_expr, [node.optional_vars]
+        if value is None or not isinstance(value, ast.Call):
+            continue
+        if call_name(value) in POOL_CONSTRUCTORS:
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _submissions(tree: ast.Module, pools: Set[str]):
+    """Yield ``(call, func_expr)`` for every pool submission."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in SUBMIT_METHODS:
+            continue
+        if not (isinstance(func.value, ast.Name)
+                and func.value.id in pools):
+            continue
+        index = SUBMIT_METHODS[func.attr]
+        if len(node.args) > index:
+            yield node, node.args[index]
+
+
+def _function_index(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
+    """Module-level function definitions by name."""
+    return {
+        stmt.name: stmt
+        for stmt in tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside other functions."""
+    nested: Set[str] = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+            continue
+        body = outer.body if not isinstance(outer, ast.Lambda) else []
+        for stmt in body:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    nested.add(inner.name)
+    return nested
+
+
+@register
+class WorkerMustBeImportable(Rule):
+    """PAR001: pool-submitted callables must live at module level."""
+
+    id = "PAR001"
+    severity = "error"
+    description = (
+        "callable submitted to a process pool is not a module-level "
+        "function: lambdas and nested functions do not pickle and may "
+        "capture parent-only closure state"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        pools = _pool_names(module.tree)
+        if not pools:
+            return
+        top_level = _function_index(module.tree)
+        nested = _nested_function_names(module.tree) - set(top_level)
+        for call, func_expr in _submissions(module.tree, pools):
+            if isinstance(func_expr, ast.Lambda):
+                yield self.finding(
+                    module, func_expr,
+                    "lambda submitted to a process pool; define a "
+                    "module-level function instead",
+                )
+            elif (isinstance(func_expr, ast.Name)
+                    and func_expr.id in nested):
+                yield self.finding(
+                    module, func_expr,
+                    "nested function %r submitted to a process pool; "
+                    "hoist it to module level so it pickles and carries "
+                    "no closure state" % func_expr.id,
+                )
+
+
+@register
+class WorkerMustNotMutateModuleState(Rule):
+    """PAR002: worker functions must not write module-level state."""
+
+    id = "PAR002"
+    severity = "error"
+    description = (
+        "pool worker function mutates module-level state (global "
+        "rebinding or in-place mutation of a module-level name): the "
+        "write happens in the worker process and breaks parallel == "
+        "serial equivalence"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        pools = _pool_names(module.tree)
+        if not pools:
+            return
+        top_level = _function_index(module.tree)
+        worker_names = {
+            func_expr.id
+            for _, func_expr in _submissions(module.tree, pools)
+            if isinstance(func_expr, ast.Name) and func_expr.id in top_level
+        }
+        module_names = module.top_level_names()
+        for name in sorted(worker_names):
+            yield from self._check_worker(
+                module, top_level[name], module_names
+            )
+
+    def _check_worker(
+        self,
+        module: SourceModule,
+        worker: ast.FunctionDef,
+        module_names: Set[str],
+    ) -> Iterator[Finding]:
+        local_names: Set[str] = {a.arg for a in worker.args.args}
+        for node in ast.walk(worker):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store,)
+            ):
+                local_names.add(node.id)
+        globals_declared: Set[str] = set()
+        for node in ast.walk(worker):
+            if isinstance(node, ast.Global):
+                globals_declared.update(node.names)
+                yield self.finding(
+                    module, node,
+                    "worker %r declares global %s; module state written "
+                    "in a worker process is lost or order-dependent"
+                    % (worker.name, ", ".join(node.names)),
+                )
+            elif isinstance(node, (ast.Subscript, ast.Attribute)):
+                if not isinstance(node.ctx, (ast.Store, ast.Del)):
+                    continue
+                base = node.value
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                if (isinstance(base, ast.Name)
+                        and base.id in module_names
+                        and base.id not in local_names):
+                    yield self.finding(
+                        module, node,
+                        "worker %r writes into module-level %r; workers "
+                        "must communicate only through their return "
+                        "value (or the content-addressed disk cache)"
+                        % (worker.name, base.id),
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in MUTATING_METHODS
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id in module_names
+                        and func.value.id not in local_names):
+                    yield self.finding(
+                        module, node,
+                        "worker %r calls %s.%s(), mutating module-level "
+                        "state from a worker process"
+                        % (worker.name, func.value.id, func.attr),
+                    )

@@ -25,14 +25,34 @@ Environment knobs:
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Tuple
 
-#: Default cache root, relative to the working directory.
-DEFAULT_CACHE_DIR = ".repro_cache"
+from repro.sim.config import DEFAULT_CACHE_DIR, cache_dir, cache_enabled
+
+_log = logging.getLogger(__name__)
+
+#: Everything a truncated, corrupted, or version-skewed pickle can raise
+#: while being read back.  ``OSError`` covers I/O failures mid-read;
+#: ``EOFError``/``UnpicklingError`` cover truncated writers;
+#: ``AttributeError``/``ImportError``/``IndexError`` are pickle's
+#: documented failure modes for stale class layouts; ``ValueError`` and
+#: ``KeyError`` surface from corrupt frame headers and memo references.
+#: Anything outside this list is a genuine bug and propagates.
+_CORRUPT_ENTRY_ERRORS = (
+    OSError,
+    EOFError,
+    pickle.UnpicklingError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    ValueError,
+)
 
 #: Result namespaces; one subdirectory each.
 KINDS = ("profile", "baseline", "standalone", "partition", "run")
@@ -97,6 +117,9 @@ class DiskCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        #: Entries dropped because they could not be read back (see
+        #: ``_CORRUPT_ENTRY_ERRORS``); surfaced by ``repro cache stats``.
+        self.corrupt_drops = 0
 
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / (key + ".pkl")
@@ -116,7 +139,12 @@ class DiskCache:
         except FileNotFoundError:
             self.misses += 1
             return False, None
-        except Exception:
+        except _CORRUPT_ENTRY_ERRORS as exc:
+            self.corrupt_drops += 1
+            _log.debug(
+                "dropping unreadable cache entry %s (%s: %s)",
+                path, type(exc).__name__, exc,
+            )
             try:
                 os.unlink(path)
             except OSError:
@@ -198,6 +226,7 @@ class DiskCache:
             "total_bytes": total_bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "corrupt_drops": self.corrupt_drops,
         }
 
 
@@ -212,8 +241,8 @@ def get_cache() -> DiskCache:
     redirected roots without an explicit reconfiguration hook.
     """
     global _ACTIVE
-    root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
-    enabled = os.environ.get("REPRO_CACHE", "1") != "0"
+    root = cache_dir()
+    enabled = cache_enabled()
     if (
         _ACTIVE is None
         or str(_ACTIVE.root) != root

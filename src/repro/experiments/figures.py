@@ -12,7 +12,6 @@ per-mix runs of Figures 9a-9c.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -27,7 +26,6 @@ from repro.core.runtime import RuntimeOptions
 from repro.core.stats import harmonic_mean, mean
 from repro.errors import ExperimentError
 from repro.experiments.harness import (
-    DEFAULT_EXECUTIONS,
     RunResult,
     measure_baseline,
     measure_standalone,
@@ -44,7 +42,7 @@ from repro.experiments.mixes import (
     rotate_bg_mixes,
     single_bg_mixes,
 )
-from repro.sim.config import MachineConfig
+from repro.sim.config import MachineConfig, default_executions
 from repro.workloads.catalog import (
     foreground_names,
     rotate_pair_names,
@@ -131,7 +129,7 @@ def clear_run_cache() -> None:
 
 
 def _executions(executions: Optional[int]) -> int:
-    return DEFAULT_EXECUTIONS if executions is None else executions
+    return default_executions() if executions is None else executions
 
 
 # ---------------------------------------------------------------------------

@@ -19,7 +19,6 @@ per (mix, machine-config) so figure drivers can share them.
 from __future__ import annotations
 
 import math
-import os
 import zlib
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -43,16 +42,19 @@ from repro.experiments.metrics import (
 )
 from repro.experiments.mixes import Mix
 from repro.sim.batch import resolve_backend
-from repro.sim.config import MachineConfig
+from repro.sim.config import MachineConfig, default_executions
 from repro.sim.counters import CounterSnapshot
 from repro.sim.machine import Machine
 from repro.sim.process import ExecutionRecord, Process
 from repro.workloads.catalog import get_rotate_pair, get_workload
 from repro.workloads.rotate import spawn_rotating_background
 
-#: Default executions measured per FG task; override with the
-#: REPRO_EXECUTIONS environment variable (the paper uses 100).
-DEFAULT_EXECUTIONS = int(os.environ.get("REPRO_EXECUTIONS", "40"))
+# The default execution count comes from
+# repro.sim.config.default_executions(), which re-reads REPRO_EXECUTIONS
+# on every call: harness entry points take ``executions=None`` and
+# resolve it at call time, so sweep workers and tests observe
+# environment changes made after import (the old import-time module
+# constant froze the variable's value at first import).
 
 #: Executions discarded before measurement begins.
 DEFAULT_WARMUP = 5
@@ -208,7 +210,7 @@ def run_policy(
     mix: Mix,
     policy: Policy,
     deadlines_s: Optional[Sequence[float]] = None,
-    executions: int = DEFAULT_EXECUTIONS,
+    executions: Optional[int] = None,
     warmup: int = DEFAULT_WARMUP,
     config: Optional[MachineConfig] = None,
     seed: int = 0,
@@ -224,7 +226,8 @@ def run_policy(
         deadlines_s: Per-FG-task deadlines; required when the policy's
             fine controller runs (otherwise optional, used for metrics).
             Computed from the Baseline run when omitted.
-        executions: Measured FG executions per task.
+        executions: Measured FG executions per task (default:
+            ``REPRO_EXECUTIONS`` or 40, read at call time).
         warmup: Executions discarded before measurement.
         config: Machine configuration (defaults to the paper machine).
         seed: Experiment seed, combined with the config seed and mix name.
@@ -266,7 +269,7 @@ class PolicySession:
         mix: Mix,
         policy: Policy,
         deadlines_s: Optional[Sequence[float]] = None,
-        executions: int = DEFAULT_EXECUTIONS,
+        executions: Optional[int] = None,
         warmup: int = DEFAULT_WARMUP,
         config: Optional[MachineConfig] = None,
         seed: int = 0,
@@ -274,6 +277,8 @@ class PolicySession:
         observe_predictor: bool = False,
         runtime_options: Optional[RuntimeOptions] = None,
     ) -> None:
+        if executions is None:
+            executions = default_executions()
         if executions < 1:
             raise ExperimentError("executions must be >= 1")
         config = config or MachineConfig()
@@ -542,12 +547,14 @@ _STANDALONE_CACHE: Dict[
 
 def measure_standalone(
     fg_name: str,
-    executions: int = DEFAULT_EXECUTIONS,
+    executions: Optional[int] = None,
     warmup: int = DEFAULT_WARMUP,
     config: Optional[MachineConfig] = None,
     seed: int = 0,
 ) -> StandaloneResult:
     """Run an FG benchmark alone at maximum frequency (cached)."""
+    if executions is None:
+        executions = default_executions()
     config = config or MachineConfig()
     key = (fg_name, config, executions, warmup, seed, resolve_backend())
     cached = _STANDALONE_CACHE.get(key)
@@ -602,12 +609,14 @@ def measure_standalone(
 
 def measure_baseline(
     mix: Mix,
-    executions: int = DEFAULT_EXECUTIONS,
+    executions: Optional[int] = None,
     warmup: int = DEFAULT_WARMUP,
     config: Optional[MachineConfig] = None,
     seed: int = 0,
 ) -> RunResult:
     """Run the Baseline configuration (cached)."""
+    if executions is None:
+        executions = default_executions()
     config = config or MachineConfig()
     backend = resolve_backend()
     key = (mix.name, config, executions, warmup, seed, backend)
@@ -632,7 +641,7 @@ def measure_baseline(
 
 def deadlines_for(
     mix: Mix,
-    executions: int = DEFAULT_EXECUTIONS,
+    executions: Optional[int] = None,
     warmup: int = DEFAULT_WARMUP,
     config: Optional[MachineConfig] = None,
     seed: int = 0,
@@ -704,7 +713,7 @@ def find_static_partition(
 def run_policy_cached(
     mix: Mix,
     policy: Policy,
-    executions: int = DEFAULT_EXECUTIONS,
+    executions: Optional[int] = None,
     warmup: int = DEFAULT_WARMUP,
     config: Optional[MachineConfig] = None,
     seed: int = 0,
@@ -716,6 +725,8 @@ def run_policy_cached(
     are exactly the cells the figure drivers and the parallel sweep
     engine fan out.
     """
+    if executions is None:
+        executions = default_executions()
     config = config or MachineConfig()
     if policy == BASELINE:
         # Baseline runs live in the "baseline" namespace (they double as

@@ -44,7 +44,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.policies import Policy
 from repro.experiments.harness import (
-    DEFAULT_EXECUTIONS,
     DEFAULT_WARMUP,
     RunResult,
     find_static_partition,
@@ -53,12 +52,18 @@ from repro.experiments.harness import (
     run_policy_cached,
 )
 from repro.experiments.mixes import Mix
-from repro.sim.config import MachineConfig
+from repro.sim.config import (
+    ENV_PACK_CELLS,
+    MachineConfig,
+    default_executions,
+    env_pack_cells,
+    env_workers,
+)
 
 _default_workers: Optional[int] = None
 
-#: Environment override for the lane-pack size (cells per pool task).
-ENV_PACK_CELLS = "REPRO_PACK_CELLS"
+__all__ = ["ENV_PACK_CELLS", "SweepResult", "default_workers", "run_grid",
+           "set_default_workers"]
 
 
 def set_default_workers(workers: int) -> None:
@@ -71,12 +76,9 @@ def default_workers() -> int:
     """Resolve the worker count: override, REPRO_WORKERS, CPU count."""
     if _default_workers is not None:
         return _default_workers
-    env = os.environ.get("REPRO_WORKERS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
+    env = env_workers()
+    if env is not None:
+        return env
     return os.cpu_count() or 1
 
 
@@ -158,13 +160,7 @@ def _pack_cells(cells: List[Tuple], workers: int) -> List[List[Tuple]]:
     never *reduces* parallelism when there are spare workers) and can be
     pinned with ``REPRO_PACK_CELLS``.
     """
-    cap = 0
-    env = os.environ.get(ENV_PACK_CELLS)
-    if env:
-        try:
-            cap = max(1, int(env))
-        except ValueError:
-            cap = 0
+    cap = env_pack_cells() or 0
     if cap < 1:
         cap = max(1, -(-len(cells) // max(1, workers)))
     by_mix: Dict[str, List[Tuple]] = {}
@@ -180,7 +176,7 @@ def _pack_cells(cells: List[Tuple], workers: int) -> List[List[Tuple]]:
 def run_grid(
     mixes: Sequence[Mix],
     policies: Sequence[Policy],
-    executions: int = DEFAULT_EXECUTIONS,
+    executions: Optional[int] = None,
     warmup: int = DEFAULT_WARMUP,
     config: Optional[MachineConfig] = None,
     seed: int = 0,
@@ -192,7 +188,12 @@ def run_grid(
     to running :func:`repro.experiments.harness.run_policy` serially in
     any order: per-cell RNG seeding depends only on the cell, and cells
     coordinate only through the content-addressed disk cache.
+
+    ``executions`` defaults from ``REPRO_EXECUTIONS`` (resolved here,
+    once, so every fanned-out cell sees the same value).
     """
+    if executions is None:
+        executions = default_executions()
     config = config or MachineConfig()
     if workers is None:
         workers = default_workers()

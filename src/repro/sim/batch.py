@@ -53,10 +53,10 @@ engine.  :class:`repro.sim.machine.Machine` also accepts an explicit
 from __future__ import annotations
 
 import math
-import os
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.sim.config import ENV_BACKEND, env_backend
 from repro.sim.perf import FIXED_POINT_ITERATIONS, MPKI_SCALE
 from repro.sim.process import STATE_RUNNING, ExecutionRecord, Process
 from repro.sim.spanplan import SpanPlanner, SpanStats, span_compile_enabled
@@ -71,8 +71,7 @@ BACKEND_BATCH = "batch"
 #: All recognized backends.
 BACKENDS = (BACKEND_SCALAR, BACKEND_BATCH)
 
-#: Environment variable that selects the simulation backend.
-ENV_BACKEND = "REPRO_SIM_BACKEND"
+# ENV_BACKEND (re-exported from repro.sim.config) selects the backend.
 
 #: Backend used when neither the environment nor the caller chooses.
 DEFAULT_BACKEND = BACKEND_BATCH
@@ -88,7 +87,7 @@ def resolve_backend(override: Optional[str] = None) -> str:
     Raises:
         ConfigurationError: if the requested backend is unknown.
     """
-    name = override or os.environ.get(ENV_BACKEND) or DEFAULT_BACKEND
+    name = override or env_backend() or DEFAULT_BACKEND
     name = name.strip().lower()
     if name not in BACKENDS:
         raise ConfigurationError(

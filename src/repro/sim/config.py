@@ -1,4 +1,4 @@
-"""Machine configuration for the simulated multicore node.
+"""Machine configuration and environment knobs for the simulated node.
 
 The defaults mirror the evaluation platform of the Dirigent paper: a 6-core
 Intel Xeon E5-2618L v3 with per-core DVFS (Dirigent uses 5 equispaced grades
@@ -9,12 +9,24 @@ The simulator is a discrete-time performance model; ``tick_s`` sets its
 resolution.  The remaining knobs parameterize the contention model: memory
 latency inflation under load, cache inertia, and the stochastic noise that
 creates run-to-run variation (OS jitter, timer error, input-size jitter).
+
+This module is also the **single funnel for environment variables**: every
+``REPRO_*`` knob the package honors is declared in :data:`KNOBS` and read
+through a typed accessor defined here.  Accessors re-read the environment
+on every call — never at import time — so worker processes and tests that
+set a variable after import observe the change.  The static analyzer
+(:mod:`repro.analysis`) enforces both properties: rule ``ENV001`` rejects
+``os.environ`` reads anywhere else in the package, rule ``ENV002`` rejects
+accessor calls that execute at import time, and rule ``ENV003``
+cross-checks that every knob declared here as result-relevant is folded
+into the experiment cache keys.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -137,3 +149,183 @@ class MachineConfig:
 
 #: Configuration mirroring the paper's Xeon E5-2618L v3 testbed.
 PAPER_MACHINE = MachineConfig()
+
+
+# ---------------------------------------------------------------------------
+# Environment knobs
+# ---------------------------------------------------------------------------
+
+#: FG executions measured per task when the caller does not choose.
+ENV_EXECUTIONS = "REPRO_EXECUTIONS"
+
+#: Worker-process count for the parallel sweep engine.
+ENV_WORKERS = "REPRO_WORKERS"
+
+#: Cap on cells per lane pack in the parallel sweep engine.
+ENV_PACK_CELLS = "REPRO_PACK_CELLS"
+
+#: Simulation backend selector (``scalar`` or ``batch``).
+ENV_BACKEND = "REPRO_SIM_BACKEND"
+
+#: Span-compilation kill switch (``0``/``off``/``false`` disables).
+ENV_SPAN_COMPILE = "REPRO_SPAN_COMPILE"
+
+#: Root directory of the persistent result cache.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Persistent-cache master switch (``0`` disables reads and writes).
+ENV_CACHE = "REPRO_CACHE"
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Default FG executions per task (the paper uses 100).
+DEFAULT_EXECUTIONS_FALLBACK = 40
+
+
+@dataclass(frozen=True)
+class EnvKnob:
+    """Declaration of one environment variable the package honors.
+
+    Attributes:
+        name: The environment variable.
+        accessor: Name of the typed accessor function in this module.
+        kind: Value shape (``int``/``flag``/``str``/``path``), for docs.
+        default: Human-readable default, for docs and ``--help`` text.
+        cache_key_symbol: When the knob can change *simulation results*,
+            the identifier that must appear inside the experiment
+            harness's disk-cache key tuples so cached cells can never be
+            served across differing knob values.  ``None`` marks knobs
+            that affect scheduling, performance, or the cache machinery
+            itself but are result-neutral by construction (pinned by the
+            equivalence test suites).
+        doc: One-line summary surfaced by ``repro lint --list-rules``
+            tooling and the docs.
+    """
+
+    name: str
+    accessor: str
+    kind: str
+    default: str
+    cache_key_symbol: Optional[str]
+    doc: str
+
+
+#: Registry of every supported environment knob.  ``repro.analysis``
+#: treats this tuple as ground truth: a new ``os.environ`` read anywhere
+#: else in the package fails lint until the knob is declared here.
+KNOBS: Tuple[EnvKnob, ...] = (
+    EnvKnob(
+        ENV_EXECUTIONS, "default_executions", "int",
+        str(DEFAULT_EXECUTIONS_FALLBACK), "executions",
+        "Default FG executions measured per task.",
+    ),
+    EnvKnob(
+        ENV_WORKERS, "env_workers", "int", "cpu count", None,
+        "Worker processes for parallel sweeps (scheduling only).",
+    ),
+    EnvKnob(
+        ENV_PACK_CELLS, "env_pack_cells", "int", "grid/workers", None,
+        "Cells per lane pack in parallel sweeps (scheduling only).",
+    ),
+    EnvKnob(
+        ENV_BACKEND, "env_backend", "str", "batch", "resolve_backend",
+        "Simulation backend (scalar reference or batch engine).",
+    ),
+    EnvKnob(
+        ENV_SPAN_COMPILE, "span_compile_enabled", "flag", "1", None,
+        "Span-compiled kernel kill switch (bit-identical either way).",
+    ),
+    EnvKnob(
+        ENV_CACHE_DIR, "cache_dir", "path", DEFAULT_CACHE_DIR, None,
+        "Root directory of the persistent result cache.",
+    ),
+    EnvKnob(
+        ENV_CACHE, "cache_enabled", "flag", "1", None,
+        "Persistent result cache master switch.",
+    ),
+)
+
+
+def default_executions() -> int:
+    """FG executions per task when the caller does not choose.
+
+    Reads ``REPRO_EXECUTIONS`` on every call (never at import), so late
+    environment changes — a test's ``monkeypatch.setenv``, a sweep
+    worker inheriting an exported value — take effect immediately.
+
+    Raises:
+        ConfigurationError: if the variable is set but not an integer.
+    """
+    raw = os.environ.get(ENV_EXECUTIONS)
+    if raw is None or not raw.strip():
+        return DEFAULT_EXECUTIONS_FALLBACK
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            "%s must be an integer, got %r" % (ENV_EXECUTIONS, raw)
+        ) from None
+    if value < 1:
+        raise ConfigurationError(
+            "%s must be >= 1, got %d" % (ENV_EXECUTIONS, value)
+        )
+    return value
+
+
+def env_workers() -> Optional[int]:
+    """``REPRO_WORKERS`` as a positive int, or None when unset/invalid.
+
+    Invalid values degrade to None (the CPU count) rather than failing a
+    sweep over a harmless typo; the knob only affects scheduling.
+    """
+    raw = os.environ.get(ENV_WORKERS)
+    if not raw:
+        return None
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return None
+
+
+def env_pack_cells() -> Optional[int]:
+    """``REPRO_PACK_CELLS`` as a positive int, or None when unset/invalid."""
+    raw = os.environ.get(ENV_PACK_CELLS)
+    if not raw:
+        return None
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return None
+
+
+def env_backend() -> Optional[str]:
+    """``REPRO_SIM_BACKEND`` verbatim, or None when unset.
+
+    Validation (and the default) lives in
+    :func:`repro.sim.batch.resolve_backend`, the single resolver every
+    cache key folds in.
+    """
+    return os.environ.get(ENV_BACKEND) or None
+
+
+def span_compile_enabled() -> bool:
+    """True unless ``REPRO_SPAN_COMPILE`` disables the compiled path.
+
+    Recognized off-values are ``0``, ``off``, and ``false``
+    (case-insensitive); anything else — including unset — enables span
+    compilation.  The compiled path is bit-identical to the generic
+    kernel, so this knob is result-neutral.
+    """
+    flag = os.environ.get(ENV_SPAN_COMPILE, "").strip().lower()
+    return flag not in ("0", "off", "false")
+
+
+def cache_dir() -> str:
+    """Root of the persistent result cache (``REPRO_CACHE_DIR``)."""
+    return os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_CACHE=0`` disables the persistent cache."""
+    return os.environ.get(ENV_CACHE, "1") != "0"

@@ -53,19 +53,20 @@ supported configuration knob.
 from __future__ import annotations
 
 import math
-import os
 import random
 from typing import Dict, List, Optional, Tuple
 
+from repro.sim.config import ENV_SPAN_COMPILE, span_compile_enabled
 from repro.sim.perf import (
     FIXED_POINT_ITERATIONS as _FIXED_POINT_ITERATIONS,
     MPKI_SCALE,
 )
 from repro.sim.process import STATE_RUNNING
 
-#: Environment variable that disables span compilation when set to one of
-#: ``0``/``off``/``false`` (case-insensitive).
-ENV_SPAN_COMPILE = "REPRO_SPAN_COMPILE"
+__all__ = [
+    "ENV_SPAN_COMPILE", "SpanPlan", "SpanPlanner", "SpanStats",
+    "generate_kernel_source", "span_compile_enabled", "template_shapes",
+]
 
 #: Cap on cached plans per engine; machine states cycle through a small
 #: working set (phases x frequency grades), so this is generous.
@@ -77,12 +78,6 @@ MAX_MEMO = 4096
 #: CPython's ``random.gauss`` angle scale (``2*pi``); bound once so the
 #: generated kernels and the interpreter use the very same constant.
 TWO_PI = 2.0 * math.pi
-
-
-def span_compile_enabled() -> bool:
-    """True unless ``REPRO_SPAN_COMPILE`` disables the compiled path."""
-    flag = os.environ.get(ENV_SPAN_COMPILE, "").strip().lower()
-    return flag not in ("0", "off", "false")
 
 
 class SpanStats:
@@ -507,6 +502,71 @@ def _generate_source(shape: tuple) -> str:
     add("    return run")
     add("")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Kernel-template entry points (audit surface)
+# ----------------------------------------------------------------------
+#
+# ``repro lint``'s GEN rules parse the exact source strings this module
+# hands to ``exec()`` and verify the codegen contract on the AST (call
+# allowlist, no global name resolution, in-loop attribute discipline).
+# These two functions are that audit surface: ``template_shapes`` spans
+# the generator's structural feature matrix, ``generate_kernel_source``
+# renders any shape to source without compiling it.
+
+
+def generate_kernel_source(shape: tuple) -> str:
+    """Render the kernel source for one span shape, without compiling.
+
+    ``shape`` is the 10-tuple ``(num_cores, cores, isfg, apki_pos,
+    jitter, snap, groups, guard_lanes, has_energy, stolen)`` described
+    above (``groups`` must partition the ``apki_pos`` lanes).  This is
+    the exact string :func:`_compile_kernel` would ``exec``-compile for
+    that shape — the static analyzer and the tests audit it directly.
+    """
+    return _generate_source(shape)
+
+
+def template_shapes() -> Tuple[tuple, ...]:
+    """Representative span shapes covering the generator's feature matrix.
+
+    One shape per structurally distinct code path: jitter on/off (off
+    enables the fixed-point memo and the stationary loop), snap vs
+    inertia occupancy (inertia with an idle core enables idle-change
+    tracking), peeled stolen-tick prologue, energy accounting, FG and
+    BG phase guards, a zero-``apki`` lane, and multi-group cache
+    partitions.  ``repro lint`` audits the source generated for every
+    one of these, so a codegen change that breaks the contract on any
+    branch fails lint even if no benchmark happens to exercise it.
+    """
+    six = (0, 1, 2, 3, 4, 5)
+    fg_of_six = (True, False, False, False, False, False)
+    return (
+        # Canonical contended figure: 1 FG + 5 BG, jitter, inertia,
+        # energy accounting, FG + BG guards, one shared cache group.
+        (6, six, fg_of_six, (True,) * 6, True, False,
+         ((16, six),), (0, 1), True, False),
+        # Jitter-free memo path with an idle core (inertia occupancy
+        # decays toward zero, so idle-change tracking engages).
+        (6, (0, 1, 2, 3, 4), (True, False, False, False, False),
+         (True,) * 5, False, False, ((16, (0, 1, 2, 3, 4)),), (0,),
+         False, False),
+        # Snap occupancy, peeled stolen tick, split cache groups, no
+        # guards (every lane pinned to a full-program phase).
+        (6, six, fg_of_six, (True,) * 6, False, True,
+         ((8, (0, 1, 2)), (8, (3, 4, 5))), (), False, True),
+        # Jitter + snap + stolen + energy together.
+        (6, six, fg_of_six, (True,) * 6, True, True,
+         ((16, six),), (0,), True, True),
+        # A zero-apki BG lane: no cache weight, miss accumulation in
+        # the access counter, its core treated as cache-idle.
+        (6, six, fg_of_six, (True, True, True, True, True, False),
+         False, False, ((16, (0, 1, 2, 3, 4)),), (0, 5), True, False),
+        # Minimal standalone FG (the baseline/standalone measurements).
+        (6, (0,), (True,), (True,), False, True, ((16, (0,)),), (0,),
+         False, False),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,145 @@
+"""GEN audit over real generated span kernels.
+
+Two layers:
+
+* the kernel *templates* (the representative shape matrix
+  :func:`repro.sim.spanplan.template_shapes` exports for the analyzer)
+  all generate contract-clean source, and that source actually
+  ``exec``-compiles under the empty-``__builtins__`` namespace the
+  runtime uses;
+* the shapes a *live* batch-backend simulation compiles — whatever ends
+  up in ``spanplan._KERNEL_CODE_CACHE`` after driving a contended
+  machine — audit clean too, so the audit surface cannot silently
+  drift from what production spans really run.
+
+Plus negative coverage: doctored kernel sources violating each clause
+of the contract are caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.rules_gen import audit_kernel_source
+from repro.sim import spanplan
+from repro.sim.batch import BACKEND_BATCH
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from tests.conftest import make_bg, make_fg
+
+
+def _violation_messages(source):
+    return [violation.message
+            for violation in audit_kernel_source(source)]
+
+
+class TestTemplatesConform:
+    @pytest.mark.parametrize(
+        "shape", spanplan.template_shapes(),
+        ids=lambda shape: "lanes%d-j%d-s%d-e%d-st%d" % (
+            len(shape[1]), shape[4], shape[5], shape[8], shape[9]
+        ),
+    )
+    def test_template_generates_clean_source(self, shape):
+        source = spanplan.generate_kernel_source(shape)
+        assert audit_kernel_source(source) == []
+
+    @pytest.mark.parametrize(
+        "shape", spanplan.template_shapes(),
+        ids=lambda shape: "lanes%d-j%d-s%d-e%d-st%d" % (
+            len(shape[1]), shape[4], shape[5], shape[8], shape[9]
+        ),
+    )
+    def test_template_compiles_without_builtins(self, shape):
+        source = spanplan.generate_kernel_source(shape)
+        namespace = {"__builtins__": {}}
+        exec(compile(source, "<test>", "exec"), namespace)
+        assert callable(namespace["_factory"])
+
+    def test_templates_cover_both_memo_modes(self):
+        jitters = {shape[4] for shape in spanplan.template_shapes()}
+        assert jitters == {True, False}
+
+    def test_templates_cover_stolen_and_energy(self):
+        shapes = spanplan.template_shapes()
+        assert {shape[9] for shape in shapes} == {True, False}
+        assert {shape[8] for shape in shapes} == {True, False}
+
+
+class TestLiveKernelsConform:
+    def test_compiled_shapes_from_live_run_audit_clean(self):
+        config = MachineConfig(
+            seed=5, os_jitter_sigma=0.015, cache_inertia_tau_s=0.15,
+            timer_jitter_prob=0.0,
+        )
+        machine = Machine(config, backend=BACKEND_BATCH)
+        machine.spawn(make_fg(input_noise=0.05), core=0, nice=-5)
+        for core in range(1, config.num_cores):
+            machine.spawn(make_bg(heavy=core % 2 == 0), core=core, nice=5)
+        machine.settle_cache()
+        machine.run_ticks(2_000)
+        stats = machine.backend_stats()
+        assert stats["compiled_ticks"] > 0
+
+        audited = 0
+        for shape in spanplan._KERNEL_CODE_CACHE:
+            source = spanplan.generate_kernel_source(shape)
+            assert audit_kernel_source(source) == [], (
+                "live shape %r generated non-conforming code" % (shape,)
+            )
+            audited += 1
+        assert audited >= 1
+
+
+class TestDoctoredSourcesCaught:
+    def test_global_name_resolution_caught(self):
+        messages = _violation_messages(
+            "def _factory(plan, e_):\n"
+            "    def run(span):\n"
+            "        return math.exp(span)\n"
+            "    return run\n"
+        )
+        assert any("resolves to a global" in message
+                   for message in messages)
+
+    def test_non_allowlisted_call_caught(self):
+        messages = _violation_messages(
+            "def _factory(plan, e_):\n"
+            "    p = plan.printer\n"
+            "    def run(span):\n"
+            "        p(span)\n"
+            "        return span\n"
+            "    return run\n"
+        )
+        assert any("non-allowlisted name 'p'" in message
+                   for message in messages)
+
+    def test_in_loop_attribute_caught(self):
+        messages = _violation_messages(
+            "def _factory(plan, e_):\n"
+            "    m = plan.machine\n"
+            "    def run(span):\n"
+            "        executed = 0\n"
+            "        while executed < span:\n"
+            "            executed = executed + m.rho\n"
+            "        return executed\n"
+            "    return run\n"
+        )
+        assert any("inside a lane loop" in message
+                   for message in messages)
+
+    def test_import_in_generated_code_caught(self):
+        messages = _violation_messages(
+            "import math\n"
+            "def _factory(plan, e_):\n"
+            "    def run(span):\n"
+            "        return span\n"
+            "    return run\n"
+        )
+        assert any("must not import" in message for message in messages)
+        assert any("exactly one factory function" in message
+                   for message in messages)
+
+    def test_unparsable_source_caught(self):
+        messages = _violation_messages("def _factory(:\n")
+        assert any("does not parse" in message for message in messages)

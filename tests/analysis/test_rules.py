@@ -1,0 +1,508 @@
+"""Per-rule unit tests for the determinism & invariant analyzer.
+
+Each rule gets (at least) one seeded-violation fixture asserting the
+finding fires, and a suppressed twin asserting the inline
+``# repro-lint: disable=RULE`` comment silences exactly it.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.core import analyze_paths, default_rules
+
+
+def lint_source(tmp_path, source, relpath="mod.py", select=None):
+    """Write ``source`` under ``tmp_path`` and lint it.
+
+    Returns the finding list; ``relpath`` may carry directories (used
+    to place fixtures inside rule scopes such as ``sim/``).
+    """
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    rules = default_rules()
+    if select is not None:
+        rules = [rule for rule in rules if rule.id in select]
+    return analyze_paths([tmp_path], rules=rules, root=tmp_path)
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestDet001ImportTimeNondeterminism:
+    def test_flags_import_time_clock_read(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import time
+            START = time.time()
+        """, select={"DET001"})
+        assert rule_ids(findings) == ["DET001"]
+        assert findings[0].line == 2
+
+    def test_flags_argument_default(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import time
+
+            def f(now=time.time()):
+                return now
+        """, select={"DET001"})
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_call_inside_function_body_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import time
+
+            def f():
+                return time.time()
+        """, select={"DET001"})
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import time
+            START = time.time()  # repro-lint: disable=DET001
+        """, select={"DET001"})
+        assert findings == []
+
+
+class TestDet002SharedOrUnseededRng:
+    def test_flags_global_rng_anywhere(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            def draw():
+                return random.gauss(0.0, 1.0)
+        """, select={"DET002"})
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_flags_unseeded_random(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            def make_rng():
+                return random.Random()
+        """, select={"DET002"})
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_seeded_random_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+        """, select={"DET002"})
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            def make_rng():
+                return random.Random()  # repro-lint: disable=DET002
+        """, select={"DET002"})
+        assert findings == []
+
+
+class TestDet003SetIterationInHotPath:
+    SOURCE = """\
+        def total(values):
+            acc = 0.0
+            for v in set(values):
+                acc += v
+            return acc
+    """
+
+    def test_flags_inside_sim_scope(self, tmp_path):
+        findings = lint_source(tmp_path, self.SOURCE,
+                               relpath="sim/hot.py", select={"DET003"})
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_flags_comprehension_over_set_literal(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def f():
+                return [x for x in {1.0, 2.0}]
+        """, relpath="sim/hot.py", select={"DET003"})
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_outside_sim_scope_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, self.SOURCE,
+                               relpath="report.py", select={"DET003"})
+        assert findings == []
+
+    def test_sorted_set_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def total(values):
+                acc = 0.0
+                for v in sorted(set(values)):
+                    acc += v
+                return acc
+        """, relpath="sim/hot.py", select={"DET003"})
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def total(values):
+                acc = 0.0
+                for v in set(values):  # repro-lint: disable=DET003
+                    acc += v
+                return acc
+        """, relpath="sim/hot.py", select={"DET003"})
+        assert findings == []
+
+
+class TestDet004SumOverSet:
+    def test_flags_sum_of_set_call(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def f(values):
+                return sum(set(values))
+        """, select={"DET004"})
+        assert rule_ids(findings) == ["DET004"]
+
+    def test_flags_generator_over_set_literal(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def f():
+                return sum(x * x for x in {1.0, 2.0})
+        """, select={"DET004"})
+        assert rule_ids(findings) == ["DET004"]
+
+    def test_sum_of_list_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def f(values):
+                return sum(sorted(set(values)))
+        """, select={"DET004"})
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def f(values):
+                return sum(set(values))  # repro-lint: disable=DET004
+        """, select={"DET004"})
+        assert findings == []
+
+
+class TestEnv001EnvironReadOutsideConfig:
+    def test_flags_environ_get(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import os
+
+            def workers():
+                return os.environ.get("REPRO_WORKERS")
+        """, select={"ENV001"})
+        assert rule_ids(findings) == ["ENV001"]
+
+    def test_flags_getenv_and_subscript(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import os
+
+            def f():
+                return os.getenv("A"), os.environ["B"]
+        """, select={"ENV001"})
+        assert rule_ids(findings) == ["ENV001", "ENV001"]
+
+    def test_write_is_allowed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import os
+
+            def export(value):
+                os.environ["REPRO_SIM_BACKEND"] = value
+        """, select={"ENV001"})
+        assert findings == []
+
+    def test_config_module_is_exempt(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import os
+
+            def knob():
+                return os.environ.get("REPRO_X")
+        """, relpath="repro/sim/config.py", select={"ENV001"})
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import os
+
+            def f():
+                return os.getenv("A")  # repro-lint: disable=ENV001
+        """, select={"ENV001"})
+        assert findings == []
+
+
+class TestEnv002ImportTimeEnvRead:
+    def test_flags_module_constant(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import os
+
+            LIMIT = int(os.environ.get("REPRO_LIMIT", "4"))
+        """, select={"ENV002"})
+        assert rule_ids(findings) == ["ENV002"]
+
+    def test_flags_import_time_accessor_call(self, tmp_path):
+        # Knob accessors from repro.sim.config.KNOBS are recognized by
+        # name; calling one at import time freezes the knob per process.
+        findings = lint_source(tmp_path, """\
+            from repro.sim.config import default_executions
+
+            EXECUTIONS = default_executions()
+        """, select={"ENV002"})
+        assert rule_ids(findings) == ["ENV002"]
+
+    def test_call_time_read_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from repro.sim.config import default_executions
+
+            def executions():
+                return default_executions()
+        """, select={"ENV002"})
+        assert findings == []
+
+    def test_applies_even_in_config_module(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import os
+
+            CACHED = os.environ.get("REPRO_X")
+        """, relpath="repro/sim/config.py", select={"ENV002"})
+        assert rule_ids(findings) == ["ENV002"]
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import os
+
+            LIMIT = os.environ.get("L")  # repro-lint: disable=ENV001,ENV002
+        """, select={"ENV002"})
+        assert findings == []
+
+
+class TestEnv003CacheKeyCrossCheck:
+    HARNESS_MISSING_KNOBS = """\
+        def run_policy_cached(cache, fg_name, config, warmup, seed):
+            key = (fg_name, config, warmup, seed)
+            return cache.get("policy", key)
+    """
+
+    def test_flags_harness_missing_cache_relevant_knobs(self, tmp_path):
+        findings = lint_source(
+            tmp_path, self.HARNESS_MISSING_KNOBS,
+            relpath="repro/experiments/harness.py", select={"ENV003"},
+        )
+        assert rule_ids(findings) == ["ENV003", "ENV003"]
+        messages = " ".join(finding.message for finding in findings)
+        assert "REPRO_EXECUTIONS" in messages
+        assert "REPRO_SIM_BACKEND" in messages
+
+    def test_passes_when_symbols_present(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from repro.sim.batch import resolve_backend
+
+            def run_policy_cached(cache, fg_name, config, executions,
+                                  warmup, seed):
+                key = (fg_name, config, executions, warmup, seed,
+                       resolve_backend())
+                return cache.get("policy", key)
+        """, relpath="repro/experiments/harness.py", select={"ENV003"})
+        assert findings == []
+
+    def test_skipped_when_harness_not_analyzed(self, tmp_path):
+        findings = lint_source(tmp_path, "x = 1\n", select={"ENV003"})
+        assert findings == []
+
+
+class TestPar001WorkerMustBeImportable:
+    def test_flags_lambda_and_nested_function(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(cells):
+                def helper(c):
+                    return c
+                with ProcessPoolExecutor() as pool:
+                    pool.submit(lambda c: c, 1)
+                    pool.map(helper, cells)
+        """, select={"PAR001"})
+        assert rule_ids(findings) == ["PAR001", "PAR001"]
+
+    def test_module_level_worker_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def worker(c):
+                return c
+
+            def run(cells):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(worker, cells))
+        """, select={"PAR001"})
+        assert findings == []
+
+    def test_no_pool_no_findings(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def run(cells):
+                return list(map(lambda c: c, cells))
+        """, select={"PAR001"})
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(cells):
+                with ProcessPoolExecutor() as pool:
+                    pool.submit(lambda c: c, 1)  # repro-lint: disable=PAR001
+        """, select={"PAR001"})
+        assert findings == []
+
+
+class TestPar002WorkerMustNotMutateModuleState:
+    def test_flags_mutating_method_and_global(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            RESULTS = []
+            COUNT = 0
+
+            def worker(cell):
+                global COUNT
+                COUNT += 1
+                RESULTS.append(cell)
+                return cell
+
+            def run(cells):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(worker, cells))
+        """, select={"PAR002"})
+        assert rule_ids(findings) == ["PAR002", "PAR002"]
+
+    def test_flags_subscript_store(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            STATE = {}
+
+            def worker(cell):
+                STATE[cell] = 1
+                return cell
+
+            def run(cells):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(worker, cells))
+        """, select={"PAR002"})
+        assert rule_ids(findings) == ["PAR002"]
+
+    def test_local_shadow_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            STATE = {}
+
+            def worker(cell):
+                STATE = {}
+                STATE[cell] = 1
+                return STATE
+
+            def run(cells):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(worker, cells))
+        """, select={"PAR002"})
+        assert findings == []
+
+    def test_pure_worker_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def worker(cell):
+                out = []
+                out.append(cell)
+                return out
+
+            def run(cells):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(worker, cells))
+        """, select={"PAR002"})
+        assert findings == []
+
+
+class TestGen001ExecHygiene:
+    def test_flags_exec_without_namespace(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def compile_kernel(src):
+                exec(src)
+        """, select={"GEN001"})
+        assert len(findings) == 2  # missing namespace + missing entry points
+        assert {finding.rule for finding in findings} == {"GEN001"}
+
+    def test_exec_with_namespace_and_entry_points_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def template_shapes():
+                return ()
+
+            def generate_kernel_source(shape):
+                return ""
+
+            def compile_kernel(src):
+                namespace = {"__builtins__": {}}
+                exec(src, namespace)
+                return namespace
+        """, select={"GEN001"})
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def compile_kernel(src):
+                exec(src)  # repro-lint: disable=GEN001
+        """, select={"GEN001"})
+        assert findings == []
+
+
+class TestBlanketSuppression:
+    def test_disable_without_rule_list_silences_everything(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import time
+            START = time.time()  # repro-lint: disable
+        """)
+        assert findings == []
+
+
+class TestParseErrors:
+    def test_unparsable_file_yields_parse_finding(self, tmp_path):
+        findings = lint_source(tmp_path, "def broken(:\n")
+        assert rule_ids(findings) == ["PARSE"]
+        assert findings[0].severity == "error"
+
+
+class TestRegistry:
+    def test_all_families_registered(self):
+        ids = {rule.id for rule in default_rules()}
+        for family in ("DET", "ENV", "PAR", "GEN"):
+            assert any(rule_id.startswith(family) for rule_id in ids), (
+                "no %s rules registered" % family
+            )
+
+    def test_rules_have_metadata(self):
+        for rule in default_rules():
+            assert rule.id
+            assert rule.severity in ("error", "warning")
+            assert rule.description
+
+
+@pytest.mark.parametrize("family", ["DET", "ENV", "PAR", "GEN"])
+def test_each_family_fails_lint_on_seeded_fixture(tmp_path, family):
+    """Acceptance: one seeded violation per family exits non-zero."""
+    from repro.analysis.cli import run_lint
+
+    fixtures = {
+        "DET": ("mod.py", "import time\nSTART = time.time()\n"),
+        "ENV": ("mod.py",
+                "import os\nLIMIT = os.environ.get('REPRO_LIMIT')\n"),
+        "PAR": ("mod.py", (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def run(cells):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        pool.submit(lambda c: c, 1)\n"
+        )),
+        "GEN": ("mod.py", "def f(src):\n    exec(src)\n"),
+    }
+    relpath, source = fixtures[family]
+    (tmp_path / relpath).write_text(source)
+    exit_code = run_lint([str(tmp_path), "--select", family,
+                          "--root", str(tmp_path)])
+    assert exit_code == 1

@@ -1,0 +1,87 @@
+"""Self-check: the shipped ``repro`` package is lint-clean.
+
+This is the analyzer's own acceptance gate — the same invocation CI
+runs.  If a change to ``src/repro`` trips a rule, this test fails with
+the findings in the assertion message; either fix the violation or (for
+a reviewed false positive) add an inline
+``# repro-lint: disable=RULE`` with a justification comment.
+"""
+
+import json
+from pathlib import Path
+
+import repro
+from repro.__main__ import main
+from repro.analysis.core import analyze_paths
+
+
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+
+
+class TestShippedTreeIsClean:
+    def test_analyzer_reports_no_findings(self):
+        findings = analyze_paths([PACKAGE_DIR],
+                                 root=PACKAGE_DIR.parent)
+        assert findings == [], "\n".join(
+            "%s: %s %s" % (finding.location(), finding.rule,
+                           finding.message)
+            for finding in findings
+        )
+
+    def test_cli_lint_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+
+    def test_cli_lint_json_document(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+        assert document["findings"] == []
+        assert document["summary"]["errors"] == 0
+        assert document["summary"]["checked_files"] > 40
+
+
+class TestCliSurface:
+    def test_lint_fails_on_fixture_violation(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import time\nSTART = time.time()\n"
+        )
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+
+    def test_lint_json_findings_parse(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import time\nSTART = time.time()\n"
+        )
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["errors"] >= 1
+        rules = {finding["rule"] for finding in document["findings"]}
+        assert "DET001" in rules
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "ENV001", "PAR001", "GEN001"):
+            assert rule_id in out
+
+    def test_select_unknown_rule_errors(self, tmp_path):
+        try:
+            main(["lint", str(tmp_path), "--select", "NOPE"])
+        except SystemExit as exc:
+            assert "unknown rule selector" in str(exc)
+        else:
+            raise AssertionError("expected SystemExit")
+
+    def test_select_family_filters(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import os\nimport time\n"
+            "START = time.time()\n"
+            "LIMIT = os.environ.get('REPRO_LIMIT')\n"
+        )
+        assert main(["lint", str(tmp_path), "--select", "ENV"]) == 1
+        out = capsys.readouterr().out
+        assert "ENV" in out
+        assert "DET001" not in out

@@ -156,3 +156,30 @@ class TestHarnessIntegration:
         assert disk.hits == hits_before + 1
         assert first is not second
         assert repr(first) == repr(second)
+
+
+class TestCorruptDropAccounting:
+    def test_corrupt_drop_counter_increments(self, cache):
+        parts = ("ferret", 1)
+        cache.put("run", parts, [1, 2, 3])
+        path = cache._path("run", cache_key("run", parts))
+        path.write_bytes(b"not a pickle")
+        assert cache.stats()["corrupt_drops"] == 0
+        cache.get("run", parts)
+        assert cache.stats()["corrupt_drops"] == 1
+
+    def test_clean_hits_do_not_count_as_drops(self, cache):
+        parts = ("ferret", 2)
+        cache.put("run", parts, {"v": 1})
+        cache.get("run", parts)
+        cache.get("run", ("missing",))
+        assert cache.stats()["corrupt_drops"] == 0
+
+    def test_truncated_pickle_counts(self, cache):
+        parts = ("ferret", 3)
+        cache.put("run", parts, list(range(100)))
+        path = cache._path("run", cache_key("run", parts))
+        path.write_bytes(path.read_bytes()[:10])
+        hit, value = cache.get("run", parts)
+        assert not hit and value is None
+        assert cache.stats()["corrupt_drops"] == 1

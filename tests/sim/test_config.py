@@ -109,3 +109,81 @@ class TestValidation:
             MachineConfig(timer_jitter_prob=1.5)
         with pytest.raises(ConfigurationError):
             MachineConfig(timer_jitter_prob=-0.1)
+
+
+class TestEnvKnobAccessors:
+    """The typed environment-knob funnel (read late, never at import)."""
+
+    def test_default_executions_fallback(self, monkeypatch):
+        from repro.sim.config import default_executions
+
+        monkeypatch.delenv("REPRO_EXECUTIONS", raising=False)
+        assert default_executions() == 40
+
+    def test_default_executions_sees_late_env_change(self, monkeypatch):
+        # The bug class this accessor replaced: a module constant read
+        # os.environ at import, so changes after import were ignored.
+        from repro.sim.config import default_executions
+
+        monkeypatch.setenv("REPRO_EXECUTIONS", "7")
+        assert default_executions() == 7
+        monkeypatch.setenv("REPRO_EXECUTIONS", "11")
+        assert default_executions() == 11
+
+    def test_default_executions_rejects_garbage(self, monkeypatch):
+        from repro.sim.config import default_executions
+
+        monkeypatch.setenv("REPRO_EXECUTIONS", "many")
+        with pytest.raises(ConfigurationError):
+            default_executions()
+        monkeypatch.setenv("REPRO_EXECUTIONS", "0")
+        with pytest.raises(ConfigurationError):
+            default_executions()
+
+    def test_env_workers_lenient(self, monkeypatch):
+        from repro.sim.config import env_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert env_workers() is None
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert env_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "typo")
+        assert env_workers() is None
+
+    def test_span_compile_flag_off_values(self, monkeypatch):
+        from repro.sim.config import span_compile_enabled
+
+        monkeypatch.delenv("REPRO_SPAN_COMPILE", raising=False)
+        assert span_compile_enabled() is True
+        for off in ("0", "off", "FALSE"):
+            monkeypatch.setenv("REPRO_SPAN_COMPILE", off)
+            assert span_compile_enabled() is False
+        monkeypatch.setenv("REPRO_SPAN_COMPILE", "1")
+        assert span_compile_enabled() is True
+
+    def test_harness_resolves_executions_at_call_time(self, monkeypatch):
+        # End-to-end: the experiment harness observes the env change made
+        # long after repro.experiments was imported.
+        from repro.core.policies import BASELINE
+        from repro.experiments.harness import PolicySession
+        from repro.experiments.mixes import mix_by_name
+
+        monkeypatch.setenv("REPRO_EXECUTIONS", "3")
+        session = PolicySession(mix_by_name("ferret rs"), BASELINE,
+                                warmup=0)
+        assert session._executions == 3
+
+    def test_knob_registry_accessors_exist_and_are_callable(self):
+        import repro.sim.config as config
+
+        for knob in config.KNOBS:
+            accessor = getattr(config, knob.accessor)
+            assert callable(accessor)
+            assert knob.name.startswith("REPRO_")
+            assert knob.doc
+
+    def test_knob_registry_names_unique(self):
+        from repro.sim.config import KNOBS
+
+        names = [knob.name for knob in KNOBS]
+        assert len(names) == len(set(names))
