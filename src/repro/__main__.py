@@ -10,6 +10,7 @@ Usage::
     python -m repro cache clear
     python -m repro bench [--profile profile.pstats] [--skip-floors]
     python -m repro lint [paths ...] [--format=json] [--select=DET,ENV]
+    python -m repro chaos [--scenario sensor-degraded] [--mix "bodytrack bwaves"]
 """
 
 from __future__ import annotations
@@ -63,6 +64,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the rule registry and exit")
     cache = sub.add_parser("cache", help="inspect or purge the result cache")
     cache.add_argument("action", choices=("stats", "clear"))
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection scenario suite "
+             "(see docs/robustness.md)",
+    )
+    chaos.add_argument(
+        "--scenario", action="append", default=None, dest="scenarios",
+        metavar="NAME",
+        help="scenario to run (repeatable; default: the full catalog)",
+    )
+    chaos.add_argument(
+        "--mix", action="append", default=None, dest="mixes",
+        metavar="MIX",
+        help="workload mix to run (repeatable; default: the chaos suite "
+             "mixes)",
+    )
+    chaos.add_argument("--executions", type=int, default=None,
+                       help="measured FG executions per cell (default: "
+                            "REPRO_EXECUTIONS or 40)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--max-rows", type=int, default=0)
     bench = sub.add_parser(
         "bench",
         help="run the performance benchmark harness "
@@ -157,6 +179,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "chaos":
+        from repro.experiments.chaos import run_chaos
+        from repro.faults import SCENARIO_NAMES
+
+        for name in args.scenarios or ():
+            if name not in SCENARIO_NAMES:
+                print("unknown scenario %r (available: %s)"
+                      % (name, ", ".join(SCENARIO_NAMES)))
+                return 2
+        result = run_chaos(
+            mixes=args.mixes,
+            scenarios=args.scenarios,
+            executions=args.executions,
+            seed=args.seed,
+        )
+        print(render(result, max_rows=args.max_rows))
+        return 0
     if args.command == "lint":
         from repro.analysis.cli import run_lint
 

@@ -113,6 +113,17 @@ class FineGrainController:
         """BG process ids under control."""
         return list(self._bg_pids)
 
+    def set_deadline_guard(self, deadline_guard: float) -> None:
+        """Retarget the safety band below the deadline.
+
+        The runtime widens the band while sensing is degraded (predicted
+        completion times are less trustworthy, so steer further from the
+        deadline) and restores it on recovery.
+        """
+        if not 0.0 <= deadline_guard < 1.0:
+            raise ControlError("deadline_guard must be in [0, 1)")
+        self._target_ratio = 1.0 - deadline_guard
+
     def decide(
         self,
         statuses: Sequence[FgStatus],

@@ -15,7 +15,7 @@ beat size — so accuracy degrades gracefully as beats get coarser; the
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.errors import ControlError
 
@@ -56,17 +56,27 @@ class ProcessHeartbeatBridge:
             instructions within the current execution (the simulated
             app's internal state).
         beat_instructions: Work per heartbeat.
+        channel: Optional delivery channel mapping the number of beats
+            the application emitted to the number actually delivered to
+            the counter.  ``None`` is lossless delivery.  The fault
+            layer (:meth:`repro.faults.FaultInjector.heartbeat_channel`)
+            supplies lossy/duplicating channels; lost beats stay lost —
+            emission and delivery are tracked separately, so a dropped
+            beat is never silently re-delivered on the next poll.
     """
 
     def __init__(
         self,
         process_progress: Callable[[], float],
         beat_instructions: float,
+        channel: Optional[Callable[[int], int]] = None,
     ) -> None:
         if beat_instructions <= 0:
             raise ControlError("beat_instructions must be > 0")
         self._true_progress = process_progress
         self._beat = beat_instructions
+        self._channel = channel
+        self._emitted = 0
         self.counter = HeartbeatCounter()
 
     @property
@@ -77,20 +87,26 @@ class ProcessHeartbeatBridge:
     def poll(self) -> int:
         """Synchronize the counter with the application's progress.
 
-        Models the app emitting beats as it crosses work boundaries.
-        Returns the number of new beats emitted.
+        Models the app emitting beats as it crosses work boundaries;
+        each newly emitted beat passes through the delivery channel.
+        Returns the number of new beats *delivered*.
         """
         target = int(self._true_progress() / self._beat)
-        new = target - self.counter.beats
-        if new > 0:
-            self.counter.emit(new)
-        return max(0, new)
+        new = target - self._emitted
+        if new <= 0:
+            return 0
+        self._emitted = target
+        delivered = new if self._channel is None else self._channel(new)
+        if delivered > 0:
+            self.counter.emit(delivered)
+        return max(0, delivered)
 
     def progress(self) -> float:
-        """Progress as seen through heartbeats (quantized)."""
+        """Progress as seen through delivered heartbeats (quantized)."""
         self.poll()
         return self.counter.beats * self._beat
 
     def on_execution_complete(self) -> None:
         """Reset for the next execution (wire to completion events)."""
+        self._emitted = 0
         self.counter.reset()

@@ -47,6 +47,18 @@ DEFAULT_EMA_WEIGHT = 0.2
 #: (e.g. a timer firing twice in one tick).
 ALPHA_CLAMP: Tuple[float, float] = (0.05, 20.0)
 
+#: Outlier-rejection band: a progress sample implying an instantaneous
+#: rate above ``band * max(profiled segment rates)`` is physically
+#: impossible (profiles are measured standalone at maximum frequency, so
+#: contention can only slow a task down) and is discarded as a corrupt
+#: counter read.  The band absorbs every legitimate excursion — OS
+#: jitter (a few percent), rate mixing across a segment boundary
+#: (bounded by the max rate), and multi-period catch-up after dropped
+#: samples (k consecutive drops look like a (k+1)x rate) — while still
+#: catching glitches (32x).  Clean runs never trip it, which is what
+#: keeps hardening-on bit-identical to the pre-hardening behavior.
+OUTLIER_RATE_BAND = 4.0
+
 
 class CompletionTimePredictor:
     """Per-FG-task predictor holding cross-execution penalty state."""
@@ -79,6 +91,20 @@ class CompletionTimePredictor:
         self._alpha_ma = ExponentialMovingAverage(ema_weight)
         self._rate_ma = ExponentialMovingAverage(ema_weight)
         self._measured: List[Optional[float]] = [None] * n
+        self._max_profiled_rate = max(s.rate for s in profile.segments)
+        #: Reject physically impossible progress samples (the hardening
+        #: kill switch clears this for the unhardened chaos baseline).
+        self.reject_outliers = True
+        #: While sensing is degraded the runtime sets this to freeze the
+        #: cross-execution penalty EMAs at their last healthy values.
+        self.hold_penalty_updates = False
+        #: Samples ignored because time or progress regressed.
+        self.stale_samples = 0
+        #: Samples carrying zero progress over an advanced clock (the
+        #: signature of a dropped counter read on a running task).
+        self.zero_delta_samples = 0
+        #: Samples rejected by the outlier band.
+        self.rejected_samples = 0
 
     @property
     def profile(self) -> ExecutionProfile:
@@ -127,11 +153,23 @@ class CompletionTimePredictor:
             raise ProfileError("observe() outside an execution")
         if time_s < self._last_t or progress < self._last_progress:
             # Stale or duplicate sample (timer coalescing); ignore.
+            self.stale_samples += 1
             return
         delta_p = progress - self._last_progress
         if delta_p <= 0:
+            self.zero_delta_samples += 1
             self._last_t = time_s
             return
+        if self.reject_outliers:
+            # Same-timestamp samples (timer coalescing) carry no rate
+            # information and are handled by the rate==0 path below.
+            dt = time_s - self._last_t
+            limit = self._max_profiled_rate * OUTLIER_RATE_BAND
+            if dt > 0.0 and delta_p > limit * dt:
+                # Corrupt counter read: drop it without advancing the
+                # sample cursor, so the next honest read supersedes it.
+                self.rejected_samples += 1
+                return
         rate = delta_p / (time_s - self._last_t) if time_s > self._last_t else 0.0
         while (
             self._segment_index < len(self._bounds)
@@ -193,6 +231,11 @@ class CompletionTimePredictor:
                 self._close_segment(i, cursor)
                 self._segment_entry_t = cursor
         for i, measured in enumerate(self._measured):
+            if self.hold_penalty_updates:
+                # Sensing is degraded: the measured durations reflect
+                # corrupted samples, so keep the cross-execution penalty
+                # history frozen at its last healthy values.
+                break
             if measured is None:
                 continue
             penalty = measured - self._durations[i]

@@ -17,9 +17,11 @@ FG process via PARSEC's ROI interface) through :meth:`on_fg_completion`.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
+from repro.core.actuation import GuardedSystem
 from repro.core.coarse import CoarseGrainController, ExecutionSample
 from repro.core.fine import (
     DEFAULT_AHEAD_MARGIN,
@@ -31,7 +33,15 @@ from repro.core.fine import (
 from repro.core.predictor import CompletionTimePredictor, DEFAULT_EMA_WEIGHT
 from repro.core.profile import DEFAULT_SAMPLING_PERIOD_S, ExecutionProfile
 from repro.errors import ControlError
+from repro.sim.config import degraded_mode_enabled
 from repro.sim.osal import SystemInterface
+
+#: A wakeup arriving later than this multiple of the sampling period is
+#: counted as a suspect sample.  The simulator's own timer error is at
+#: most one tick late (1 ms on the 5 ms default period, a 1.2x gap), so
+#: clean runs never cross the band; a missed wakeup (one full period or
+#: more) always does.
+LATE_WAKEUP_FACTOR = 1.5
 
 
 @dataclass(frozen=True)
@@ -58,6 +68,23 @@ class RuntimeOptions:
         coarse_decision_every: FG executions per coarse invocation.
         record_predictions: Capture one midpoint prediction per execution
             (used by the accuracy experiments, Figures 6 and 7).
+        hardening: Run the graceful-degradation machinery (outlier
+            rejection, verified actuation, health monitor).  ``None``
+            resolves the ``REPRO_DEGRADED_MODE`` kill switch at
+            construction time; hardening is behaviorally invisible on a
+            healthy machine either way.
+        health_window: Wakeups over which suspect-sample density is
+            evaluated.
+        degraded_threshold: Suspect density entering degraded mode.
+        safe_threshold: Suspect density escalating to the safe policy.
+        recover_threshold: Suspect density at or below which a degraded
+            or safe runtime steps back toward normal (hysteresis).
+        safe_dwell_samples: Minimum wakeups spent in safe mode before
+            recovery is considered (prevents oscillation).
+        degraded_guard_extra: Widening of the fine controller's
+            deadline guard while sensing is degraded.
+        actuation_retries: Re-issues of a failed actuation before it is
+            counted as failed.
     """
 
     sampling_period_s: float = DEFAULT_SAMPLING_PERIOD_S
@@ -74,6 +101,14 @@ class RuntimeOptions:
     coarse_window: int = 10
     coarse_decision_every: int = 7
     record_predictions: bool = True
+    hardening: Optional[bool] = None
+    health_window: int = 40
+    degraded_threshold: float = 0.15
+    safe_threshold: float = 0.35
+    recover_threshold: float = 0.05
+    safe_dwell_samples: int = 100
+    degraded_guard_extra: float = 0.05
+    actuation_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.sampling_period_s <= 0:
@@ -82,6 +117,27 @@ class RuntimeOptions:
             raise ControlError("decision_every must be >= 1")
         if self.invocation_overhead_s < 0:
             raise ControlError("invocation_overhead_s must be >= 0")
+        if self.health_window < 1:
+            raise ControlError("health_window must be >= 1")
+        for name in ("degraded_threshold", "safe_threshold",
+                     "recover_threshold"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ControlError("%s must be in [0, 1]" % name)
+        if self.safe_threshold < self.degraded_threshold:
+            raise ControlError(
+                "safe_threshold must be >= degraded_threshold"
+            )
+        if self.recover_threshold > self.degraded_threshold:
+            raise ControlError(
+                "recover_threshold must be <= degraded_threshold"
+            )
+        if self.safe_dwell_samples < 0:
+            raise ControlError("safe_dwell_samples must be >= 0")
+        if not 0.0 <= self.degraded_guard_extra < 1.0:
+            raise ControlError("degraded_guard_extra must be in [0, 1)")
+        if self.actuation_retries < 0:
+            raise ControlError("actuation_retries must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -161,10 +217,36 @@ class DirigentRuntime:
         self._tasks_by_pid = {task.pid: task for task in self._tasks}
         self._bg_pids = list(bg_pids)
         self._opts = options or RuntimeOptions()
+        # The runtime thread is pinned to a core shared with a BG task.
+        self._pinned_core = (
+            system.core_of(self._bg_pids[0]) if self._bg_pids else 0
+        )
+        # Graceful-degradation machinery.  When hardened, controllers
+        # actuate through a GuardedSystem (verify + bounded retry) and
+        # predictors reject physically impossible samples; on a healthy
+        # machine neither changes behavior, so clean runs stay
+        # bit-identical with hardening on or off.
+        self._hardening = (
+            degraded_mode_enabled()
+            if self._opts.hardening is None
+            else self._opts.hardening
+        )
+        self.guarded: Optional[GuardedSystem] = None
+        actuator: SystemInterface = system
+        if self._hardening:
+            self.guarded = GuardedSystem(
+                system,
+                retries=self._opts.actuation_retries,
+                overhead_core=self._pinned_core,
+            )
+            actuator = self.guarded
+        self._act = actuator
+        for task in self._tasks:
+            task.predictor.reject_outliers = self._hardening
         self._fine: Optional[FineGrainController] = None
         if self._opts.enable_fine:
             self._fine = FineGrainController(
-                system,
+                actuator,
                 bg_pids,
                 ahead_margin=self._opts.ahead_margin,
                 pause_margin=self._opts.pause_margin,
@@ -173,16 +255,12 @@ class DirigentRuntime:
         self._coarse: Optional[CoarseGrainController] = None
         if self._opts.enable_coarse:
             self._coarse = CoarseGrainController(
-                system,
+                actuator,
                 fg_cores=[task.core for task in self._tasks],
                 initial_fg_ways=self._opts.initial_fg_ways,
                 window=self._opts.coarse_window,
                 decision_every=self._opts.coarse_decision_every,
             )
-        # The runtime thread is pinned to a core shared with a BG task.
-        self._pinned_core = (
-            system.core_of(self._bg_pids[0]) if self._bg_pids else 0
-        )
         self._running = False
         self._sample_count = 0
         self._decisions_at_last_coarse = 0
@@ -191,6 +269,28 @@ class DirigentRuntime:
         #: (paused cores are excluded), for Figure 12.
         self.bg_grade_histogram: Dict[int, int] = {}
         self.invocations = 0
+        # Health-monitor state (see _update_health).
+        self._suspects: Deque[int] = deque(maxlen=self._opts.health_window)
+        self._anomaly_base = 0
+        self._last_wakeup_s: Optional[float] = None
+        self._mode_entered_s = 0.0
+        self._safe_entered_sample = 0
+        #: Current operating mode: "normal", "degraded", or "safe".
+        self.mode = "normal"
+        #: Progress reads below the execution's instruction base (the
+        #: signature of a counter sample frozen across a completion).
+        self.negative_progress_samples = 0
+        #: Wakeups arriving later than LATE_WAKEUP_FACTOR periods.
+        self.late_wakeups = 0
+        #: Wakeups flagged suspect by the health monitor.
+        self.suspect_samples = 0
+        #: Wakeups evaluated by the health monitor.
+        self.health_samples = 0
+        #: Transitions into degraded and safe mode.
+        self.degraded_entries = 0
+        self.safe_entries = 0
+        self._degraded_time_acc = 0.0
+        self._safe_time_acc = 0.0
 
     @property
     def options(self) -> RuntimeOptions:
@@ -212,6 +312,38 @@ class DirigentRuntime:
         """The coarse time scale controller, when enabled."""
         return self._coarse
 
+    @property
+    def hardening_enabled(self) -> bool:
+        """True when the graceful-degradation machinery is active."""
+        return self._hardening
+
+    def degraded_time_s(self, now_s: float) -> float:
+        """Total time spent in degraded mode up to ``now_s``."""
+        acc = self._degraded_time_acc
+        if self.mode == "degraded":
+            acc += now_s - self._mode_entered_s
+        return acc
+
+    def safe_time_s(self, now_s: float) -> float:
+        """Total time spent in the static safe policy up to ``now_s``."""
+        acc = self._safe_time_acc
+        if self.mode == "safe":
+            acc += now_s - self._mode_entered_s
+        return acc
+
+    def sensor_anomalies(self) -> Dict[str, int]:
+        """Aggregate sensing-anomaly counters across all FG predictors."""
+        totals = {
+            "stale": 0, "zero_delta": 0, "rejected": 0,
+            "negative_progress": self.negative_progress_samples,
+            "late_wakeups": self.late_wakeups,
+        }
+        for task in self._tasks:
+            totals["stale"] += task.predictor.stale_samples
+            totals["zero_delta"] += task.predictor.zero_delta_samples
+            totals["rejected"] += task.predictor.rejected_samples
+        return totals
+
     def start(self) -> None:
         """Begin the sampling loop."""
         if self._running:
@@ -226,6 +358,7 @@ class DirigentRuntime:
         for pid in self._bg_pids:
             core = self._sys.core_of(pid)
             self._bg_miss_base[pid] = self._sys.read_counters(core).llc_misses
+        self._last_wakeup_s = now
         self._sys.schedule_wakeup(self._opts.sampling_period_s, self._on_wakeup)
 
     def stop(self) -> None:
@@ -251,6 +384,8 @@ class DirigentRuntime:
                 progress = task.progress_fn()
             else:
                 progress = snap.instructions - task.instruction_base
+            if progress < 0:
+                self.negative_progress_samples += 1
             if progress >= 0 and task.predictor.in_execution:
                 task.predictor.observe(snap.time_s, progress)
                 if (
@@ -262,10 +397,16 @@ class DirigentRuntime:
 
         self._record_bg_grades()
         self._sample_count += 1
-        if (
-            self._fine is not None
-            and self._sample_count % self._opts.decision_every == 0
-        ):
+        if self._hardening:
+            self._update_health(now)
+        at_decision = self._sample_count % self._opts.decision_every == 0
+        if self.mode == "safe":
+            # Decisions are suspended under the static safe policy; just
+            # re-assert it against drift (a faulty actuator may have
+            # silently dropped the original writes).
+            if at_decision:
+                self._assert_safe_policy()
+        elif self._fine is not None and at_decision:
             statuses = [
                 FgStatus(
                     pid=task.pid,
@@ -289,6 +430,124 @@ class DirigentRuntime:
             self.bg_grade_histogram[grade] = (
                 self.bg_grade_histogram.get(grade, 0) + 1
             )
+
+    # ------------------------------------------------------------------
+    # Health monitoring and degraded operation
+    # ------------------------------------------------------------------
+
+    def _update_health(self, now: float) -> None:
+        """Fold this wakeup's anomaly evidence into the suspect window.
+
+        A wakeup is *suspect* when any sensing or actuation anomaly was
+        observed since the previous one: a sample the predictor ignored
+        (stale, zero-delta on a hardware-counter task, or rejected as
+        physically impossible), a negative progress read, an actuation
+        whose verification never passed, or the wakeup itself arriving
+        grossly late.  On a healthy machine none of these occur, so the
+        window stays empty and the mode never leaves "normal".
+        """
+        if self._last_wakeup_s is not None:
+            late_band = LATE_WAKEUP_FACTOR * self._opts.sampling_period_s
+            if now - self._last_wakeup_s > late_band:
+                self.late_wakeups += 1
+        self._last_wakeup_s = now
+        total = self._anomaly_total()
+        suspect = 1 if total > self._anomaly_base else 0
+        self._anomaly_base = total
+        self._suspects.append(suspect)
+        self.health_samples += 1
+        self.suspect_samples += suspect
+        if len(self._suspects) == self._suspects.maxlen:
+            self._evaluate_mode(now)
+
+    def _anomaly_total(self) -> int:
+        total = self.negative_progress_samples + self.late_wakeups
+        for task in self._tasks:
+            predictor = task.predictor
+            total += predictor.stale_samples + predictor.rejected_samples
+            if task.progress_fn is None:
+                # Zero-delta is anomalous only for hardware counters (a
+                # running core always retires instructions); heartbeat
+                # progress legitimately stalls between beats.
+                total += predictor.zero_delta_samples
+        if self.guarded is not None:
+            total += self.guarded.actuations_failed
+        return total
+
+    def _evaluate_mode(self, now: float) -> None:
+        rate = sum(self._suspects) / len(self._suspects)
+        opts = self._opts
+        if self.mode == "normal":
+            if rate >= opts.degraded_threshold:
+                self._enter_degraded(now)
+        elif self.mode == "degraded":
+            if rate >= opts.safe_threshold:
+                self._enter_safe(now)
+            elif rate <= opts.recover_threshold:
+                self._exit_degraded(now)
+        else:  # safe
+            dwelled = (
+                self.health_samples - self._safe_entered_sample
+                >= opts.safe_dwell_samples
+            )
+            if dwelled and rate <= opts.recover_threshold:
+                self._exit_safe(now)
+
+    def _enter_degraded(self, now: float) -> None:
+        self.mode = "degraded"
+        self.degraded_entries += 1
+        self._mode_entered_s = now
+        # Predictions are less trustworthy: steer further from the
+        # deadline and stop folding corrupt measurements into the
+        # cross-execution penalty history.
+        if self._fine is not None:
+            self._fine.set_deadline_guard(
+                min(
+                    0.99,
+                    self._opts.deadline_guard
+                    + self._opts.degraded_guard_extra,
+                )
+            )
+        for task in self._tasks:
+            task.predictor.hold_penalty_updates = True
+
+    def _exit_degraded(self, now: float) -> None:
+        self._degraded_time_acc += now - self._mode_entered_s
+        self.mode = "normal"
+        if self._fine is not None:
+            self._fine.set_deadline_guard(self._opts.deadline_guard)
+        for task in self._tasks:
+            task.predictor.hold_penalty_updates = False
+
+    def _enter_safe(self, now: float) -> None:
+        self._degraded_time_acc += now - self._mode_entered_s
+        self.mode = "safe"
+        self.safe_entries += 1
+        self._mode_entered_s = now
+        self._safe_entered_sample = self.health_samples
+        self._assert_safe_policy()
+
+    def _exit_safe(self, now: float) -> None:
+        self._safe_time_acc += now - self._mode_entered_s
+        # Step back to degraded (not normal): the guard stays widened
+        # and penalty updates held until the window fully clears.
+        self.mode = "degraded"
+        self._mode_entered_s = now
+        for pid in self._bg_pids:
+            if self._act.is_paused(pid):
+                self._act.resume(pid)
+
+    def _assert_safe_policy(self) -> None:
+        """Static safe policy: FG cores at maximum frequency, BG tasks
+        paused, last-known-good partition left in place.  Only drifted
+        state is re-actuated, so a healthy pass is read-only."""
+        max_grade = self._act.num_frequency_grades() - 1
+        for task in self._tasks:
+            if self._act.frequency_grade(task.core) != max_grade:
+                self._act.set_frequency_grade(task.core, max_grade)
+        for pid in self._bg_pids:
+            if not self._act.is_paused(pid):
+                self._act.pause(pid)
 
     def _bg_intrusiveness(self) -> Dict[int, float]:
         """LLC misses per BG task since the previous decision."""
@@ -335,7 +594,7 @@ class DirigentRuntime:
         task.execution_index += 1
         task.instruction_base += instructions
 
-        if self._coarse is not None:
+        if self._coarse is not None and self.mode != "safe":
             recent: Sequence = ()
             if self._fine is not None:
                 recent = self._fine.decisions[self._decisions_at_last_coarse:]

@@ -34,3 +34,7 @@ class ControlError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured or driven incorrectly."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan or scenario is invalid."""

@@ -1,0 +1,115 @@
+"""Chaos suite: Dirigent QoS under seeded fault-injection scenarios.
+
+Runs the managed (Dirigent) configuration against each chaos scenario of
+the catalog (:data:`repro.faults.SCENARIOS`) and reports QoS alongside
+the fault and degradation accounting.  Deadlines are always taken from
+the *clean* Baseline run — faults must not move the goalposts — and the
+machine itself stays fault-free (only the runtime's sensor/actuator view
+is corrupted), so success ratios measure how well the control loop copes
+with bad inputs, not a different workload.
+
+Chaos runs are never disk-cached: they are cheap at smoke sizes and the
+fault surface is exactly what the cache key does not capture.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.policies import DIRIGENT
+from repro.errors import ExperimentError
+from repro.experiments.figures import FigureResult
+from repro.experiments.harness import RunResult, run_policy
+from repro.experiments.mixes import Mix, mix_by_name
+from repro.faults import SCENARIO_NAMES, scenario
+
+#: Mixes the chaos suite (and the CI smoke job) exercises by default:
+#: one cache-sensitive and one compute-bound FG against the streaming
+#: BG the paper leans on.
+DEFAULT_CHAOS_MIXES: Tuple[str, ...] = ("bodytrack bwaves", "ferret bwaves")
+
+
+def run_chaos(
+    mixes: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    executions: Optional[int] = None,
+    warmup: int = 3,
+    seed: int = 0,
+) -> FigureResult:
+    """Run the chaos scenario suite and tabulate QoS plus fault stats.
+
+    Args:
+        mixes: Mix names to run (default :data:`DEFAULT_CHAOS_MIXES`).
+        scenarios: Scenario names (default: the full catalog, including
+            the zero-fault ``"none"`` control row).
+        executions: Measured FG executions per run.
+        warmup: Executions discarded before measurement.
+        seed: Experiment seed; also folded into the fault streams.
+    """
+    mix_names = tuple(mixes) if mixes else DEFAULT_CHAOS_MIXES
+    scenario_names = tuple(scenarios) if scenarios else SCENARIO_NAMES
+    rows: List[Tuple[object, ...]] = []
+    hardened = None
+    for mix_name in mix_names:
+        mix = mix_by_name(mix_name)
+        for name in scenario_names:
+            result = run_chaos_cell(
+                mix, name, executions=executions, warmup=warmup, seed=seed
+            )
+            report = result.fault_report
+            if report is None:
+                raise ExperimentError(
+                    "chaos run of %r produced no fault report" % mix_name
+                )
+            hardened = report.hardening_enabled
+            rows.append((
+                mix.name,
+                name,
+                "%.3f" % result.fg_success_ratio,
+                "%.4f" % result.fg_stats.mean_s,
+                report.total_injected,
+                report.samples_dropped,
+                report.rejected_samples,
+                report.actuations_retried,
+                report.actuations_failed,
+                report.degraded_entries,
+                report.safe_entries,
+                "%.1f%%" % (
+                    100.0 * report.degraded_fraction(result.elapsed_s)
+                ),
+            ))
+    return FigureResult(
+        name="chaos",
+        title="FG QoS under fault injection (Dirigent, hardening %s)"
+        % ("on" if hardened else "OFF"),
+        headers=(
+            "Mix", "Scenario", "Success", "MeanS", "Injected", "Drops",
+            "Rejected", "Retried", "ActFail", "DegEnter", "SafeEnter",
+            "Degraded",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "deadlines come from the clean Baseline run; the machine is "
+            "fault-free — only the runtime's sensor/actuator view is "
+            "corrupted",
+            "hardening kill switch: REPRO_DEGRADED_MODE=0",
+        ),
+    )
+
+
+def run_chaos_cell(
+    mix: Mix,
+    scenario_name: str,
+    executions: Optional[int] = None,
+    warmup: int = 3,
+    seed: int = 0,
+) -> RunResult:
+    """One chaos cell: the Dirigent policy on ``mix`` under a scenario."""
+    return run_policy(
+        mix,
+        DIRIGENT,
+        executions=executions,
+        warmup=warmup,
+        seed=seed,
+        fault_plan=scenario(scenario_name, seed=seed),
+    )

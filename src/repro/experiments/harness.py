@@ -33,6 +33,12 @@ from repro.core.runtime import (
 )
 from repro.errors import ExperimentError
 from repro.experiments.diskcache import get_cache
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultReport,
+    FaultySystem,
+)
 from repro.experiments.metrics import (
     DEADLINE_SIGMA_FACTOR,
     DurationStats,
@@ -97,6 +103,8 @@ class RunResult:
             the runtime (empty without a runtime).
         partition_history: FG partition sizes chosen by the coarse
             controller over time (empty without coarse control).
+        fault_report: Fault-injection and degradation accounting; only
+            present when the run executed under a ``FaultPlan``.
     """
 
     mix: Mix
@@ -112,6 +120,7 @@ class RunResult:
     prediction_logs: Tuple[Tuple[PredictionRecord, ...], ...] = ()
     bg_grade_histogram: Dict[int, int] = field(default_factory=dict)
     partition_history: Tuple[int, ...] = ()
+    fault_report: Optional[FaultReport] = None
 
     @property
     def all_durations(self) -> List[float]:
@@ -217,6 +226,7 @@ def run_policy(
     static_fg_ways: Optional[int] = None,
     observe_predictor: bool = False,
     runtime_options: Optional[RuntimeOptions] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Run ``mix`` under ``policy`` and return measured results.
 
@@ -237,6 +247,10 @@ def run_policy(
             (sampling and predicting, controlling nothing) — used by the
             predictor-accuracy experiments on the Baseline configuration.
         runtime_options: Override the runtime's tunables.
+        fault_plan: Inject faults into the runtime's sensor/actuator
+            surfaces per this plan (``repro.faults``).  The machine and
+            all measured ground truth stay fault-free; a zero-fault plan
+            (or None) runs bit-identically to a plain run.
     """
     session = PolicySession(
         mix,
@@ -249,6 +263,7 @@ def run_policy(
         static_fg_ways=static_fg_ways,
         observe_predictor=observe_predictor,
         runtime_options=runtime_options,
+        fault_plan=fault_plan,
     )
     while not session.done:
         session.advance(DRIVE_BLOCK_TICKS)
@@ -276,6 +291,7 @@ class PolicySession:
         static_fg_ways: Optional[int] = None,
         observe_predictor: bool = False,
         runtime_options: Optional[RuntimeOptions] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if executions is None:
             executions = default_executions()
@@ -298,6 +314,23 @@ class PolicySession:
         self.machine = machine
         self._fg_procs = fg_procs
         self._bg_procs = bg_procs
+
+        # Fault injection wraps only the runtime's view of the machine;
+        # the machine itself — and with it the completion stream and all
+        # measured ground truth — stays fault-free.  With no plan (or a
+        # zero-fault plan) no wrapper exists at all, so plain runs are
+        # bit-identical by construction.
+        self._fault_plan = fault_plan
+        self._injector: Optional[FaultInjector] = None
+        runtime_system = machine
+        if fault_plan is not None and not fault_plan.is_zero:
+            self._injector = FaultInjector(
+                fault_plan,
+                seed=_derive_seed(
+                    fault_plan.seed, "faults:%s" % mix.name, seed
+                ),
+            )
+            runtime_system = FaultySystem(machine, self._injector)
 
         # Static frequency settings.
         if policy.static_bg_grade is not None:
@@ -326,13 +359,14 @@ class PolicySession:
                 enable_coarse=policy.coarse_control,
                 initial_fg_ways=policy.initial_fg_ways,
             )
+            profile = get_profile(mix.fg_name, config, opts.sampling_period_s)
+            if self._injector is not None:
+                profile = self._injector.corrupt_profile(profile)
             tasks = [
                 ManagedTask(
                     pid=proc.pid,
                     core=proc.core,
-                    profile=get_profile(
-                        mix.fg_name, config, opts.sampling_period_s
-                    ),
+                    profile=profile,
                     deadline_s=deadline,
                     ema_weight=opts.ema_weight,
                     predictor_scaling=opts.predictor_scaling,
@@ -340,7 +374,8 @@ class PolicySession:
                 for proc, deadline in zip(fg_procs, task_deadlines)
             ]
             runtime = DirigentRuntime(
-                machine, tasks, [p.pid for p in bg_procs], options=opts
+                runtime_system, tasks, [p.pid for p in bg_procs],
+                options=opts,
             )
             machine.add_completion_listener(
                 lambda proc, record: runtime.on_fg_completion(
@@ -517,6 +552,52 @@ class PolicySession:
             prediction_logs=prediction_logs,
             bg_grade_histogram=grade_hist,
             partition_history=partition_history,
+            fault_report=self._fault_report(),
+        )
+
+    def _fault_report(self) -> Optional[FaultReport]:
+        """Fault/degradation accounting for this run (None without a plan)."""
+        if self._fault_plan is None:
+            return None
+        injector = self._injector
+        runtime = self.runtime
+        report = FaultReport(
+            scenario=self._fault_plan.scenario,
+            fault_seed=(
+                injector.seed if injector is not None
+                else self._fault_plan.seed
+            ),
+            injected=dict(injector.counts) if injector is not None else {},
+            events=len(injector.events) if injector is not None else 0,
+            event_signature=(
+                tuple(injector.event_signature())
+                if injector is not None else ()
+            ),
+        )
+        if runtime is None:
+            return report
+        anomalies = runtime.sensor_anomalies()
+        now = self.machine.now()
+        guarded = runtime.guarded
+        return dc_replace(
+            report,
+            hardening_enabled=runtime.hardening_enabled,
+            samples_dropped=anomalies["zero_delta"],
+            rejected_samples=anomalies["rejected"],
+            stale_samples=anomalies["stale"],
+            suspect_samples=runtime.suspect_samples,
+            health_samples=runtime.health_samples,
+            actuations_retried=(
+                guarded.actuations_retried if guarded is not None else 0
+            ),
+            actuations_failed=(
+                guarded.actuations_failed if guarded is not None else 0
+            ),
+            degraded_entries=runtime.degraded_entries,
+            safe_entries=runtime.safe_entries,
+            degraded_time_s=runtime.degraded_time_s(now)
+            + runtime.safe_time_s(now),
+            safe_time_s=runtime.safe_time_s(now),
         )
 
 

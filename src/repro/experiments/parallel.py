@@ -31,13 +31,25 @@ runs that mix's remaining policies against its warm in-memory caches
 rather than re-deserializing them from the disk cache per cell.  Packing
 changes scheduling only, never results.  ``REPRO_PACK_CELLS`` overrides
 the per-pack cell cap.
+
+The engine degrades rather than dies: a pool that cannot be created (or
+collapses during the prepare phase) falls back to the serial path with
+the cause logged and recorded in :attr:`SweepResult.fallback_reason`;
+with ``REPRO_CELL_TIMEOUT_S`` set, a pack whose worker exceeds the
+per-cell budget — or is stranded by a dying pool — is *lost* and its
+cells are recomputed serially once (:attr:`SweepResult.retried`), with
+unrecoverable cells counted in :attr:`SweepResult.failed` instead of
+aborting the sweep.  Lost-cell recovery cannot change values: every
+cell's result depends only on its arguments, never on where it ran.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -53,12 +65,16 @@ from repro.experiments.harness import (
 )
 from repro.experiments.mixes import Mix
 from repro.sim.config import (
+    ENV_CELL_TIMEOUT_S,
     ENV_PACK_CELLS,
     MachineConfig,
     default_executions,
+    env_cell_timeout_s,
     env_pack_cells,
     env_workers,
 )
+
+_log = logging.getLogger(__name__)
 
 _default_workers: Optional[int] = None
 
@@ -97,6 +113,14 @@ class SweepResult:
         elapsed_s: End-to-end wall-clock time of the sweep.
         pack_sizes: Cells carried by each pool task (parallel mode only;
             empty for serial sweeps).
+        retried: Cells recovered by the serial retry after their worker
+            timed out (``REPRO_CELL_TIMEOUT_S``) or the pool died
+            mid-sweep.
+        failed: Cells that also failed the serial retry; their keys are
+            absent from ``results``.
+        failures: ``(mix, policy, reason)`` per failed cell.
+        fallback_reason: Why a requested parallel sweep ran serially
+            instead (None for healthy sweeps).
     """
 
     results: Dict[Tuple[str, str], RunResult] = field(default_factory=dict)
@@ -106,6 +130,10 @@ class SweepResult:
     mode: str = "serial"
     elapsed_s: float = 0.0
     pack_sizes: List[int] = field(default_factory=list)
+    retried: int = 0
+    failed: int = 0
+    failures: List[Tuple[str, str, str]] = field(default_factory=list)
+    fallback_reason: Optional[str] = None
 
     def get(self, mix: Mix, policy: Policy) -> RunResult:
         """The cached cell for ``(mix, policy)``."""
@@ -206,12 +234,16 @@ def run_grid(
     start = time.perf_counter()
     sweep = SweepResult(workers=workers)
     if workers > 1 and len(cells) > 1:
-        if _run_parallel(sweep, mixes, policies, cells, workers):
+        lost = _run_parallel(sweep, mixes, policies, cells, workers)
+        if lost is not None:
             sweep.mode = "parallel"
+            _retry_lost_cells(sweep, lost)
             sweep.elapsed_s = time.perf_counter() - start
             return sweep
-        # Pool never came up (restricted platform): run serially below.
-        sweep = SweepResult(workers=1)
+        # Pool never came up or died before producing results
+        # (restricted platform): run serially below, keeping the cause.
+        sweep = SweepResult(workers=1,
+                            fallback_reason=sweep.fallback_reason)
     sweep.mode = "serial"
     sweep.workers = 1
     for cell in cells:
@@ -222,14 +254,48 @@ def run_grid(
     return sweep
 
 
+def _retry_lost_cells(sweep: SweepResult, cells: List[Tuple]) -> None:
+    """Recompute cells whose worker timed out or died, serially, once.
+
+    Recovery is value-preserving: a cell's result depends only on its
+    arguments, so recomputing it in-process yields exactly what the
+    worker would have returned.  A cell that fails even here is counted
+    and recorded rather than raised — the rest of the sweep is good
+    data, and the caller can see exactly what is missing.
+    """
+    for cell in cells:
+        mix, policy = cell[0], cell[1]
+        try:
+            mix_name, policy_name, result, spent = _policy_cell(cell)
+        except Exception as exc:  # surface, don't abort the sweep
+            reason = "%s: %s" % (type(exc).__name__, exc)
+            _log.warning("sweep cell (%s, %s) failed on serial retry: %s",
+                         mix.name, policy.name, reason)
+            sweep.failed += 1
+            sweep.failures.append((mix.name, policy.name, reason))
+            continue
+        sweep.retried += 1
+        sweep.results[(mix_name, policy_name)] = result
+        sweep.cell_timings[(mix_name, policy_name)] = spent
+
+
 def _run_parallel(
     sweep: SweepResult,
     mixes: Sequence[Mix],
     policies: Sequence[Policy],
     cells: List[Tuple],
     workers: int,
-) -> bool:
-    """Execute the two-phase fan-out; False when no pool can be created."""
+) -> Optional[List[Tuple]]:
+    """Execute the two-phase fan-out.
+
+    Returns the list of *lost* cells — cells whose pack timed out
+    (``REPRO_CELL_TIMEOUT_S``) or was stranded when the pool died —
+    for the caller to retry serially; an empty list means a fully
+    healthy parallel sweep.  Returns None when no pool could be created
+    or it collapsed before producing any policy-cell results, with the
+    cause logged and recorded in ``sweep.fallback_reason``; the sweep
+    is still fully computable in-process.
+    """
     executions, warmup, config, seed = cells[0][2:]
     needs_prepare = any(
         p.uses_runtime or p.static_partition or not _is_baseline(p)
@@ -240,8 +306,15 @@ def _run_parallel(
         for mix in mixes
     ]
     packs = _pack_cells(cells, workers)
+    timeout_s = env_cell_timeout_s()
+    timed_out = False
     try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(cells)))
+    except (OSError, RuntimeError, PermissionError) as exc:
+        _fall_back(sweep, exc)
+        return None
+    try:
+        try:
             if needs_prepare and len(mixes) > 0:
                 chunk = _chunksize(len(prepare_args), workers)
                 for name, spent in pool.map(
@@ -249,19 +322,64 @@ def _run_parallel(
                 ):
                     sweep.prepare_timings[name] = spent
             sweep.pack_sizes = [len(pack) for pack in packs]
-            for pack_results in pool.map(_run_pack, packs, chunksize=1):
+            futures = [(pack, pool.submit(_run_pack, pack))
+                       for pack in packs]
+        except (OSError, BrokenProcessPool, RuntimeError,
+                PermissionError) as exc:
+            # No fork/spawn, no semaphores, or the pool died during the
+            # prepare phase: nothing collected yet, recompute serially.
+            _fall_back(sweep, exc)
+            return None
+        lost: List[Tuple] = []
+        pool_broken = False
+        for pack, future in futures:
+            if pool_broken:
+                lost.extend(pack)
+                continue
+            try:
+                if timeout_s is not None:
+                    pack_results = future.result(
+                        timeout=timeout_s * len(pack)
+                    )
+                else:
+                    pack_results = future.result()
+            except FutureTimeoutError:
+                _log.warning(
+                    "sweep pack of %d cells exceeded the %.1fs/cell "
+                    "budget (%s); retrying its cells serially",
+                    len(pack), timeout_s, ENV_CELL_TIMEOUT_S,
+                )
+                timed_out = True
+                future.cancel()
+                lost.extend(pack)
+            except BrokenProcessPool as exc:
+                _log.warning(
+                    "worker pool died mid-sweep (%s); retrying the "
+                    "remaining cells serially", exc,
+                )
+                pool_broken = True
+                lost.extend(pack)
+            else:
                 for mix_name, policy_name, result, spent in pack_results:
                     sweep.results[(mix_name, policy_name)] = result
                     sweep.cell_timings[(mix_name, policy_name)] = spent
-    except (OSError, BrokenProcessPool, RuntimeError, PermissionError):
-        # No fork/spawn, no semaphores, or the pool died: the sweep is
-        # still fully computable in this process.
-        sweep.results.clear()
-        sweep.cell_timings.clear()
-        sweep.prepare_timings.clear()
-        sweep.pack_sizes = []
-        return False
-    return True
+        return lost
+    finally:
+        # A timed-out worker may still be running; abandon it rather
+        # than letting shutdown block result delivery on its completion.
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+
+
+def _fall_back(sweep: SweepResult, exc: BaseException) -> None:
+    """Record a whole-sweep serial fallback and discard partial state."""
+    reason = "%s: %s" % (type(exc).__name__, exc)
+    _log.warning("parallel sweep unavailable (%s); running serially",
+                 reason)
+    sweep.fallback_reason = reason
+    sweep.results.clear()
+    sweep.cell_timings.clear()
+    sweep.prepare_timings.clear()
+    sweep.pack_sizes = []
 
 
 def _is_baseline(policy: Policy) -> bool:

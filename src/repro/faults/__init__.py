@@ -1,0 +1,35 @@
+"""Seeded fault injection for the Dirigent runtime and harness.
+
+The package wraps the simulated machine's sensor and actuator surfaces
+behind a deterministic fault layer (:class:`FaultySystem` consulting a
+:class:`FaultInjector`), declaratively configured by a
+:class:`FaultPlan` — scenario name, per-surface rates, seed.  The
+harness plumbs plans through ``run_policy(..., fault_plan=...)``; the
+``repro chaos`` CLI runs the scenario catalog and tabulates QoS plus
+fault/degradation accounting per scenario.  See ``docs/robustness.md``.
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector, FaultySystem
+from repro.faults.plan import (
+    GLITCH_FACTOR,
+    SCENARIO_NAMES,
+    SCENARIOS,
+    ZERO_FAULTS,
+    FaultPlan,
+    scenario,
+)
+from repro.faults.report import FaultReport, merge_counts
+
+__all__ = [
+    "GLITCH_FACTOR",
+    "SCENARIO_NAMES",
+    "SCENARIOS",
+    "ZERO_FAULTS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "FaultySystem",
+    "merge_counts",
+    "scenario",
+]

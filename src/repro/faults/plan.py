@@ -1,0 +1,196 @@
+"""Fault plans: declarative, seeded descriptions of what to break.
+
+A :class:`FaultPlan` names a chaos scenario and pins every injection
+rate plus the seed all fault draws derive from, so a faulted run is as
+reproducible as a clean one: same plan, same mix, same run seed ==>
+identical fault event stream, identical metrics, on either simulation
+backend (``tests/sim/test_batch_equivalence.py`` asserts it).
+
+Rates are *per opportunity*: a counter fault rate applies to each
+``read_counters`` call, an actuation fault rate to each mutating
+actuation, a wakeup fault rate to each ``schedule_wakeup``.  A rate of
+zero disables the surface entirely — no RNG is drawn for it, so adding
+a surface to a plan never perturbs another surface's stream.
+
+The catalog in :data:`SCENARIOS` gives the documented default rates the
+acceptance tests and ``repro chaos`` run at; :func:`scenario` builds a
+plan from a catalog name and a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.errors import FaultError
+
+#: Multiplier applied to a counter delta by a glitch fault (a counter
+#: multiplexing/extrapolation error, far outside physical rates).
+GLITCH_FACTOR = 32.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of one chaos scenario.
+
+    Attributes:
+        scenario: Catalog name (reporting; free-form for custom plans).
+        seed: Root seed of every fault stream; combined with the run
+            seed by the harness so distinct runs draw distinct faults.
+        counter_drop_rate: Per-read probability that a core's counters
+            come back frozen at their previously returned values (a
+            dropped sample: zero observed progress this period).
+        counter_noise_sigma: Lognormal sigma of multiplicative noise on
+            per-read counter deltas (0 disables).
+        counter_noise_bias: Mean of the log-noise; positive values
+            *inflate* observed progress, biasing the predictor
+            optimistic — the classic multiplexing-extrapolation error.
+        counter_glitch_rate: Per-read probability of a wild glitch: the
+            delta is scaled by :data:`GLITCH_FACTOR` (outlier-rejection
+            territory).
+        wakeup_delay_rate: Per-scheduling probability that the wakeup
+            timer fires late by ``wakeup_delay_s``.
+        wakeup_delay_s: Extra delay of a delayed wakeup.
+        wakeup_miss_rate: Per-scheduling probability that the wakeup is
+            missed entirely and fires a full ``wakeup_miss_s`` later
+            (one lost sampling period).
+        wakeup_miss_s: Extra delay of a missed wakeup (defaults to the
+            paper's 5 ms sampling period).
+        actuation_fail_rate: Per-call probability that a DVFS grade
+            change, frequency step, pause/resume, or LLC repartition is
+            silently dropped (detectable only by read-back).
+        heartbeat_loss_rate: Per-beat probability that a heartbeat is
+            lost in delivery.
+        heartbeat_dup_rate: Per-beat probability that a heartbeat is
+            delivered twice.
+        profile_truncate_segments: Tail segments cut from the offline
+            profile handed to the predictor (0 disables; at least one
+            segment always survives).
+        profile_noise_sigma: Lognormal sigma of per-segment duration
+            noise applied to the offline profile (0 disables).
+    """
+
+    scenario: str = "none"
+    seed: int = 0
+    counter_drop_rate: float = 0.0
+    counter_noise_sigma: float = 0.0
+    counter_noise_bias: float = 0.0
+    counter_glitch_rate: float = 0.0
+    wakeup_delay_rate: float = 0.0
+    wakeup_delay_s: float = 2e-3
+    wakeup_miss_rate: float = 0.0
+    wakeup_miss_s: float = 5e-3
+    actuation_fail_rate: float = 0.0
+    heartbeat_loss_rate: float = 0.0
+    heartbeat_dup_rate: float = 0.0
+    profile_truncate_segments: int = 0
+    profile_noise_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "counter_drop_rate", "counter_glitch_rate", "wakeup_delay_rate",
+            "wakeup_miss_rate", "actuation_fail_rate", "heartbeat_loss_rate",
+            "heartbeat_dup_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultError("%s must be in [0, 1], got %r" % (name, rate))
+        for name in (
+            "counter_noise_sigma", "profile_noise_sigma", "wakeup_delay_s",
+            "wakeup_miss_s",
+        ):
+            if getattr(self, name) < 0:
+                raise FaultError("%s must be >= 0" % name)
+        if self.profile_truncate_segments < 0:
+            raise FaultError("profile_truncate_segments must be >= 0")
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan injects nothing at all.
+
+        The harness skips every wrapper for a zero plan, so a zero-fault
+        run is *structurally* identical to a plain run — bit-identity is
+        by construction, not by luck.
+        """
+        return (
+            self.counter_drop_rate == 0.0
+            and self.counter_noise_sigma == 0.0
+            and self.counter_glitch_rate == 0.0
+            and self.wakeup_delay_rate == 0.0
+            and self.wakeup_miss_rate == 0.0
+            and self.actuation_fail_rate == 0.0
+            and self.heartbeat_loss_rate == 0.0
+            and self.heartbeat_dup_rate == 0.0
+            and self.profile_truncate_segments == 0
+            and self.profile_noise_sigma == 0.0
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """Copy of this plan with a different fault seed."""
+        return replace(self, seed=seed)
+
+
+#: The zero-fault plan: running with it is pinned bit-identical to
+#: running with no plan at all.
+ZERO_FAULTS = FaultPlan(scenario="none")
+
+#: Documented default scenarios.  The ``sensor-degraded`` rates are the
+#: ones the acceptance criteria reference: heavy sample loss plus an
+#: optimistic multiplexing bias and occasional wild glitches — enough
+#: to drive an unhardened controller into yielding resources it cannot
+#: afford, while the hardened runtime detects the fault density and
+#: falls back to the static safe policy.
+SCENARIOS: Dict[str, FaultPlan] = {
+    "none": ZERO_FAULTS,
+    "sensor-degraded": FaultPlan(
+        scenario="sensor-degraded",
+        counter_drop_rate=0.25,
+        counter_noise_sigma=0.4,
+        counter_noise_bias=0.5,
+        counter_glitch_rate=0.05,
+    ),
+    "actuator-flaky": FaultPlan(
+        scenario="actuator-flaky",
+        actuation_fail_rate=0.3,
+    ),
+    "wakeup-storm": FaultPlan(
+        scenario="wakeup-storm",
+        wakeup_delay_rate=0.3,
+        wakeup_miss_rate=0.1,
+    ),
+    "profile-corrupt": FaultPlan(
+        scenario="profile-corrupt",
+        profile_truncate_segments=4,
+        profile_noise_sigma=0.2,
+    ),
+    "full-chaos": FaultPlan(
+        scenario="full-chaos",
+        counter_drop_rate=0.15,
+        counter_noise_sigma=0.3,
+        counter_noise_bias=0.3,
+        counter_glitch_rate=0.03,
+        wakeup_delay_rate=0.15,
+        wakeup_miss_rate=0.05,
+        actuation_fail_rate=0.15,
+        profile_truncate_segments=2,
+        profile_noise_sigma=0.1,
+    ),
+}
+
+#: Catalog order used by the chaos suite and CLI listings.
+SCENARIO_NAMES: Tuple[str, ...] = tuple(SCENARIOS)
+
+
+def scenario(name: str, seed: int = 0) -> FaultPlan:
+    """Catalog scenario ``name`` with its fault streams seeded by ``seed``.
+
+    Raises:
+        FaultError: for a name not in the catalog.
+    """
+    plan = SCENARIOS.get(name)
+    if plan is None:
+        raise FaultError(
+            "unknown chaos scenario %r (catalog: %s)"
+            % (name, ", ".join(SCENARIO_NAMES))
+        )
+    return plan.with_seed(seed)

@@ -1,0 +1,86 @@
+"""Fault and degradation accounting attached to experiment results.
+
+A :class:`FaultReport` flattens what the injector did (per-kind fault
+counts) and how the hardened runtime coped (samples rejected, actuations
+retried, time spent degraded) into one pickle-friendly record carried on
+:class:`repro.experiments.harness.RunResult` and rendered by the
+``repro chaos`` table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Fault-injection and graceful-degradation accounting of one run.
+
+    Attributes:
+        scenario: Chaos scenario the run executed under.
+        fault_seed: Resolved seed of the fault streams.
+        injected: Injected-fault count per kind (``counter-drop``,
+            ``actuation-fail``, ...).
+        events: Total discrete fault events logged.
+        event_signature: The discrete event stream as primitive tuples
+            (time, surface, kind, detail) — the determinism tests assert
+            it is identical across backends and repeat runs.
+        hardening_enabled: Whether graceful degradation was armed
+            (``REPRO_DEGRADED_MODE``).
+        samples_dropped: Counter reads returned frozen (dropped).
+        rejected_samples: Progress samples the predictor rejected as
+            physically impossible outliers.
+        stale_samples: Samples the predictor ignored as stale/regressed.
+        suspect_samples: Runtime wakeups flagged suspect by the
+            sensing-health monitor.
+        health_samples: Total wakeups the monitor scored.
+        actuations_retried: Actuations re-issued after a failed
+            read-back verification.
+        actuations_failed: Actuations still wrong after the bounded
+            retries.
+        degraded_entries: Times the runtime entered degraded sensing.
+        safe_entries: Times the runtime escalated to the static safe
+            policy.
+        degraded_time_s: Virtual seconds spent in degraded mode
+            (includes time in safe mode).
+        safe_time_s: Virtual seconds spent in safe mode.
+    """
+
+    scenario: str = "none"
+    fault_seed: int = 0
+    injected: Dict[str, int] = field(default_factory=dict)
+    events: int = 0
+    event_signature: Tuple[tuple, ...] = ()
+    hardening_enabled: bool = True
+    samples_dropped: int = 0
+    rejected_samples: int = 0
+    stale_samples: int = 0
+    suspect_samples: int = 0
+    health_samples: int = 0
+    actuations_retried: int = 0
+    actuations_failed: int = 0
+    degraded_entries: int = 0
+    safe_entries: int = 0
+    degraded_time_s: float = 0.0
+    safe_time_s: float = 0.0
+
+    @property
+    def total_injected(self) -> int:
+        """Total injected faults across every kind."""
+        return sum(self.injected.values())
+
+    def degraded_fraction(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` spent with sensing degraded."""
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, self.degraded_time_s / elapsed_s)
+
+
+def merge_counts(*sources: Mapping[str, int]) -> Dict[str, int]:
+    """Sum per-kind count mappings (deterministic key order)."""
+    merged: Dict[str, int] = {}
+    for source in sources:
+        for kind in sorted(source):
+            merged[kind] = merged.get(kind, 0) + source[kind]
+    return merged

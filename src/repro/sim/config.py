@@ -176,6 +176,12 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 #: Persistent-cache master switch (``0`` disables reads and writes).
 ENV_CACHE = "REPRO_CACHE"
 
+#: Per-cell wall-clock timeout for parallel sweep workers (seconds).
+ENV_CELL_TIMEOUT_S = "REPRO_CELL_TIMEOUT_S"
+
+#: Graceful-degradation kill switch (``0`` disables all hardening).
+ENV_DEGRADED_MODE = "REPRO_DEGRADED_MODE"
+
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -243,6 +249,20 @@ KNOBS: Tuple[EnvKnob, ...] = (
     EnvKnob(
         ENV_CACHE, "cache_enabled", "flag", "1", None,
         "Persistent result cache master switch.",
+    ),
+    EnvKnob(
+        # Scheduling-only: a timed-out cell is recomputed serially with
+        # identical inputs, so the knob can never change a cell's value.
+        ENV_CELL_TIMEOUT_S, "env_cell_timeout_s", "float", "none", None,
+        "Per-cell timeout for parallel sweep workers (scheduling only).",
+    ),
+    EnvKnob(
+        # Result-relevant only for *fault-injected* runs, which bypass
+        # the disk cache entirely (run_policy_cached never takes a
+        # FaultPlan); clean runs are bit-identical either way, pinned by
+        # the zero-fault equivalence tests.
+        ENV_DEGRADED_MODE, "degraded_mode_enabled", "flag", "1", None,
+        "Graceful-degradation hardening kill switch (chaos baseline).",
     ),
 )
 
@@ -329,3 +349,34 @@ def cache_dir() -> str:
 def cache_enabled() -> bool:
     """False when ``REPRO_CACHE=0`` disables the persistent cache."""
     return os.environ.get(ENV_CACHE, "1") != "0"
+
+
+def env_cell_timeout_s() -> Optional[float]:
+    """``REPRO_CELL_TIMEOUT_S`` as a positive float, or None when unset.
+
+    None means "wait forever" (today's behavior).  Invalid or
+    non-positive values degrade to None rather than failing a sweep over
+    a typo; the knob only affects scheduling — a timed-out cell is
+    recomputed serially with identical inputs.
+    """
+    raw = os.environ.get(ENV_CELL_TIMEOUT_S)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def degraded_mode_enabled() -> bool:
+    """False when ``REPRO_DEGRADED_MODE=0`` disables all hardening.
+
+    With hardening off the runtime never rejects outlier samples,
+    never retries failed actuations, and never enters the degraded or
+    safe modes — the unhardened baseline the chaos regression tests
+    compare against.  Clean (fault-free) runs are bit-identical under
+    both settings because every hardening path is trigger-gated on
+    fault symptoms that clean runs never produce.
+    """
+    return os.environ.get(ENV_DEGRADED_MODE, "1") != "0"

@@ -44,6 +44,21 @@ class CounterSnapshot:
             llc_misses=self.llc_misses - earlier.llc_misses,
         )
 
+    def with_time(self, time_s: float) -> "CounterSnapshot":
+        """This snapshot's counts re-stamped at a different time.
+
+        Used by the fault-injection layer to model a dropped sample: the
+        read happens *now* but returns counter values frozen at an
+        earlier observation.
+        """
+        return CounterSnapshot(
+            time_s=time_s,
+            instructions=self.instructions,
+            cycles=self.cycles,
+            llc_accesses=self.llc_accesses,
+            llc_misses=self.llc_misses,
+        )
+
     @property
     def mpki(self) -> float:
         """LLC misses per kilo-instruction over the counted window."""

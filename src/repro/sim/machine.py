@@ -225,6 +225,10 @@ class Machine:
         """Remove all cache isolation."""
         self.cache.clear_partitions()
 
+    def partition_ways(self, core: int) -> int:
+        """Ways ``core``'s current LLC mask allows (partition read-back)."""
+        return self.cache.mask_ways(core)
+
     def schedule_wakeup(self, delay_s: float, callback) -> None:
         """Schedule ``callback`` through the jittered timer wheel."""
         self.timers.schedule(delay_s, callback)

@@ -60,6 +60,14 @@ class SystemInterface(Protocol):
     def clear_partitions(self) -> None:
         """Remove all cache isolation."""
 
+    def partition_ways(self, core: int) -> int:
+        """LLC ways ``core``'s current way-mask allows it to reach.
+
+        The read-back of :meth:`set_fg_partition` (reading the CAT MSR on
+        real hardware): after ``set_fg_partition(cores, w)`` each core in
+        ``cores`` reports ``w``.  Hardened controllers verify actuations
+        against this instead of trusting the write."""
+
     def schedule_wakeup(self, delay_s: float, callback: WakeupCallback) -> None:
         """Invoke ``callback`` after ``delay_s`` (jittered sleep analogue)."""
 

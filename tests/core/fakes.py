@@ -110,6 +110,14 @@ class FakeSystem:
         self.partition = None
         self.cleared += 1
 
+    def partition_ways(self, core: int) -> int:
+        if self.partition is None:
+            return self._llc_ways
+        fg_cores, fg_ways = self.partition
+        if core in fg_cores:
+            return fg_ways
+        return self._llc_ways - fg_ways
+
     # -- timers -----------------------------------------------------------
 
     def schedule_wakeup(self, delay_s: float, callback) -> None:

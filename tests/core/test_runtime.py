@@ -96,7 +96,11 @@ class TestSamplingLoop:
     def test_midpoint_prediction_recorded(self):
         system, task, runtime = build()
         runtime.start()
-        system.set_counters(0, instructions=6e7)  # 60% of profile
+        # Reach 60% of the profile over two samples (a single-sample
+        # jump would exceed the predictor's physical-rate band).
+        system.set_counters(0, instructions=3e7)
+        system.fire_next_wakeup()
+        system.set_counters(0, instructions=6e7)
         system.fire_next_wakeup()
         assert task.midpoint_prediction is not None
 
@@ -162,6 +166,8 @@ class TestCompletionHandling:
     def test_completion_finalizes_and_restarts(self):
         system, task, runtime = build()
         runtime.start()
+        system.set_counters(0, instructions=3e7)
+        system.fire_next_wakeup()
         system.set_counters(0, instructions=6e7)
         system.fire_next_wakeup()
         runtime.on_fg_completion(
@@ -201,6 +207,8 @@ class TestCompletionHandling:
     def test_prediction_error_property(self):
         system, task, runtime = build()
         runtime.start()
+        system.set_counters(0, instructions=3e7)
+        system.fire_next_wakeup()
         system.set_counters(0, instructions=6e7)
         system.fire_next_wakeup()
         runtime.on_fg_completion(

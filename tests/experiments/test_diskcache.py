@@ -158,6 +158,51 @@ class TestHarnessIntegration:
         assert repr(first) == repr(second)
 
 
+class TestTornWriteRecovery:
+    """A writer killed mid-write must never wedge or poison the cache."""
+
+    def test_writer_killed_midway_publishes_nothing(
+        self, cache, monkeypatch
+    ):
+        parts = ("ferret", 4)
+
+        def torn_dump(value, handle, *args, **kwargs):
+            # Half a pickle frame hits the temp file, then the process
+            # dies (a kill signal surfaces as BaseException here).
+            handle.write(b"\x80\x05partial")
+            handle.flush()
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(pickle, "dump", torn_dump)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put("run", parts, list(range(100)))
+        monkeypatch.undo()
+        path = cache._path("run", cache_key("run", parts))
+        # The atomic-replace protocol never published the torn bytes,
+        # and the orphaned temp file was unlinked on the way out.
+        assert not path.exists()
+        assert list(path.parent.glob("*.tmp")) == []
+        hit, value = cache.get("run", parts)
+        assert not hit and value is None
+        assert cache.stats()["corrupt_drops"] == 0  # clean miss, not torn
+
+    def test_torn_entry_on_disk_is_dropped_then_recomputable(self, cache):
+        # Defense in depth: even if torn bytes *did* land at the final
+        # path (non-atomic filesystem, partial disk flush), the reader
+        # drops the entry and the cell heals on the next put.
+        parts = ("ferret", 5)
+        cache.put("run", parts, list(range(100)))
+        path = cache._path("run", cache_key("run", parts))
+        path.write_bytes(path.read_bytes()[:7])
+        hit, value = cache.get("run", parts)
+        assert not hit and value is None
+        assert cache.stats()["corrupt_drops"] == 1
+        assert not path.exists()
+        cache.put("run", parts, list(range(100)))
+        hit, value = cache.get("run", parts)
+        assert hit and value == list(range(100))
+
+
 class TestCorruptDropAccounting:
     def test_corrupt_drop_counter_increments(self, cache):
         parts = ("ferret", 1)

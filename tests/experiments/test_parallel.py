@@ -6,12 +6,19 @@ serial sweep *exactly* — every cell derives its randomness from
 through the content-addressed disk cache.
 """
 
+import logging
+import multiprocessing
+import os
+import time
+
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.policies import BASELINE, DIRIGENT, STATIC_FREQ
+from repro.errors import ExperimentError
 from repro.experiments import harness
+from repro.experiments import parallel as parallel_mod
 from repro.experiments.mixes import mix_by_name
 from repro.experiments.parallel import (
     ENV_PACK_CELLS,
@@ -21,8 +28,35 @@ from repro.experiments.parallel import (
     run_grid,
     set_default_workers,
 )
+from repro.sim.config import ENV_CELL_TIMEOUT_S
 
 MIXES = ["ferret bwaves", "raytrace rs", "bodytrack pca"]
+
+#: Worker fakes must be monkeypatched onto the parallel module *and*
+#: visible to forked workers, so they live at test-module top level
+#: (picklable by qualified name) and the tests skip on platforms whose
+#: default start method re-imports a pristine module instead of
+#: inheriting the patched one.
+_FORK = multiprocessing.get_start_method() == "fork"
+fork_only = pytest.mark.skipif(
+    not _FORK, reason="worker monkeypatching needs the fork start method"
+)
+
+
+def _exit_pack(pack):
+    """Worker fake: die abruptly, breaking the process pool."""
+    os._exit(1)
+
+
+def _stall_pack(pack):
+    """Worker fake: blow any sub-second per-cell budget, then finish."""
+    time.sleep(3.0)
+    return [parallel_mod._policy_cell(cell) for cell in pack]
+
+
+def _raise_cell(cell):
+    """Cell fake: fail deterministically (also on the serial retry)."""
+    raise ExperimentError("synthetic cell failure")
 
 
 @pytest.fixture(autouse=True)
@@ -124,6 +158,91 @@ class TestLanePacking:
         assert packed.mode == "parallel"
         assert packed.pack_sizes == [2, 2]
         assert _snapshot(serial) == _snapshot(packed)
+
+
+class TestDegradedDispatch:
+    """Lost cells are retried serially; dead pools degrade loudly."""
+
+    @staticmethod
+    def _grid(workers=2, **kwargs):
+        mixes = [mix_by_name(name) for name in MIXES[:2]]
+        policies = [BASELINE]
+        sweep = run_grid(mixes, policies, executions=2, warmup=1,
+                         workers=workers, **kwargs)
+        expected = {(m.name, p.name) for m in mixes for p in policies}
+        return sweep, expected
+
+    @fork_only
+    def test_timed_out_pack_is_retried_serially(self, monkeypatch):
+        monkeypatch.setenv(ENV_CELL_TIMEOUT_S, "0.2")
+        monkeypatch.setattr(parallel_mod, "_run_pack", _stall_pack)
+        sweep, expected = self._grid()
+        assert sweep.mode == "parallel"
+        assert set(sweep.results) == expected
+        assert sweep.retried == len(expected)
+        assert sweep.failed == 0
+        assert sweep.fallback_reason is None
+
+    @fork_only
+    def test_no_timeout_waits_for_slow_workers(self, monkeypatch):
+        monkeypatch.delenv(ENV_CELL_TIMEOUT_S, raising=False)
+        monkeypatch.setenv(ENV_PACK_CELLS, "2")
+        monkeypatch.setattr(parallel_mod, "_run_pack", _stall_pack)
+        sweep, expected = self._grid()
+        assert sweep.mode == "parallel"
+        assert set(sweep.results) == expected
+        assert sweep.retried == 0
+
+    @fork_only
+    def test_broken_pool_cells_are_retried_serially(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod, "_run_pack", _exit_pack)
+        sweep, expected = self._grid()
+        assert sweep.mode == "parallel"
+        assert set(sweep.results) == expected
+        assert sweep.retried == len(expected)
+        assert sweep.failed == 0
+
+    @fork_only
+    def test_unrecoverable_cells_are_counted_not_raised(
+        self, monkeypatch, caplog
+    ):
+        monkeypatch.setattr(parallel_mod, "_run_pack", _exit_pack)
+        monkeypatch.setattr(parallel_mod, "_policy_cell", _raise_cell)
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.experiments.parallel"):
+            sweep, expected = self._grid()
+        assert sweep.mode == "parallel"
+        assert sweep.results == {}
+        assert sweep.retried == 0
+        assert sweep.failed == len(expected)
+        assert {(mix, policy) for mix, policy, _ in sweep.failures} \
+            == expected
+        assert all("synthetic cell failure" in reason
+                   for _, _, reason in sweep.failures)
+        assert "failed on serial retry" in caplog.text
+
+    def test_pool_creation_failure_surfaces_reason(
+        self, monkeypatch, caplog
+    ):
+        def _no_pool(*args, **kwargs):
+            raise OSError("no semaphores here")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _no_pool)
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.experiments.parallel"):
+            sweep, expected = self._grid()
+        assert sweep.mode == "serial"
+        assert sweep.workers == 1
+        assert set(sweep.results) == expected
+        assert sweep.fallback_reason == "OSError: no semaphores here"
+        assert "running serially" in caplog.text
+
+    def test_healthy_sweep_reports_no_degradation(self):
+        sweep, expected = self._grid(workers=1)
+        assert sweep.retried == 0
+        assert sweep.failed == 0
+        assert sweep.failures == []
+        assert sweep.fallback_reason is None
 
 
 class TestWorkerDefaults:

@@ -1,0 +1,1 @@
+"""Fault-injection and graceful-degradation tests."""

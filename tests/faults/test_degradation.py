@@ -1,0 +1,211 @@
+"""The runtime's sensing-health monitor and graceful-degradation modes.
+
+Driven entirely on the FakeSystem: frozen counters model dropped sensor
+reads, and the tests walk the full mode ladder —
+normal -> degraded -> safe -> (dwell) -> degraded -> normal — checking
+the policy actions taken at each edge.
+"""
+
+import pytest
+
+from repro.core.profile import ExecutionProfile, ProfileSegment
+from repro.core.runtime import DirigentRuntime, ManagedTask, RuntimeOptions
+from repro.errors import ControlError
+from tests.core.fakes import FakeSystem
+
+
+def profile(segments=10, duration=0.005, progress=1e7):
+    return ExecutionProfile(
+        "synthetic",
+        duration,
+        tuple(ProfileSegment(duration, progress) for _ in range(segments)),
+    )
+
+
+def build(progress_fn=None, **opt_kwargs):
+    system = FakeSystem(pid_to_core={1: 0, 11: 1, 12: 2})
+    task = ManagedTask(
+        pid=1, core=0, profile=profile(), deadline_s=0.08, ema_weight=0.2,
+        progress_fn=progress_fn,
+    )
+    defaults = dict(
+        enable_fine=False,
+        hardening=True,
+        health_window=10,
+        safe_dwell_samples=5,
+    )
+    defaults.update(opt_kwargs)
+    runtime = DirigentRuntime(
+        system, [task], [11, 12], options=RuntimeOptions(**defaults)
+    )
+    return system, task, runtime
+
+
+def fire(system, count, advance=None):
+    """Fire ``count`` wakeups; ``advance`` adds instructions per wakeup."""
+    for _ in range(count):
+        if advance is not None:
+            snap = system.read_counters(0)
+            system.set_counters(0, instructions=snap.instructions + advance)
+        system.fire_next_wakeup()
+
+
+class TestOptionValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"health_window": 0},
+        {"degraded_threshold": 1.5},
+        {"safe_threshold": 0.1, "degraded_threshold": 0.2},
+        {"recover_threshold": 0.2, "degraded_threshold": 0.1},
+        {"safe_dwell_samples": -1},
+        {"degraded_guard_extra": 1.0},
+        {"actuation_retries": -1},
+    ])
+    def test_invalid_health_options_rejected(self, kwargs):
+        with pytest.raises(ControlError):
+            RuntimeOptions(**kwargs)
+
+
+class TestModeLadder:
+    def test_frozen_counters_drive_degraded_then_safe(self):
+        system, task, runtime = build()
+        runtime.start()
+        fire(system, 10)  # window fills with zero-delta suspects
+        assert runtime.mode == "degraded"
+        assert runtime.degraded_entries == 1
+        assert task.predictor.hold_penalty_updates
+        fire(system, 1)  # density over the safe threshold
+        assert runtime.mode == "safe"
+        assert runtime.safe_entries == 1
+        # Safe policy: BG paused, FG at maximum frequency (already max
+        # on the fake), decisions suspended.
+        assert system.is_paused(11) and system.is_paused(12)
+
+    def test_recovery_steps_down_through_degraded(self):
+        system, task, runtime = build()
+        runtime.start()
+        fire(system, 11)
+        assert runtime.mode == "safe"
+        # Honest progress returns; the dwell holds safe mode until the
+        # window fully clears, then recovery resumes the BG tasks.
+        fire(system, 10, advance=1e6)
+        assert runtime.mode == "degraded"
+        assert not system.is_paused(11) and not system.is_paused(12)
+        fire(system, 1, advance=1e6)
+        assert runtime.mode == "normal"
+        assert not task.predictor.hold_penalty_updates
+        assert runtime.suspect_samples == 11
+        assert runtime.health_samples == 22
+
+    def test_safe_mode_dwell_resists_flapping(self):
+        system, task, runtime = build(safe_dwell_samples=30)
+        runtime.start()
+        fire(system, 11)
+        assert runtime.mode == "safe"
+        # The window clears after 10 clean samples, but the dwell pins
+        # safe mode until 30 samples have passed since entry.
+        fire(system, 25, advance=1e6)
+        assert runtime.mode == "safe"
+        fire(system, 5, advance=1e6)
+        assert runtime.mode == "degraded"
+
+    def test_safe_policy_reasserted_against_drift(self):
+        system, task, runtime = build(decision_every=5)
+        runtime.start()
+        fire(system, 11)
+        assert runtime.mode == "safe"
+        # A faulty actuator (or an operator) undoes the safe policy...
+        system.resume(11)
+        system.grades[0] = 2
+        # ...and the next decision boundary re-asserts it.
+        fire(system, 5)
+        assert system.is_paused(11)
+        assert system.grades[0] == system.num_frequency_grades() - 1
+
+    def test_mode_time_accounting(self):
+        system, task, runtime = build()
+        runtime.start()
+        fire(system, 11)
+        now = system.now()
+        assert runtime.safe_time_s(now + 0.01) == pytest.approx(0.01)
+        degraded = runtime.degraded_time_s(now)
+        assert degraded == pytest.approx(0.005)  # one period in degraded
+
+
+class TestAnomalySources:
+    def test_heartbeat_stalls_are_not_suspect(self):
+        # A heartbeat-progress task legitimately reports zero delta
+        # between beats; only hardware counters make zero-delta
+        # anomalous.
+        system, task, runtime = build(progress_fn=lambda: 0.0)
+        runtime.start()
+        fire(system, 20)
+        assert runtime.mode == "normal"
+        assert runtime.suspect_samples == 0
+
+    def test_late_wakeup_flagged(self):
+        system, task, runtime = build()
+        runtime.start()
+        fire(system, 2, advance=1e6)
+        assert runtime.late_wakeups == 0
+        when, callback = system.wakeups.pop(0)
+        system.wakeups.append((when + 0.01, callback))  # timer stall
+        fire(system, 1, advance=1e6)
+        assert runtime.late_wakeups == 1
+        assert runtime.suspect_samples == 1
+
+    def test_negative_progress_flagged(self):
+        system, task, runtime = build()
+        system.set_counters(0, instructions=5e6)
+        runtime.start()  # instruction base = 5e6
+        system.set_counters(0, instructions=1e6)  # counter went backwards
+        fire(system, 1)
+        assert runtime.negative_progress_samples == 1
+        assert runtime.suspect_samples == 1
+
+    def test_sensor_anomalies_aggregates_all_sources(self):
+        system, task, runtime = build()
+        runtime.start()
+        fire(system, 3)
+        anomalies = runtime.sensor_anomalies()
+        assert set(anomalies) == {
+            "stale", "zero_delta", "rejected", "negative_progress",
+            "late_wakeups",
+        }
+        assert anomalies["zero_delta"] == 3
+
+
+class TestGuardWidening:
+    def test_degraded_mode_widens_the_deadline_guard(self):
+        system, task, runtime = build(enable_fine=True)
+        fine = runtime.fine_controller
+        opts = runtime.options
+        baseline_ratio = fine._target_ratio
+        runtime.start()
+        fire(system, 10)
+        assert runtime.mode == "degraded"
+        assert fine._target_ratio == pytest.approx(
+            1.0 - (opts.deadline_guard + opts.degraded_guard_extra)
+        )
+        fire(system, 11, advance=1e6)
+        assert runtime.mode == "normal"
+        assert fine._target_ratio == pytest.approx(baseline_ratio)
+
+
+class TestHardeningSwitch:
+    def test_disabled_hardening_never_degrades(self):
+        system, task, runtime = build(hardening=False)
+        assert not runtime.hardening_enabled
+        assert runtime.guarded is None
+        assert not task.predictor.reject_outliers
+        runtime.start()
+        fire(system, 25)
+        assert runtime.mode == "normal"
+        assert runtime.health_samples == 0
+
+    def test_env_kill_switch_resolves_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEGRADED_MODE", "0")
+        _, _, runtime = build(hardening=None)
+        assert not runtime.hardening_enabled
+        monkeypatch.setenv("REPRO_DEGRADED_MODE", "1")
+        _, _, hardened = build(hardening=None)
+        assert hardened.hardening_enabled

@@ -1,0 +1,145 @@
+"""GuardedSystem: read-back verification, bounded retry, accounting."""
+
+import pytest
+
+from repro.core.actuation import (
+    DEFAULT_RETRY_OVERHEAD_S,
+    GuardedSystem,
+)
+from repro.errors import ControlError
+from tests.core.fakes import FakeSystem
+
+
+class DroppingSystem:
+    """Delegates to a FakeSystem, silently dropping the first N writes.
+
+    Read-backs stay truthful (they go straight to the fake), which is
+    exactly the contract the guarded layer relies on to detect drops.
+    """
+
+    def __init__(self, system: FakeSystem, drop_first: int = 0) -> None:
+        self._sys = system
+        self.drops_left = drop_first
+
+    def _dropped(self) -> bool:
+        if self.drops_left > 0:
+            self.drops_left -= 1
+            return True
+        return False
+
+    def set_frequency_grade(self, core, grade):
+        if not self._dropped():
+            self._sys.set_frequency_grade(core, grade)
+
+    def step_frequency(self, core, direction):
+        if self._dropped():
+            grade = self._sys.frequency_grade(core)
+            return 0 <= grade + direction < self._sys.num_frequency_grades()
+        return self._sys.step_frequency(core, direction)
+
+    def pause(self, pid):
+        if not self._dropped():
+            self._sys.pause(pid)
+
+    def resume(self, pid):
+        if not self._dropped():
+            self._sys.resume(pid)
+
+    def set_fg_partition(self, fg_cores, fg_ways):
+        if not self._dropped():
+            self._sys.set_fg_partition(fg_cores, fg_ways)
+
+    def __getattr__(self, name):
+        return getattr(self._sys, name)
+
+
+def build(drop_first=0, retries=2, **kwargs):
+    fake = FakeSystem(pid_to_core={1: 0, 11: 1})
+    flaky = DroppingSystem(fake, drop_first=drop_first)
+    guarded = GuardedSystem(flaky, retries=retries, overhead_core=1, **kwargs)
+    return fake, guarded
+
+
+class TestHealthyPassthrough:
+    def test_first_try_success_costs_nothing(self):
+        fake, guarded = build()
+        guarded.set_frequency_grade(1, 2)
+        guarded.pause(11)
+        guarded.resume(11)
+        guarded.set_fg_partition([0], 12)
+        assert fake.grades[1] == 2
+        assert fake.partition == ((0,), 12)
+        assert guarded.actuations_total == 4
+        assert guarded.actuations_retried == 0
+        assert guarded.actuations_failed == 0
+        assert fake.overhead == []  # no retry, no backoff charged
+
+    def test_observation_passthrough(self):
+        fake, guarded = build()
+        fake.time_s = 1.5
+        assert guarded.now() == 1.5
+        assert guarded.num_frequency_grades() == 5
+        assert guarded.llc_ways() == 20
+        assert guarded.core_of(11) == 1
+        assert guarded.partition_ways(0) == 20
+
+    def test_validation(self):
+        with pytest.raises(ControlError):
+            GuardedSystem(FakeSystem(), retries=-1)
+        with pytest.raises(ControlError):
+            GuardedSystem(FakeSystem(), retry_overhead_s=-1.0)
+
+
+class TestRetry:
+    def test_dropped_pause_recovered_by_retry(self):
+        fake, guarded = build(drop_first=1)
+        guarded.pause(11)
+        assert fake.is_paused(11)
+        assert guarded.actuations_retried == 1
+        assert guarded.actuations_failed == 0
+        # One backoff charged, to the designated runtime core.
+        assert fake.overhead == [(1, DEFAULT_RETRY_OVERHEAD_S)]
+
+    def test_dropped_partition_recovered_by_read_back(self):
+        fake, guarded = build(drop_first=1)
+        guarded.set_fg_partition([0], 7)
+        assert fake.partition == ((0,), 7)
+        assert guarded.actuations_retried == 1
+
+    def test_step_retries_with_absolute_setter(self):
+        # A dropped step reports success; only the read-back reveals the
+        # grade never moved.  The retry must set the absolute target —
+        # re-stepping after a late-landing write would overshoot.
+        fake, guarded = build(drop_first=1)
+        assert guarded.step_frequency(1, -1) is True
+        assert fake.grades[1] == fake.num_frequency_grades() - 2
+        assert guarded.actuations_retried == 1
+        assert guarded.actuations_failed == 0
+
+    def test_step_at_limit_delegates_unguarded(self):
+        fake, guarded = build()
+        assert guarded.step_frequency(1, +1) is False  # already at max
+        assert guarded.actuations_total == 0
+
+    def test_exhausted_retries_counted_not_raised(self):
+        fake, guarded = build(drop_first=10, retries=2)
+        guarded.pause(11)
+        assert not fake.is_paused(11)
+        assert guarded.actuations_retried == 2
+        assert guarded.actuations_failed == 1
+        assert len(fake.overhead) == 2
+
+    def test_zero_retries_fails_immediately(self):
+        fake, guarded = build(drop_first=1, retries=0)
+        guarded.pause(11)
+        assert not fake.is_paused(11)
+        assert guarded.actuations_failed == 1
+        assert guarded.actuations_retried == 0
+
+    def test_actuation_already_in_target_state_verifies_clean(self):
+        # The write is dropped but the verify passes anyway because the
+        # system is already where the caller wanted it: not a failure.
+        fake, guarded = build(drop_first=1)
+        guarded.resume(11)  # pid 11 was never paused
+        assert guarded.actuations_failed == 0
+        assert guarded.actuations_retried == 0

@@ -1,0 +1,260 @@
+"""FaultInjector draw semantics, determinism, and the FaultySystem view."""
+
+import pytest
+
+from repro.core.heartbeats import ProcessHeartbeatBridge
+from repro.core.profile import ExecutionProfile, ProfileSegment
+from repro.faults import GLITCH_FACTOR, FaultInjector, FaultPlan, FaultySystem
+from repro.sim.counters import CounterSnapshot
+from tests.core.fakes import FakeSystem
+
+
+def snap(time_s, instructions, **kwargs):
+    fields = dict(cycles=instructions, llc_accesses=0.0, llc_misses=0.0)
+    fields.update(kwargs)
+    return CounterSnapshot(time_s=time_s, instructions=instructions, **fields)
+
+
+def profile(segments=10, duration=0.005, progress=1e7):
+    return ExecutionProfile(
+        "synthetic",
+        duration,
+        tuple(ProfileSegment(duration, progress) for _ in range(segments)),
+    )
+
+
+class TestCounterSurface:
+    def test_first_read_baselines_without_faults(self):
+        injector = FaultInjector(FaultPlan(counter_drop_rate=1.0))
+        first = snap(0.005, 1e7)
+        assert injector.filter_counters(0, first) is first
+        assert injector.events == []
+
+    def test_drop_returns_previous_values_restamped(self):
+        injector = FaultInjector(FaultPlan(counter_drop_rate=1.0))
+        injector.filter_counters(0, snap(0.005, 1e7))
+        out = injector.filter_counters(0, snap(0.010, 2e7))
+        assert out.time_s == 0.010  # stamped at the read
+        assert out.instructions == 1e7  # frozen at the last returned
+        assert injector.counts["counter-drop"] == 1
+        assert injector.events[0].kind == "counter-drop"
+
+    def test_glitch_scales_the_delta(self):
+        injector = FaultInjector(FaultPlan(counter_glitch_rate=1.0))
+        injector.filter_counters(0, snap(0.005, 1e7))
+        out = injector.filter_counters(0, snap(0.010, 2e7))
+        assert out.instructions == 1e7 + GLITCH_FACTOR * 1e7
+        assert injector.counts["counter-glitch"] == 1
+
+    def test_inflated_counters_plateau_never_regress(self):
+        injector = FaultInjector(FaultPlan(counter_glitch_rate=1.0))
+        injector.filter_counters(0, snap(0.005, 1e7))
+        inflated = injector.filter_counters(0, snap(0.010, 2e7))
+        # Truth is far behind the inflated read; the returned counter
+        # plateaus (monotone) instead of running backwards.
+        later = injector.filter_counters(0, snap(0.015, 2.5e7))
+        assert later.instructions == inflated.instructions
+        assert later.time_s == 0.015
+
+    def test_noise_is_tallied_but_not_an_event(self):
+        injector = FaultInjector(FaultPlan(counter_noise_sigma=0.3))
+        injector.filter_counters(0, snap(0.005, 1e7))
+        injector.filter_counters(0, snap(0.010, 2e7))
+        assert injector.counts["counter-noise"] == 1
+        assert injector.events == []
+
+    def test_cores_are_tracked_independently(self):
+        injector = FaultInjector(FaultPlan(counter_drop_rate=1.0))
+        injector.filter_counters(0, snap(0.005, 1e7))
+        first_other = snap(0.005, 5e6)
+        assert injector.filter_counters(1, first_other) is first_other
+
+
+class TestWakeupAndActuationSurfaces:
+    def test_delay_and_miss_accumulate(self):
+        plan = FaultPlan(
+            wakeup_delay_rate=1.0, wakeup_delay_s=2e-3,
+            wakeup_miss_rate=1.0, wakeup_miss_s=5e-3,
+        )
+        injector = FaultInjector(plan)
+        assert injector.wakeup_extra_delay(0.1) == pytest.approx(7e-3)
+        kinds = [e.kind for e in injector.events]
+        assert kinds == ["wakeup-delay", "wakeup-miss"]
+
+    def test_disabled_surface_draws_nothing(self):
+        injector = FaultInjector(FaultPlan())
+        assert injector.wakeup_extra_delay(0.1) == 0.0
+        assert injector.actuation_dropped(0.1, "pause:11") is False
+        assert injector.events == []
+        assert injector.counts == {}
+
+    def test_actuation_drop_records_the_call(self):
+        injector = FaultInjector(FaultPlan(actuation_fail_rate=1.0))
+        assert injector.actuation_dropped(0.25, "pause:11") is True
+        event = injector.events[0]
+        assert (event.surface, event.kind) == ("actuation", "actuation-fail")
+        assert event.detail == "pause:11"
+        assert event.time_s == 0.25
+
+
+class TestHeartbeatSurface:
+    def test_total_loss(self):
+        channel = FaultInjector(
+            FaultPlan(heartbeat_loss_rate=1.0)
+        ).heartbeat_channel()
+        assert channel(5) == 0
+
+    def test_total_duplication(self):
+        channel = FaultInjector(
+            FaultPlan(heartbeat_dup_rate=1.0)
+        ).heartbeat_channel()
+        assert channel(3) == 6
+
+    def test_lossless_plan_passes_through(self):
+        channel = FaultInjector(FaultPlan()).heartbeat_channel()
+        assert channel(4) == 4
+
+    def test_bridge_with_lossy_channel_never_redelivers(self):
+        # Emission and delivery are tracked separately in the bridge: a
+        # beat lost in delivery stays lost instead of being silently
+        # re-delivered on the next poll.
+        state = {"progress": 0.0}
+        calls = []
+
+        def channel(new_beats):
+            calls.append(new_beats)
+            return 0 if len(calls) == 1 else new_beats
+
+        bridge = ProcessHeartbeatBridge(
+            lambda: state["progress"], beat_instructions=1e6,
+            channel=channel,
+        )
+        state["progress"] = 3e6
+        assert bridge.progress() == 0.0  # three beats lost in delivery
+        state["progress"] = 5e6
+        assert bridge.progress() == pytest.approx(2e6)  # only new beats
+        assert calls == [3, 2]
+
+    def test_bridge_with_duplicating_channel_overcounts(self):
+        state = {"progress": 0.0}
+        bridge = ProcessHeartbeatBridge(
+            lambda: state["progress"], beat_instructions=1e6,
+            channel=FaultInjector(
+                FaultPlan(heartbeat_dup_rate=1.0)
+            ).heartbeat_channel(),
+        )
+        state["progress"] = 2e6
+        assert bridge.progress() == pytest.approx(4e6)
+
+
+class TestProfileSurface:
+    def test_truncation_cuts_tail_keeps_at_least_one(self):
+        injector = FaultInjector(FaultPlan(profile_truncate_segments=4))
+        out = injector.corrupt_profile(profile(segments=10))
+        assert len(out.segments) == 6
+        heavy = FaultInjector(FaultPlan(profile_truncate_segments=100))
+        assert len(heavy.corrupt_profile(profile(segments=10)).segments) == 1
+
+    def test_noise_perturbs_durations_preserves_progress(self):
+        injector = FaultInjector(FaultPlan(profile_noise_sigma=0.5))
+        original = profile(segments=10)
+        out = injector.corrupt_profile(original)
+        assert len(out.segments) == 10
+        assert [s.progress for s in out.segments] == [
+            s.progress for s in original.segments
+        ]
+        assert any(
+            a.duration_s != b.duration_s
+            for a, b in zip(out.segments, original.segments)
+        )
+        assert all(s.duration_s > 0 for s in out.segments)
+
+    def test_clean_plan_returns_original(self):
+        original = profile()
+        assert FaultInjector(FaultPlan()).corrupt_profile(original) is original
+
+
+class TestDeterminism:
+    def _drive(self, injector):
+        for index in range(50):
+            t = 0.005 * (index + 1)
+            injector.filter_counters(0, snap(t, 1e7 * (index + 1)))
+            injector.wakeup_extra_delay(t)
+            injector.actuation_dropped(t, "pause:11")
+        return injector.event_signature()
+
+    def _plan(self, seed):
+        return FaultPlan(
+            scenario="custom", seed=seed,
+            counter_drop_rate=0.3, counter_noise_sigma=0.2,
+            counter_glitch_rate=0.1, wakeup_delay_rate=0.3,
+            actuation_fail_rate=0.3,
+        )
+
+    def test_same_seed_same_event_stream(self):
+        a = self._drive(FaultInjector(self._plan(seed=11)))
+        b = self._drive(FaultInjector(self._plan(seed=11)))
+        assert a and a == b
+
+    def test_different_seed_different_stream(self):
+        a = self._drive(FaultInjector(self._plan(seed=11)))
+        b = self._drive(FaultInjector(self._plan(seed=12)))
+        assert a != b
+
+    def test_surfaces_have_independent_streams(self):
+        # Disabling one surface must not perturb another's draws: the
+        # actuation stream with counters off matches the actuation
+        # stream with counters on.
+        with_counters = self._drive(FaultInjector(self._plan(seed=11)))
+        plan = FaultPlan(
+            scenario="custom", seed=11,
+            wakeup_delay_rate=0.3, actuation_fail_rate=0.3,
+        )
+        without = self._drive(FaultInjector(plan))
+        actuation = [e for e in with_counters if e[1] == "actuation"]
+        assert actuation == [e for e in without if e[1] == "actuation"]
+        wakeup = [e for e in with_counters if e[1] == "wakeup"]
+        assert wakeup == [e for e in without if e[1] == "wakeup"]
+
+
+class TestFaultySystem:
+    def _faulty(self, plan, pid_to_core=None):
+        system = FakeSystem(pid_to_core=pid_to_core or {1: 0, 11: 1})
+        return system, FaultySystem(system, FaultInjector(plan))
+
+    def test_dropped_pause_leaves_machine_running(self):
+        system, faulty = self._faulty(FaultPlan(actuation_fail_rate=1.0))
+        faulty.pause(11)
+        assert not system.is_paused(11)
+        # The read-back through the faulty view is truthful.
+        assert not faulty.is_paused(11)
+
+    def test_dropped_grade_write_detectable_by_read_back(self):
+        system, faulty = self._faulty(FaultPlan(actuation_fail_rate=1.0))
+        before = system.frequency_grade(1)
+        faulty.set_frequency_grade(1, 0)
+        assert faulty.frequency_grade(1) == before
+
+    def test_dropped_step_reports_would_be_result(self):
+        system, faulty = self._faulty(FaultPlan(actuation_fail_rate=1.0))
+        # Grade starts at max: stepping up is impossible, down possible.
+        assert faulty.step_frequency(1, -1) is True
+        assert faulty.step_frequency(1, +1) is False
+        assert system.frequency_grade(1) == system.num_frequency_grades() - 1
+
+    def test_wakeup_faults_stretch_the_timer(self):
+        system, faulty = self._faulty(
+            FaultPlan(wakeup_miss_rate=1.0, wakeup_miss_s=5e-3)
+        )
+        faulty.schedule_wakeup(5e-3, lambda: None)
+        assert system.wakeups[0][0] == pytest.approx(10e-3)
+
+    def test_clean_plan_is_transparent(self):
+        system, faulty = self._faulty(FaultPlan())
+        faulty.set_frequency_grade(1, 2)
+        faulty.pause(11)
+        faulty.set_fg_partition([0], 12)
+        assert system.frequency_grade(1) == 2
+        assert system.is_paused(11)
+        assert system.partition == ((0,), 12)
+        assert faulty.injector.events == []

@@ -1,0 +1,96 @@
+"""FaultPlan validation, the scenario catalog, and zero-plan semantics."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    SCENARIO_NAMES,
+    SCENARIOS,
+    ZERO_FAULTS,
+    FaultPlan,
+    scenario,
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", [
+        "counter_drop_rate", "counter_glitch_rate", "wakeup_delay_rate",
+        "wakeup_miss_rate", "actuation_fail_rate", "heartbeat_loss_rate",
+        "heartbeat_dup_rate",
+    ])
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(FaultError):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(FaultError):
+            FaultPlan(**{field: -0.1})
+
+    @pytest.mark.parametrize("field", [
+        "counter_noise_sigma", "profile_noise_sigma", "wakeup_delay_s",
+        "wakeup_miss_s",
+    ])
+    def test_magnitudes_must_be_nonnegative(self, field):
+        with pytest.raises(FaultError):
+            FaultPlan(**{field: -0.5})
+
+    def test_truncation_must_be_nonnegative(self):
+        with pytest.raises(FaultError):
+            FaultPlan(profile_truncate_segments=-1)
+
+    def test_boundary_rates_accepted(self):
+        FaultPlan(counter_drop_rate=0.0)
+        FaultPlan(counter_drop_rate=1.0)
+
+
+class TestZeroPlan:
+    def test_default_plan_is_zero(self):
+        assert FaultPlan().is_zero
+        assert ZERO_FAULTS.is_zero
+
+    @pytest.mark.parametrize("overrides", [
+        {"counter_drop_rate": 0.1},
+        {"counter_noise_sigma": 0.2},
+        {"counter_glitch_rate": 0.01},
+        {"wakeup_delay_rate": 0.1},
+        {"wakeup_miss_rate": 0.1},
+        {"actuation_fail_rate": 0.1},
+        {"heartbeat_loss_rate": 0.1},
+        {"heartbeat_dup_rate": 0.1},
+        {"profile_truncate_segments": 1},
+        {"profile_noise_sigma": 0.1},
+    ])
+    def test_any_enabled_surface_is_nonzero(self, overrides):
+        assert not FaultPlan(**overrides).is_zero
+
+    def test_bias_alone_without_sigma_stays_zero(self):
+        # Bias only shapes the noise distribution; with sigma 0 no noise
+        # is drawn at all, so the plan injects nothing.
+        assert FaultPlan(counter_noise_bias=0.5).is_zero
+
+
+class TestCatalog:
+    def test_catalog_names_are_ordered_and_complete(self):
+        assert SCENARIO_NAMES == tuple(SCENARIOS)
+        assert "none" in SCENARIO_NAMES
+        assert "sensor-degraded" in SCENARIO_NAMES
+
+    def test_only_none_is_zero(self):
+        for name, plan in SCENARIOS.items():
+            assert plan.is_zero == (name == "none"), name
+
+    def test_scenario_seeds_the_plan(self):
+        plan = scenario("sensor-degraded", seed=99)
+        assert plan.seed == 99
+        assert plan.scenario == "sensor-degraded"
+        # The catalog entry itself is untouched (frozen copies).
+        assert SCENARIOS["sensor-degraded"].seed == 0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(FaultError):
+            scenario("meteor-strike")
+
+    def test_with_seed_copies(self):
+        base = FaultPlan(counter_drop_rate=0.2)
+        reseeded = base.with_seed(5)
+        assert reseeded.seed == 5
+        assert reseeded.counter_drop_rate == 0.2
+        assert base.seed == 0

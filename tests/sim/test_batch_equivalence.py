@@ -237,3 +237,50 @@ class TestPolicyDecisionEquivalence:
         assert scalar.fg_instr == batch.fg_instr
         assert scalar.bg_instr == batch.bg_instr
         assert scalar.elapsed_s == batch.elapsed_s
+
+
+class TestFaultedEquivalence:
+    """Fault injection is seeded at the OSAL layer, above the backend
+    split, so a faulted run must stay bit-identical across backends:
+    same injected event stream, same degradation decisions, same
+    measured durations."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_caches(self):
+        clear_caches()
+        yield
+        clear_caches()
+
+    @pytest.mark.parametrize("scenario_name",
+                             ["sensor-degraded", "full-chaos"])
+    def test_faulted_dirigent_run_identical(
+        self, monkeypatch, scenario_name
+    ):
+        from repro.faults import scenario
+
+        results = {}
+        for backend in (BACKEND_SCALAR, BACKEND_BATCH):
+            monkeypatch.setenv(ENV_BACKEND, backend)
+            clear_caches()
+            results[backend] = run_policy(
+                mix_by_name("ferret rs"), DIRIGENT, executions=4, warmup=1,
+                fault_plan=scenario(scenario_name, seed=21),
+            )
+        scalar, batch = results[BACKEND_SCALAR], results[BACKEND_BATCH]
+        assert scalar.durations_s == batch.durations_s
+        assert scalar.deadlines_s == batch.deadlines_s
+        assert scalar.bg_grade_histogram == batch.bg_grade_histogram
+        assert scalar.partition_history == batch.partition_history
+        assert scalar.elapsed_s == batch.elapsed_s
+        rep_s, rep_b = scalar.fault_report, batch.fault_report
+        assert rep_s is not None and rep_b is not None
+        assert rep_s.event_signature  # faults actually fired
+        assert rep_s.event_signature == rep_b.event_signature
+        assert rep_s.injected == rep_b.injected
+        assert rep_s.rejected_samples == rep_b.rejected_samples
+        assert rep_s.suspect_samples == rep_b.suspect_samples
+        assert rep_s.degraded_entries == rep_b.degraded_entries
+        assert rep_s.safe_entries == rep_b.safe_entries
+        assert rep_s.degraded_time_s == rep_b.degraded_time_s
+        assert rep_s.actuations_retried == rep_b.actuations_retried
+        assert rep_s.actuations_failed == rep_b.actuations_failed
