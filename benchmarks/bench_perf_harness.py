@@ -11,13 +11,22 @@ along and emits ``BENCH_harness.json`` at the repository root:
    (single FG, no BG, jitter off — long stationary spans) and on the
    standard contended 'ferret rs' mix, plus an end-to-end Dirigent
    ``run_policy`` wall-clock under each backend.
-3. **Sweep engine + persistent cache**: wall-clock of a 3-mix x
+3. **Multi-cell vector driver**: cell-ticks/s of N homogeneous
+   single-FG machines advanced per-machine (batch engines) vs fused
+   through one :class:`repro.sim.vector.MultiCell`, at
+   N in {1, 16, 64, 256} — a noise-free seed batch with
+   execution-scale phases (the floor workload) and the noisy stock
+   ferret batch (reported with its peel counters, no floor: short
+   noisy phases trip fused spans constantly, which is exactly when
+   vector loses to batch).
+4. **Sweep engine + persistent cache**: wall-clock of a 3-mix x
    2-policy figure sweep — serial with cold caches, 4-worker parallel
    with cold caches, and 4-worker parallel with a warm disk cache.
-4. **Correctness**: the serial and parallel sweeps must produce
+5. **Correctness**: the serial and parallel sweeps must produce
    identical RunResults (also property-tested in
    ``tests/experiments/test_parallel.py``; scalar/batch equivalence is
-   pinned by ``tests/sim/test_batch_equivalence.py``).
+   pinned by ``tests/sim/test_batch_equivalence.py``, vector
+   equivalence by ``tests/sim/test_vector_equivalence.py``).
 
 On a single-core host the parallel-cold time roughly matches the
 serial-cold time (there is nothing to fan out onto) and the headline
@@ -39,6 +48,7 @@ import json
 import os
 import platform
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.core.policies import BASELINE, DIRIGENT
@@ -46,6 +56,7 @@ from repro.experiments import harness
 from repro.experiments.harness import build_machine, run_policy
 from repro.experiments.mixes import mix_by_name
 from repro.experiments.parallel import default_workers, run_grid
+from repro.sim import spanplan
 from repro.sim.batch import (
     BACKEND_BATCH,
     BACKEND_SCALAR,
@@ -54,6 +65,7 @@ from repro.sim.batch import (
 )
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
+from repro.sim.vector import MultiCell, numpy_available
 from repro.workloads.catalog import get_workload
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -67,6 +79,10 @@ SWEEP_POLICIES = (BASELINE, DIRIGENT)
 SWEEP_EXECUTIONS = 8
 SWEEP_WARMUP = 2
 SWEEP_WORKERS = 4
+
+MULTI_CELL_NS = (1, 16, 64, 256)
+MULTI_CELL_TICKS = 12_000
+MULTI_CELL_REPS = 2
 
 SPARSE_CONFIG = MachineConfig(os_jitter_sigma=0.0, timer_jitter_prob=0.0)
 
@@ -104,19 +120,98 @@ def _tick_rate(config: MachineConfig) -> float:
 def _backend_rate(factory, backend: str):
     """Best-of-N tick throughput of fresh machines under ``backend``.
 
-    Returns ``(rate, stats)`` with ``stats`` the fast-path counters of
-    the last machine (None under the scalar backend).
+    Returns ``(rate, stats)``: ``stats`` is the fast-path counter dict
+    of the last (warm) rep, except ``kernels_compiled`` which is summed
+    over every rep — the kernel code cache is module-global, so warm
+    reps compile nothing and would otherwise report 0.  The cache is
+    cleared up front so the count reflects this benchmark alone.
     """
+    spanplan._KERNEL_CODE_CACHE.clear()
     best = 0.0
     stats = None
+    compiled = 0
     for _ in range(BACKEND_REPS):
         machine = factory(backend)
         start = time.perf_counter()
         machine.run_ticks(TICKS)
         elapsed = time.perf_counter() - start
         best = max(best, TICKS / elapsed)
-        stats = machine.backend_stats()
+        rep_stats = machine.backend_stats()
+        if rep_stats is not None:
+            compiled += rep_stats["kernels_compiled"]
+        stats = rep_stats
+    if stats is not None:
+        stats["kernels_compiled"] = compiled
     return best, stats
+
+
+def _long_phase_ferret():
+    """Noise-free ferret with execution-scale phases.
+
+    Stretching each phase 20x makes spans long enough that the
+    cell-axis kernel amortizes its per-span setup — the regime the
+    vector backend is built for (thousands of homogeneous seed-batch
+    simulations), and the workload the multi-cell floor is measured on.
+    """
+    spec = get_workload("ferret")
+    return replace(
+        spec,
+        input_noise=0.0,
+        phases=tuple(
+            replace(p, instructions=p.instructions * 20) for p in spec.phases
+        ),
+    )
+
+
+def _cell_fleet(spec, cells: int):
+    """N single-FG machines differing only in seed (a seed batch)."""
+    machines = []
+    for index in range(cells):
+        machine = Machine(
+            MachineConfig(
+                seed=SPARSE_CONFIG.seed + index,
+                os_jitter_sigma=0.0,
+                timer_jitter_prob=0.0,
+            ),
+            backend=BACKEND_BATCH,
+        )
+        machine.spawn(spec, core=0, nice=-5)
+        machine.settle_cache()
+        machines.append(machine)
+    return machines
+
+
+def _multi_cell_rates(spec, cells: int):
+    """Best-of-reps cell-ticks/s: per-machine batch loop vs MultiCell.
+
+    Returns ``(batch_rate, vector_rate, stats)`` where rates count
+    cells x ticks per second and ``stats`` are the vector driver's
+    fusion counters from the last rep.
+    """
+    cell_ticks = cells * MULTI_CELL_TICKS
+    batch_best = 0.0
+    for _ in range(MULTI_CELL_REPS):
+        machines = _cell_fleet(spec, cells)
+        start = time.perf_counter()
+        for machine in machines:
+            machine.run_ticks(MULTI_CELL_TICKS)
+        elapsed = time.perf_counter() - start
+        batch_best = max(batch_best, cell_ticks / elapsed)
+    vector_best = 0.0
+    stats = None
+    for _ in range(MULTI_CELL_REPS):
+        driver = MultiCell(_cell_fleet(spec, cells))
+        start = time.perf_counter()
+        driver.run_ticks(MULTI_CELL_TICKS)
+        elapsed = time.perf_counter() - start
+        vector_best = max(vector_best, cell_ticks / elapsed)
+        stats = driver.stats
+    keep = (
+        "vector_spans", "cells_per_span", "vector_ticks", "vector_peels",
+        "plan_builds", "plan_reuses",
+    )
+    stat_dict = {key: stats.as_dict()[key] for key in keep}
+    return batch_best, vector_best, stat_dict
 
 
 def _end_to_end_s(backend: str) -> float:
@@ -177,6 +272,31 @@ def run_benchmark() -> dict:
     contended_speedup = contended_batch / contended_scalar
     e2e_scalar_s = _end_to_end_s(BACKEND_SCALAR)
     e2e_batch_s = _end_to_end_s(BACKEND_BATCH)
+
+    # Multi-cell vector driver vs per-machine batch loop.
+    long_phase = {}
+    long_spec = _long_phase_ferret()
+    for cells in MULTI_CELL_NS:
+        batch_rate, vector_rate, cell_stats = _multi_cell_rates(
+            long_spec, cells
+        )
+        long_phase["n%d" % cells] = {
+            "cells": cells,
+            "batch_cell_ticks_per_s": round(batch_rate, 2),
+            "vector_cell_ticks_per_s": round(vector_rate, 2),
+            "speedup": round(vector_rate / batch_rate, 3),
+            "stats": cell_stats,
+        }
+    noisy_batch, noisy_vector, noisy_stats = _multi_cell_rates(
+        get_workload("ferret"), 64
+    )
+    noisy_stock = {
+        "cells": 64,
+        "batch_cell_ticks_per_s": round(noisy_batch, 2),
+        "vector_cell_ticks_per_s": round(noisy_vector, 2),
+        "speedup": round(noisy_vector / noisy_batch, 3),
+        "stats": noisy_stats,
+    }
 
     harness.clear_caches()
     serial = run_grid(
@@ -253,11 +373,27 @@ def run_benchmark() -> dict:
             "fast_path": {
                 "note": (
                     "span-compiled kernel counters (repro.sim.spanplan) "
-                    "from the last batch rep of each backend benchmark"
+                    "from the last batch rep of each backend benchmark; "
+                    "kernels_compiled is summed over all reps because "
+                    "the kernel code cache is module-global"
                 ),
                 "event_sparse": sparse_stats,
                 "contended": contended_stats,
             },
+        },
+        "multi_cell": {
+            "note": (
+                "N homogeneous single-FG seed-batch machines: per-machine "
+                "batch loop vs one fused MultiCell driver "
+                "(repro.sim.vector), as cells x ticks per second; "
+                "noisy_stock shows the divergent regime where constant "
+                "peel-offs make vector lose to batch (reported, no floor)"
+            ),
+            "numpy": numpy_available(),
+            "ticks": MULTI_CELL_TICKS,
+            "reps": MULTI_CELL_REPS,
+            "long_phase": long_phase,
+            "noisy_stock": noisy_stock,
         },
         "sweep": {
             "mixes": list(SWEEP_MIXES),
@@ -305,6 +441,11 @@ def check_floors(artifact: dict) -> None:
     assert backends["end_to_end_dirigent"]["speedup"] >= 1.5, (
         backends["end_to_end_dirigent"]
     )
+    multi = artifact["multi_cell"]
+    if multi["numpy"]:
+        assert multi["long_phase"]["n64"]["speedup"] >= 5.0, (
+            multi["long_phase"]["n64"]
+        )
 
 
 def test_bench_harness_artifact():

@@ -8,7 +8,12 @@ integration point on the simulated substrate:
 * :class:`ClusterNode` — one node running a mix under a policy (a
   wrapped :class:`repro.experiments.harness.PolicySession`);
 * :class:`Cluster` — steps many nodes in lockstep and aggregates FG
-  success and batch throughput cluster-wide;
+  success and batch throughput cluster-wide; with ``vectorized=True``
+  the nodes advance through one multi-cell structure-of-arrays driver
+  (:func:`repro.experiments.harness.drive_sessions_vectorized`), so
+  nodes whose simulated state coincides fuse into cell-axis kernels —
+  node results are bit-identical either way, because nodes share no
+  simulated state and the vector driver is bit-exact per machine;
 * :class:`ReservationDispatcher` — admission control that places FG task
   streams onto nodes using the tail reservations of their measured
   completion-time distributions (:mod:`repro.sched`), the hand-off a
@@ -22,10 +27,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.policies import Policy
 from repro.errors import ExperimentError
-from repro.experiments.harness import PolicySession, RunResult
+from repro.experiments.harness import (
+    PolicySession,
+    RunResult,
+    drive_sessions_vectorized,
+)
 from repro.experiments.mixes import Mix
 from repro.sched.reservation import ReservationScheduler, TaskStream
 from repro.sim.config import MachineConfig
+from repro.sim.spanplan import SpanStats
 
 
 class ClusterNode:
@@ -81,15 +91,29 @@ class ClusterResult:
 
 
 class Cluster:
-    """A set of nodes driven in lockstep."""
+    """A set of nodes driven in lockstep.
 
-    def __init__(self, nodes: Sequence[ClusterNode]) -> None:
+    ``vectorized=True`` opts the run into the multi-cell
+    structure-of-arrays driver: all unfinished nodes advance together
+    in block-tick lockstep, and nodes whose simulated state coincides
+    (e.g. replicas of the same mix/policy at different seeds) fuse into
+    cell-axis kernels.  Nodes share no simulated state, so the result
+    of every node — and therefore of the cluster — is bit-identical to
+    the per-tick default; :attr:`vector_stats` exposes the driver's
+    fusion counters after a vectorized run.
+    """
+
+    def __init__(
+        self, nodes: Sequence[ClusterNode], vectorized: bool = False
+    ) -> None:
         if not nodes:
             raise ExperimentError("cluster needs at least one node")
         names = [node.name for node in nodes]
         if len(set(names)) != len(names):
             raise ExperimentError("node names must be unique")
         self._nodes = list(nodes)
+        self._vectorized = vectorized
+        self.vector_stats: Optional[SpanStats] = None
 
     @property
     def nodes(self) -> List[ClusterNode]:
@@ -98,11 +122,17 @@ class Cluster:
 
     def run(self) -> ClusterResult:
         """Step all nodes until each finished its executions."""
-        pending = list(self._nodes)
-        while pending:
-            for node in pending:
-                node.tick()
-            pending = [node for node in pending if not node.done]
+        if self._vectorized:
+            driver = drive_sessions_vectorized(
+                [node.session for node in self._nodes]
+            )
+            self.vector_stats = driver.stats
+        else:
+            pending = list(self._nodes)
+            while pending:
+                for node in pending:
+                    node.tick()
+                pending = [node for node in pending if not node.done]
         results = {node.name: node.result() for node in self._nodes}
         met = 0
         total = 0

@@ -32,6 +32,18 @@ rather than re-deserializing them from the disk cache per cell.  Packing
 changes scheduling only, never results.  ``REPRO_PACK_CELLS`` overrides
 the per-pack cell cap.
 
+With ``seeds`` the grid grows a Monte-Carlo axis — every
+(mix, policy, seed) combination is a cell — and lane packing
+generalizes to **machine packing**: under the vector backend
+(``REPRO_SIM_BACKEND=vector``) packs group by (mix, policy) so each
+worker advances a whole seed batch through one
+:class:`~repro.sim.vector.MultiCell` driver
+(:func:`~repro.experiments.harness.run_policy_batch`), fusing agreeing
+cells into cell-axis kernels; ``REPRO_VECTOR_CELLS`` caps the machines
+per kernel inside the driver.  Machine packing, like lane packing,
+changes scheduling only — per-cell results stay bit-identical to
+serial single-seed runs and share the same disk-cache entries.
+
 The engine degrades rather than dies: a pool that cannot be created (or
 collapses during the prepare phase) falls back to the serial path with
 the cause logged and recorded in :attr:`SweepResult.fallback_reason`;
@@ -61,9 +73,11 @@ from repro.experiments.harness import (
     find_static_partition,
     get_profile,
     measure_baseline,
+    run_policy_batch,
     run_policy_cached,
 )
 from repro.experiments.mixes import Mix
+from repro.sim.batch import BACKEND_VECTOR, resolve_backend
 from repro.sim.config import (
     ENV_CELL_TIMEOUT_S,
     ENV_PACK_CELLS,
@@ -103,7 +117,9 @@ class SweepResult:
     """Outcome of one grid sweep.
 
     Attributes:
-        results: RunResult per ``(mix.name, policy.name)`` cell.
+        results: RunResult per ``(mix.name, policy.name)`` cell — or
+            per ``(mix.name, policy.name, seed)`` when the sweep ran
+            with an explicit ``seeds`` axis.
         cell_timings: Wall-clock seconds spent producing each cell
             (near zero for cache hits).
         prepare_timings: Wall-clock seconds of each mix's prepare phase
@@ -123,8 +139,8 @@ class SweepResult:
             instead (None for healthy sweeps).
     """
 
-    results: Dict[Tuple[str, str], RunResult] = field(default_factory=dict)
-    cell_timings: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    results: Dict[Tuple, RunResult] = field(default_factory=dict)
+    cell_timings: Dict[Tuple, float] = field(default_factory=dict)
     prepare_timings: Dict[str, float] = field(default_factory=dict)
     workers: int = 1
     mode: str = "serial"
@@ -135,9 +151,13 @@ class SweepResult:
     failures: List[Tuple[str, str, str]] = field(default_factory=list)
     fallback_reason: Optional[str] = None
 
-    def get(self, mix: Mix, policy: Policy) -> RunResult:
-        """The cached cell for ``(mix, policy)``."""
-        return self.results[(mix.name, policy.name)]
+    def get(
+        self, mix: Mix, policy: Policy, seed: Optional[int] = None
+    ) -> RunResult:
+        """The cached cell for ``(mix, policy)`` (or one of its seeds)."""
+        if seed is None:
+            return self.results[(mix.name, policy.name)]
+        return self.results[(mix.name, policy.name, seed)]
 
 
 def _prepare_cell(args: Tuple) -> Tuple[str, float]:
@@ -154,9 +174,9 @@ def _prepare_cell(args: Tuple) -> Tuple[str, float]:
     return mix.name, time.perf_counter() - start
 
 
-def _policy_cell(args: Tuple) -> Tuple[str, str, RunResult, float]:
-    """Worker: run one (mix, policy) cell (phase 2)."""
-    mix, policy, executions, warmup, config, seed = args
+def _policy_cell(args: Tuple) -> Tuple[Tuple, RunResult, float]:
+    """Worker: run one (mix, policy, seed) cell (phase 2)."""
+    mix, policy, executions, warmup, config, seed, key = args
     start = time.perf_counter()
     result = run_policy_cached(
         mix,
@@ -166,36 +186,80 @@ def _policy_cell(args: Tuple) -> Tuple[str, str, RunResult, float]:
         config=config,
         seed=seed,
     )
-    return mix.name, policy.name, result, time.perf_counter() - start
+    return key, result, time.perf_counter() - start
 
 
-def _run_pack(pack: List[Tuple]) -> List[Tuple[str, str, RunResult, float]]:
+def _seed_groups(pack: List[Tuple]) -> List[List[Tuple]]:
+    """Split a pack into runs of cells identical up to the seed."""
+    groups: List[List[Tuple]] = []
+    signature = None
+    for cell in pack:
+        sig = (cell[0].name, cell[1], cell[2], cell[3], cell[4])
+        if groups and sig == signature:
+            groups[-1].append(cell)
+        else:
+            groups.append([cell])
+            signature = sig
+    return groups
+
+
+def _run_pack(pack: List[Tuple]) -> List[Tuple[Tuple, RunResult, float]]:
     """Worker: run a lane pack of cells back to back.
 
     Cells in a pack share a mix, so after the first cell the worker's
     in-process caches hold the mix's profile, baseline, and partition;
-    the remaining cells skip the disk-cache round trips entirely.  Each
-    cell is still computed by :func:`_policy_cell`, so results are
-    byte-identical to unpacked dispatch.
+    the remaining cells skip the disk-cache round trips entirely.
+    Consecutive cells that differ only in their seed (a machine pack)
+    advance as one :func:`~repro.experiments.harness.run_policy_batch`
+    seed batch — under the vector backend that is a fused MultiCell
+    drive; under the others it degrades to the serial per-seed loop.
+    Either way each cell's result is byte-identical to unpacked
+    dispatch and lands in the same disk-cache entry.
     """
-    return [_policy_cell(cell) for cell in pack]
+    out: List[Tuple[Tuple, RunResult, float]] = []
+    for group in _seed_groups(pack):
+        if len(group) < 2:
+            out.append(_policy_cell(group[0]))
+            continue
+        mix, policy, executions, warmup, config = group[0][:5]
+        seeds = [cell[5] for cell in group]
+        start = time.perf_counter()
+        batch = run_policy_batch(
+            mix,
+            policy,
+            executions=executions,
+            warmup=warmup,
+            config=config,
+            seeds=seeds,
+        )
+        spent = (time.perf_counter() - start) / len(group)
+        out.extend(
+            (cell[6], result, spent) for cell, result in zip(group, batch)
+        )
+    return out
 
 
-def _pack_cells(cells: List[Tuple], workers: int) -> List[List[Tuple]]:
+def _pack_cells(
+    cells: List[Tuple], workers: int, by_policy: bool = False
+) -> List[List[Tuple]]:
     """Group cells into per-mix packs of at most K cells.
 
     K defaults to an even split of the grid over the workers (so packing
     never *reduces* parallelism when there are spare workers) and can be
-    pinned with ``REPRO_PACK_CELLS``.
+    pinned with ``REPRO_PACK_CELLS``.  With ``by_policy`` (a seeded
+    sweep under the vector backend) packs group by (mix, policy)
+    instead of by mix alone, so each pack is a seed batch the worker
+    can advance through one MultiCell driver — machine packing.
     """
     cap = env_pack_cells() or 0
     if cap < 1:
         cap = max(1, -(-len(cells) // max(1, workers)))
-    by_mix: Dict[str, List[Tuple]] = {}
+    by_group: Dict[Tuple, List[Tuple]] = {}
     for cell in cells:
-        by_mix.setdefault(cell[0].name, []).append(cell)
+        key = (cell[0].name, cell[1].name) if by_policy else (cell[0].name,)
+        by_group.setdefault(key, []).append(cell)
     packs: List[List[Tuple]] = []
-    for group in by_mix.values():
+    for group in by_group.values():
         for index in range(0, len(group), cap):
             packs.append(group[index:index + cap])
     return packs
@@ -209,16 +273,22 @@ def run_grid(
     config: Optional[MachineConfig] = None,
     seed: int = 0,
     workers: Optional[int] = None,
+    seeds: Optional[Sequence[int]] = None,
 ) -> SweepResult:
-    """Run every mix x policy cell, in parallel when workers allow.
+    """Run every mix x policy (x seed) cell, in parallel when possible.
 
-    Results are keyed by ``(mix.name, policy.name)`` and are identical
-    to running :func:`repro.experiments.harness.run_policy` serially in
-    any order: per-cell RNG seeding depends only on the cell, and cells
-    coordinate only through the content-addressed disk cache.
+    Results are keyed by ``(mix.name, policy.name)`` — or
+    ``(mix.name, policy.name, seed)`` when an explicit ``seeds`` axis
+    is given — and are identical to running
+    :func:`repro.experiments.harness.run_policy` serially in any order:
+    per-cell RNG seeding depends only on the cell, and cells coordinate
+    only through the content-addressed disk cache.
 
     ``executions`` defaults from ``REPRO_EXECUTIONS`` (resolved here,
-    once, so every fanned-out cell sees the same value).
+    once, so every fanned-out cell sees the same value).  ``seeds``
+    turns the sweep into a Monte-Carlo grid; under the vector backend
+    the per-(mix, policy) seed batches advance through fused MultiCell
+    drivers (see the module docstring).
     """
     if executions is None:
         executions = default_executions()
@@ -226,15 +296,26 @@ def run_grid(
     if workers is None:
         workers = default_workers()
     workers = max(1, workers)
-    cells = [
-        (mix, policy, executions, warmup, config, seed)
-        for mix in mixes
-        for policy in policies
-    ]
+    seeded = seeds is not None
+    seed_list = list(seeds) if seeded else [seed]
+    cells = []
+    for mix in mixes:
+        for policy in policies:
+            for cell_seed in seed_list:
+                key = (
+                    (mix.name, policy.name, cell_seed) if seeded
+                    else (mix.name, policy.name)
+                )
+                cells.append(
+                    (mix, policy, executions, warmup, config, cell_seed,
+                     key)
+                )
+    by_policy = seeded and resolve_backend() == BACKEND_VECTOR
     start = time.perf_counter()
     sweep = SweepResult(workers=workers)
     if workers > 1 and len(cells) > 1:
-        lost = _run_parallel(sweep, mixes, policies, cells, workers)
+        lost = _run_parallel(sweep, mixes, policies, cells, workers,
+                             by_policy)
         if lost is not None:
             sweep.mode = "parallel"
             _retry_lost_cells(sweep, lost)
@@ -246,10 +327,10 @@ def run_grid(
                             fallback_reason=sweep.fallback_reason)
     sweep.mode = "serial"
     sweep.workers = 1
-    for cell in cells:
-        mix_name, policy_name, result, spent = _policy_cell(cell)
-        sweep.results[(mix_name, policy_name)] = result
-        sweep.cell_timings[(mix_name, policy_name)] = spent
+    for pack in _pack_cells(cells, 1, by_policy):
+        for key, result, spent in _run_pack(pack):
+            sweep.results[key] = result
+            sweep.cell_timings[key] = spent
     sweep.elapsed_s = time.perf_counter() - start
     return sweep
 
@@ -266,7 +347,7 @@ def _retry_lost_cells(sweep: SweepResult, cells: List[Tuple]) -> None:
     for cell in cells:
         mix, policy = cell[0], cell[1]
         try:
-            mix_name, policy_name, result, spent = _policy_cell(cell)
+            key, result, spent = _policy_cell(cell)
         except Exception as exc:  # surface, don't abort the sweep
             reason = "%s: %s" % (type(exc).__name__, exc)
             _log.warning("sweep cell (%s, %s) failed on serial retry: %s",
@@ -275,8 +356,8 @@ def _retry_lost_cells(sweep: SweepResult, cells: List[Tuple]) -> None:
             sweep.failures.append((mix.name, policy.name, reason))
             continue
         sweep.retried += 1
-        sweep.results[(mix_name, policy_name)] = result
-        sweep.cell_timings[(mix_name, policy_name)] = spent
+        sweep.results[key] = result
+        sweep.cell_timings[key] = spent
 
 
 def _run_parallel(
@@ -285,6 +366,7 @@ def _run_parallel(
     policies: Sequence[Policy],
     cells: List[Tuple],
     workers: int,
+    by_policy: bool = False,
 ) -> Optional[List[Tuple]]:
     """Execute the two-phase fan-out.
 
@@ -296,16 +378,24 @@ def _run_parallel(
     cause logged and recorded in ``sweep.fallback_reason``; the sweep
     is still fully computable in-process.
     """
-    executions, warmup, config, seed = cells[0][2:]
+    executions, warmup, config = cells[0][2:5]
     needs_prepare = any(
         p.uses_runtime or p.static_partition or not _is_baseline(p)
         for p in policies
     )
-    prepare_args = [
-        (mix, tuple(policies), executions, warmup, config, seed)
-        for mix in mixes
-    ]
-    packs = _pack_cells(cells, workers)
+    # One prepare cell per distinct (mix, seed) — with a seeds axis the
+    # Baseline/partition prerequisites are per-seed too.
+    seen_prepare = set()
+    prepare_args = []
+    for cell in cells:
+        pair = (cell[0].name, cell[5])
+        if pair not in seen_prepare:
+            seen_prepare.add(pair)
+            prepare_args.append(
+                (cell[0], tuple(policies), executions, warmup, config,
+                 cell[5])
+            )
+    packs = _pack_cells(cells, workers, by_policy)
     timeout_s = env_cell_timeout_s()
     timed_out = False
     try:
@@ -360,9 +450,9 @@ def _run_parallel(
                 pool_broken = True
                 lost.extend(pack)
             else:
-                for mix_name, policy_name, result, spent in pack_results:
-                    sweep.results[(mix_name, policy_name)] = result
-                    sweep.cell_timings[(mix_name, policy_name)] = spent
+                for key, result, spent in pack_results:
+                    sweep.results[key] = result
+                    sweep.cell_timings[key] = spent
         return lost
     finally:
         # A timed-out worker may still be running; abandon it rather

@@ -68,8 +68,14 @@ BACKEND_SCALAR = "scalar"
 #: Run-to-next-event batch engine (this module).
 BACKEND_BATCH = "batch"
 
+#: Multi-cell structure-of-arrays backend (:mod:`repro.sim.vector`).
+#: A single machine under this backend advances through its batch
+#: engine (bit-identical); the fused cell-axis kernels engage when a
+#: :class:`repro.sim.vector.MultiCell` drives many machines at once.
+BACKEND_VECTOR = "vector"
+
 #: All recognized backends.
-BACKENDS = (BACKEND_SCALAR, BACKEND_BATCH)
+BACKENDS = (BACKEND_SCALAR, BACKEND_BATCH, BACKEND_VECTOR)
 
 # ENV_BACKEND (re-exported from repro.sim.config) selects the backend.
 

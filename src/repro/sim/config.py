@@ -164,8 +164,14 @@ ENV_WORKERS = "REPRO_WORKERS"
 #: Cap on cells per lane pack in the parallel sweep engine.
 ENV_PACK_CELLS = "REPRO_PACK_CELLS"
 
-#: Simulation backend selector (``scalar`` or ``batch``).
+#: Simulation backend selector (``scalar``, ``batch``, or ``vector``).
 ENV_BACKEND = "REPRO_SIM_BACKEND"
+
+#: Cap on machines fused per vector-kernel call (multi-cell backend).
+ENV_VECTOR_CELLS = "REPRO_VECTOR_CELLS"
+
+#: Multi-cell numpy kill switch (``0``/``off``/``false`` disables).
+ENV_VECTOR_NUMPY = "REPRO_VECTOR_NUMPY"
 
 #: Span-compilation kill switch (``0``/``off``/``false`` disables).
 ENV_SPAN_COMPILE = "REPRO_SPAN_COMPILE"
@@ -241,6 +247,21 @@ KNOBS: Tuple[EnvKnob, ...] = (
     EnvKnob(
         ENV_SPAN_COMPILE, "span_compile_enabled", "flag", "1", None,
         "Span-compiled kernel kill switch (bit-identical either way).",
+    ),
+    EnvKnob(
+        # Scheduling-only: the cap changes how many machines share one
+        # fused kernel call, never what any machine computes — fused and
+        # per-machine advancement are bit-identical, pinned by
+        # tests/sim/test_vector_equivalence.py.
+        ENV_VECTOR_CELLS, "env_vector_cells", "int", "unlimited", None,
+        "Machines fused per vector kernel call (scheduling only).",
+    ),
+    EnvKnob(
+        # Result-neutral: without numpy the vector backend advances each
+        # cell through its own batch engine, which the equivalence suite
+        # pins bit-identical to the fused path.
+        ENV_VECTOR_NUMPY, "vector_numpy_enabled", "flag", "1", None,
+        "Multi-cell numpy kill switch (bit-identical either way).",
     ),
     EnvKnob(
         ENV_CACHE_DIR, "cache_dir", "path", DEFAULT_CACHE_DIR, None,
@@ -327,6 +348,37 @@ def env_backend() -> Optional[str]:
     cache key folds in.
     """
     return os.environ.get(ENV_BACKEND) or None
+
+
+def env_vector_cells() -> Optional[int]:
+    """``REPRO_VECTOR_CELLS`` as a positive int, or None when unset.
+
+    None means "no cap" (every lockstep group fuses whole).  Invalid
+    values degrade to None rather than failing a run over a typo; the
+    knob only affects scheduling — fused and per-machine advancement
+    are bit-identical.
+    """
+    raw = os.environ.get(ENV_VECTOR_CELLS)
+    if not raw:
+        return None
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return None
+
+
+def vector_numpy_enabled() -> bool:
+    """True unless ``REPRO_VECTOR_NUMPY`` disables the fused numpy path.
+
+    Recognized off-values are ``0``, ``off``, and ``false``
+    (case-insensitive); anything else — including unset — enables the
+    fused structure-of-arrays kernels when numpy is importable.  With
+    the switch off (or numpy missing) the vector backend advances each
+    cell through its own batch engine, which is bit-identical, so this
+    knob is result-neutral.
+    """
+    flag = os.environ.get(ENV_VECTOR_NUMPY, "").strip().lower()
+    return flag not in ("0", "off", "false")
 
 
 def span_compile_enabled() -> bool:

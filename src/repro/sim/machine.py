@@ -12,7 +12,7 @@ import math
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.sim.batch import BACKEND_BATCH, BatchEngine, resolve_backend
+from repro.sim.batch import BACKEND_SCALAR, BatchEngine, resolve_backend
 from repro.sim.cache import SharedCache
 from repro.sim.config import MachineConfig
 from repro.sim.counters import CounterBank, CounterSnapshot
@@ -35,10 +35,14 @@ class Machine:
         backend: Optional[str] = None,
     ) -> None:
         self.config = config or MachineConfig()
-        #: Active simulation backend ("scalar" or "batch"); resolved from
-        #: the ``backend`` argument, then ``REPRO_SIM_BACKEND``, then the
-        #: default.  Only affects how ``run_ticks`` advances the machine;
-        #: ``tick()`` is always the scalar reference kernel.
+        #: Active simulation backend ("scalar", "batch", or "vector");
+        #: resolved from the ``backend`` argument, then
+        #: ``REPRO_SIM_BACKEND``, then the default.  Only affects how
+        #: ``run_ticks`` advances the machine; ``tick()`` is always the
+        #: scalar reference kernel.  A lone vector-backend machine
+        #: advances through its batch engine (bit-identical); the fused
+        #: cell-axis kernels engage when a
+        #: :class:`repro.sim.vector.MultiCell` drives many machines.
         self.backend = resolve_backend(backend)
         self.clock = VirtualClock(self.config.tick_s)
         self._timer_rng = derive_rng(self.config.seed, "timer")
@@ -89,7 +93,7 @@ class Machine:
         self._ips_prev: List[float] = [0.0] * self.config.num_cores
         self._energy = None  # optional EnergyModel
         self._batch_engine = (
-            BatchEngine(self) if self.backend == BACKEND_BATCH else None
+            None if self.backend == BACKEND_SCALAR else BatchEngine(self)
         )
         # Cached process-list views, invalidated on spawn (the runtime
         # reads these every fine interval; rebuilding them per access

@@ -33,22 +33,35 @@ def _violation_messages(source):
             for violation in audit_kernel_source(source)]
 
 
+def _shape_id(shape):
+    """Readable test id for both machine-span and cell-axis shapes."""
+    if shape[0] == "cell":
+        return "cell-lanes%d-snap%d-g%d" % (
+            len(shape[2]), shape[5], len(shape[7])
+        )
+    return "lanes%d-j%d-s%d-e%d-st%d" % (
+        len(shape[1]), shape[4], shape[5], shape[8], shape[9]
+    )
+
+
+def _machine_shapes():
+    return [s for s in spanplan.template_shapes() if s[0] != "cell"]
+
+
+def _cell_shapes():
+    return [s for s in spanplan.template_shapes() if s[0] == "cell"]
+
+
 class TestTemplatesConform:
     @pytest.mark.parametrize(
-        "shape", spanplan.template_shapes(),
-        ids=lambda shape: "lanes%d-j%d-s%d-e%d-st%d" % (
-            len(shape[1]), shape[4], shape[5], shape[8], shape[9]
-        ),
+        "shape", spanplan.template_shapes(), ids=_shape_id,
     )
     def test_template_generates_clean_source(self, shape):
         source = spanplan.generate_kernel_source(shape)
         assert audit_kernel_source(source) == []
 
     @pytest.mark.parametrize(
-        "shape", spanplan.template_shapes(),
-        ids=lambda shape: "lanes%d-j%d-s%d-e%d-st%d" % (
-            len(shape[1]), shape[4], shape[5], shape[8], shape[9]
-        ),
+        "shape", spanplan.template_shapes(), ids=_shape_id,
     )
     def test_template_compiles_without_builtins(self, shape):
         source = spanplan.generate_kernel_source(shape)
@@ -57,13 +70,29 @@ class TestTemplatesConform:
         assert callable(namespace["_factory"])
 
     def test_templates_cover_both_memo_modes(self):
-        jitters = {shape[4] for shape in spanplan.template_shapes()}
+        jitters = {shape[4] for shape in _machine_shapes()}
         assert jitters == {True, False}
 
     def test_templates_cover_stolen_and_energy(self):
-        shapes = spanplan.template_shapes()
+        shapes = _machine_shapes()
         assert {shape[9] for shape in shapes} == {True, False}
         assert {shape[8] for shape in shapes} == {True, False}
+
+    def test_cell_templates_cover_snap_and_guard_modes(self):
+        shapes = _cell_shapes()
+        assert shapes, "template matrix must include cell-axis shapes"
+        assert {shape[5] for shape in shapes} == {True, False}
+        assert any(shape[7] for shape in shapes)
+        assert any(not shape[7] for shape in shapes)
+
+    def test_cell_templates_never_carry_entropy_axes(self):
+        # Cell-axis kernels are jitter-free, energy-free, stolen-free
+        # by construction: their shape tuple has no such axes at all,
+        # and the generated source must not draw randomness.
+        for shape in _cell_shapes():
+            source = spanplan.generate_kernel_source(shape)
+            assert "rnd_" not in source
+            assert "acc_e" not in source
 
 
 class TestLiveKernelsConform:
