@@ -9,16 +9,18 @@ along and emits ``BENCH_harness.json`` at the repository root:
 2. **Backends**: scalar reference kernel vs the event-horizon batch
    engine (``repro.sim.batch``), as ticks/s on an event-sparse workload
    (single FG, no BG, jitter off — long stationary spans) and on the
-   standard contended 'ferret rs' mix, plus an end-to-end Dirigent
-   ``run_policy`` wall-clock under each backend.
+   contended 'ferret rs' mix — noise-free (the solver-bound regime the
+   tabulated fast path targets) and under the default noise config —
+   plus an end-to-end Dirigent ``run_policy`` wall-clock under each
+   backend.
 3. **Multi-cell vector driver**: cell-ticks/s of N homogeneous
    single-FG machines advanced per-machine (batch engines) vs fused
    through one :class:`repro.sim.vector.MultiCell`, at
    N in {1, 16, 64, 256} — a noise-free seed batch with
    execution-scale phases (the floor workload) and the noisy stock
-   ferret batch (reported with its peel counters, no floor: short
-   noisy phases trip fused spans constantly, which is exactly when
-   vector loses to batch).
+   ferret batch, where per-cell completions trip fused spans
+   constantly; partial peels evict only the tripped cells, so the
+   fused group survives and the floor is parity vs batch.
 4. **Sweep engine + persistent cache**: wall-clock of a 3-mix x
    2-policy figure sweep — serial with cold caches, 4-worker parallel
    with cold caches, and 4-worker parallel with a warm disk cache.
@@ -96,7 +98,25 @@ def _sparse_machine(backend: str) -> Machine:
 
 
 def _contended_machine(backend: str) -> Machine:
-    """The standard contended mix (1 FG + 5 BG, default noise)."""
+    """The contended mix (1 FG + 5 BG), noise-free.
+
+    This is the solver-bound regime the tabulated fast path targets:
+    every tick runs the full coupled model (6 lanes, occupancy moving
+    every tick), and with jitter off the clone-lane dedup and exact
+    tabulation apply.  The jittered variant is measured separately as
+    ``contended_noisy`` — mandatory per-tick Box-Muller draws bound
+    what any bit-exact kernel can save there.
+    """
+    machine = Machine(SPARSE_CONFIG, backend=backend)
+    machine.spawn(get_workload("ferret"), core=0, nice=-5)
+    for core in range(1, machine.config.num_cores):
+        machine.spawn(get_workload("rs"), core=core, nice=5)
+    machine.settle_cache()
+    return machine
+
+
+def _contended_noisy_machine(backend: str) -> Machine:
+    """The contended mix (1 FG + 5 BG) under the default noise config."""
     machine = Machine(MachineConfig(), backend=backend)
     machine.spawn(get_workload("ferret"), core=0, nice=-5)
     for core in range(1, machine.config.num_cores):
@@ -208,7 +228,7 @@ def _multi_cell_rates(spec, cells: int):
         stats = driver.stats
     keep = (
         "vector_spans", "cells_per_span", "vector_ticks", "vector_peels",
-        "plan_builds", "plan_reuses",
+        "partial_peels", "plan_builds", "plan_reuses",
     )
     stat_dict = {key: stats.as_dict()[key] for key in keep}
     return batch_best, vector_best, stat_dict
@@ -268,8 +288,13 @@ def run_benchmark() -> dict:
     contended_batch, contended_stats = _backend_rate(
         _contended_machine, BACKEND_BATCH
     )
+    noisy_scalar, _ = _backend_rate(_contended_noisy_machine, BACKEND_SCALAR)
+    noisy_batch_r, noisy_contended_stats = _backend_rate(
+        _contended_noisy_machine, BACKEND_BATCH
+    )
     sparse_speedup = sparse_batch / sparse_scalar
     contended_speedup = contended_batch / contended_scalar
+    noisy_contended_speedup = noisy_batch_r / noisy_scalar
     e2e_scalar_s = _end_to_end_s(BACKEND_SCALAR)
     e2e_batch_s = _end_to_end_s(BACKEND_BATCH)
 
@@ -359,10 +384,21 @@ def run_benchmark() -> dict:
                 "speedup": round(sparse_speedup, 3),
             },
             "contended": {
-                "workload": "ferret rs (1 FG + 5 BG), default config",
+                "workload": "ferret rs (1 FG + 5 BG), jitter off",
                 "scalar_ticks_per_s": round(contended_scalar, 2),
                 "batch_ticks_per_s": round(contended_batch, 2),
                 "speedup": round(contended_speedup, 3),
+            },
+            "contended_noisy": {
+                "workload": "ferret rs (1 FG + 5 BG), default config",
+                "scalar_ticks_per_s": round(noisy_scalar, 2),
+                "batch_ticks_per_s": round(noisy_batch_r, 2),
+                "speedup": round(noisy_contended_speedup, 3),
+                "note": (
+                    "per-tick Box-Muller jitter draws are mandatory in "
+                    "both backends, which bounds the bit-exact speedup "
+                    "well below the noise-free contended number"
+                ),
             },
             "end_to_end_dirigent": {
                 "workload": "run_policy('ferret rs', DIRIGENT), cold caches",
@@ -379,6 +415,7 @@ def run_benchmark() -> dict:
                 ),
                 "event_sparse": sparse_stats,
                 "contended": contended_stats,
+                "contended_noisy": noisy_contended_stats,
             },
         },
         "multi_cell": {
@@ -386,8 +423,9 @@ def run_benchmark() -> dict:
                 "N homogeneous single-FG seed-batch machines: per-machine "
                 "batch loop vs one fused MultiCell driver "
                 "(repro.sim.vector), as cells x ticks per second; "
-                "noisy_stock shows the divergent regime where constant "
-                "peel-offs make vector lose to batch (reported, no floor)"
+                "noisy_stock is the divergent regime — partial peels "
+                "evict only tripped cells, so the fused group survives "
+                "per-cell completions (floor: parity vs batch)"
             ),
             "numpy": numpy_available(),
             "ticks": MULTI_CELL_TICKS,
@@ -437,14 +475,25 @@ def check_floors(artifact: dict) -> None:
     assert backends["event_sparse"]["speedup"] >= 3.0, (
         backends["event_sparse"]
     )
-    assert backends["contended"]["speedup"] >= 2.0, backends["contended"]
+    assert backends["contended"]["speedup"] >= 5.0, backends["contended"]
+    assert backends["contended_noisy"]["speedup"] >= 2.0, (
+        backends["contended_noisy"]
+    )
     assert backends["end_to_end_dirigent"]["speedup"] >= 1.5, (
         backends["end_to_end_dirigent"]
     )
+    fast_path = backends["fast_path"]
+    for counter in ("table_hits", "table_builds", "rho_iterations"):
+        assert fast_path["contended"][counter] > 0, (counter, fast_path)
+    assert fast_path["event_sparse"]["rho_warm_hits"] > 0, fast_path
     multi = artifact["multi_cell"]
     if multi["numpy"]:
         assert multi["long_phase"]["n64"]["speedup"] >= 5.0, (
             multi["long_phase"]["n64"]
+        )
+        assert multi["noisy_stock"]["speedup"] >= 1.0, multi["noisy_stock"]
+        assert multi["noisy_stock"]["stats"]["partial_peels"] > 0, (
+            multi["noisy_stock"]
         )
 
 

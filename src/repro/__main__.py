@@ -152,8 +152,18 @@ def _run_bench(args) -> int:
           % backends["event_sparse"]["speedup"])
     print("contended batch/scalar:        %.3fx"
           % backends["contended"]["speedup"])
+    print("contended-noisy batch/scalar:  %.3fx"
+          % backends["contended_noisy"]["speedup"])
     print("end-to-end Dirigent:           %.3fx"
           % backends["end_to_end_dirigent"]["speedup"])
+    solver = backends["fast_path"]["contended"]
+    print("contended solver: %d rho iterations, %d warm hits, "
+          "%d table hits / %d builds"
+          % (solver["rho_iterations"], solver["rho_warm_hits"],
+             solver["table_hits"], solver["table_builds"]))
+    noisy = artifact["multi_cell"]["noisy_stock"]
+    print("noisy multi-cell vector/batch: %.3fx (%d partial peels)"
+          % (noisy["speedup"], noisy["stats"]["partial_peels"]))
     print("sweep speedup (warm cache):    %.3fx"
           % artifact["sweep"]["speedup_vs_pre_pr_serial_warm"])
     if args.skip_floors:

@@ -249,13 +249,11 @@ class BatchEngine:
             plan = planner.plan_for_span()
             if plan is not None:
                 stats.compiled_spans += 1
-                if any(self._m._stolen_s):
-                    # Overhead is only charged during callbacks, which
-                    # never run mid-span, so exactly the span's first
-                    # tick carries stolen time: the stolen variant peels
-                    # that tick and charges it scalar-style.
-                    return plan.run(span, plan.kernel_stolen)
-                return plan.run(span)
+                # Overhead is only charged during callbacks, which never
+                # run mid-span, so exactly the span's first tick carries
+                # stolen time: the stolen kernel variants peel that tick
+                # and charge it scalar-style.
+                return plan.run(span, any(self._m._stolen_s))
         stats.generic_spans += 1
         return self._run_span(span)
 

@@ -176,6 +176,10 @@ ENV_VECTOR_NUMPY = "REPRO_VECTOR_NUMPY"
 #: Span-compilation kill switch (``0``/``off``/``false`` disables).
 ENV_SPAN_COMPILE = "REPRO_SPAN_COMPILE"
 
+#: Exact-solver tabulation kill switch (``0``/``off``/``false`` disables
+#: the miss-curve/penalty tables and the clone-lane dedup kernels).
+ENV_MISSCURVE_TABLE = "REPRO_MISSCURVE_TABLE"
+
 #: Root directory of the persistent result cache.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
@@ -247,6 +251,16 @@ KNOBS: Tuple[EnvKnob, ...] = (
     EnvKnob(
         ENV_SPAN_COMPILE, "span_compile_enabled", "flag", "1", None,
         "Span-compiled kernel kill switch (bit-identical either way).",
+    ),
+    EnvKnob(
+        # Result-neutral: the tables serve exact-key lookups of pure
+        # float computations and the clone-dedup kernels only fold
+        # lanes whose inputs compare bit-equal, so every tabulated
+        # value is bit-identical to the direct computation — pinned by
+        # tests/sim/test_solver_tables.py and the scalar/batch/vector
+        # equivalence suites with the knob both on and off.
+        ENV_MISSCURVE_TABLE, "misscurve_table_enabled", "flag", "1", None,
+        "Exact solver tabulation kill switch (bit-identical either way).",
     ),
     EnvKnob(
         # Scheduling-only: the cap changes how many machines share one
@@ -390,6 +404,20 @@ def span_compile_enabled() -> bool:
     kernel, so this knob is result-neutral.
     """
     flag = os.environ.get(ENV_SPAN_COMPILE, "").strip().lower()
+    return flag not in ("0", "off", "false")
+
+
+def misscurve_table_enabled() -> bool:
+    """True unless ``REPRO_MISSCURVE_TABLE`` disables solver tabulation.
+
+    Recognized off-values are ``0``, ``off``, and ``false``
+    (case-insensitive); anything else — including unset — enables the
+    exact miss-curve/penalty tables in :mod:`repro.sim.perf` and the
+    clone-lane dedup kernels in :mod:`repro.sim.spanplan`.  Both serve
+    only exact-key lookups of pure float computations, so results are
+    bit-identical either way and the knob is result-neutral.
+    """
+    flag = os.environ.get(ENV_MISSCURVE_TABLE, "").strip().lower()
     return flag not in ("0", "off", "false")
 
 

@@ -20,10 +20,12 @@ point over the aggregate utilization ``rho``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import SimulationError
+from repro.sim.config import misscurve_table_enabled
 from repro.sim.memory import MemorySystem
 
 #: Fixed-point iterations over the aggregate utilization ``rho``.  Shared
@@ -100,18 +102,38 @@ def solve_tick(
     """
     if iterations < 1:
         raise SimulationError("iterations must be >= 1")
+    tabulate = misscurve_table_enabled()
     rho = max(0.0, rho_hint)
     outputs: List[PerfOutput] = []
+    converged = False
     for _ in range(iterations):
-        penalty_ns = memory.penalty_ns(rho)
-        outputs = [_evaluate_memo(entry, penalty_ns) for entry in inputs]
+        if tabulate:
+            penalty_ns = _penalty_memo(memory, rho)
+            outputs = [_evaluate_memo(entry, penalty_ns) for entry in inputs]
+        else:
+            penalty_ns = memory.penalty_ns(rho)
+            outputs = [_evaluate(entry, penalty_ns) for entry in inputs]
         total_miss_rate = sum(out.miss_rate for out in outputs)
-        rho = memory.utilization_for(total_miss_rate)
-    if refine_final:
+        new_rho = memory.utilization_for(total_miss_rate)
+        if new_rho == rho:
+            # The update left rho bit-unchanged, so every remaining
+            # iteration — and the final refinement — would re-derive the
+            # exact same penalty and outputs.  Skipping them is an
+            # identity, not an approximation; warm-started callers (the
+            # hint is last tick's converged rho) exit here on the first
+            # iteration when nothing moved.
+            converged = True
+            break
+        rho = new_rho
+    if refine_final and not converged:
         # Final evaluation at the converged utilization so outputs and
         # rho agree.
-        penalty_ns = memory.penalty_ns(rho)
-        outputs = [_evaluate_memo(entry, penalty_ns) for entry in inputs]
+        if tabulate:
+            penalty_ns = _penalty_memo(memory, rho)
+            outputs = [_evaluate_memo(entry, penalty_ns) for entry in inputs]
+        else:
+            penalty_ns = memory.penalty_ns(rho)
+            outputs = [_evaluate(entry, penalty_ns) for entry in inputs]
     return outputs, rho
 
 
@@ -160,6 +182,137 @@ def clear_evaluate_memo() -> None:
     _EVAL_MEMO.clear()
     _eval_memo_hits = 0
     _eval_memo_misses = 0
+
+
+#: Exact-key table over :meth:`MemorySystem.penalty_ns`.  The penalty is a
+#: pure function of the curve constants and the (clamped) utilization, and
+#: warm-started solves revisit the same handful of rho values, so a hit
+#: returns the bit-identical float without re-running the queueing curve.
+_PENALTY_TABLE: Dict[Tuple[float, float, float, float], float] = {}
+_PENALTY_TABLE_MAX = 4096
+_penalty_hits = 0
+_penalty_builds = 0
+
+
+def _penalty_memo(memory: MemorySystem, rho: float) -> float:
+    global _penalty_hits, _penalty_builds
+    key = (memory.base_latency_ns, memory.contention_scale, memory.rho_cap, rho)
+    pen = _PENALTY_TABLE.get(key)
+    if pen is not None:
+        _penalty_hits += 1
+        return pen
+    _penalty_builds += 1
+    pen = memory.penalty_ns(rho)
+    if len(_PENALTY_TABLE) >= _PENALTY_TABLE_MAX:
+        _PENALTY_TABLE.clear()
+    _PENALTY_TABLE[key] = pen
+    return pen
+
+
+def solver_table_stats() -> Dict[str, int]:
+    """Hit/build counters across the solver's exact tables.
+
+    ``output_*`` mirrors :func:`evaluate_memo_stats` (the PerfOutput
+    table); ``penalty_*`` counts the loaded-penalty table.  A *build* is
+    a direct evaluation that populated an entry, a *hit* an exact-key
+    lookup that skipped it.
+    """
+    return {
+        "penalty_hits": _penalty_hits,
+        "penalty_builds": _penalty_builds,
+        "penalty_entries": len(_PENALTY_TABLE),
+        "output_hits": _eval_memo_hits,
+        "output_builds": _eval_memo_misses,
+        "output_entries": len(_EVAL_MEMO),
+    }
+
+
+def clear_solver_tables() -> None:
+    """Drop every solver table and reset counters (test isolation)."""
+    global _penalty_hits, _penalty_builds
+    _PENALTY_TABLE.clear()
+    _penalty_hits = 0
+    _penalty_builds = 0
+    clear_evaluate_memo()
+
+
+class MissCurveTable:
+    """Exact per-process ``PerfOutput`` table over reachable solver states.
+
+    For one phase the model inputs are fully determined by three axes:
+    the effective LLC ways ``w`` (fixes MPKI via the miss curve
+    ``floor + delta * exp(-w / ways_scale)``), the core frequency, and
+    the utilization ``rho`` (fixes the loaded penalty).  Partitions and
+    DVFS grades are drawn from small discrete sets, so contended solves
+    revisit the same states over and over; this table keys outputs on
+    the *exact* float triple ``(ways, freq_ghz, rho)`` — never a rounded
+    bucket — which makes every lookup bit-identical to re-running
+    :meth:`MemorySystem.penalty_ns` and the evaluation, a property
+    pinned by a hypothesis suite in ``tests/sim/test_solver_tables.py``.
+
+    When ``REPRO_MISSCURVE_TABLE`` disables tabulation the table stores
+    nothing and every call falls through to the direct computation.
+    """
+
+    __slots__ = (
+        "_memory", "_freq_default", "_base_cpi", "_sens", "_jitter",
+        "_floor", "_delta", "_ways_scale", "_mpki", "_out",
+        "hits", "builds",
+    )
+
+    def __init__(
+        self,
+        memory: MemorySystem,
+        *,
+        base_cpi: float,
+        mem_sensitivity: float,
+        mpki_floor: float,
+        mpki_delta: float,
+        ways_scale: float,
+        jitter: float = 1.0,
+    ) -> None:
+        self._memory = memory
+        self._base_cpi = base_cpi
+        self._sens = mem_sensitivity
+        self._jitter = jitter
+        self._floor = mpki_floor
+        self._delta = mpki_delta
+        self._ways_scale = ways_scale
+        self._mpki: Dict[float, float] = {}
+        self._out: Dict[Tuple[float, float, float], PerfOutput] = {}
+        self.hits = 0
+        self.builds = 0
+
+    def mpki(self, ways: float) -> float:
+        """Miss curve at ``ways``, served from the exact-key table."""
+        mp = self._mpki.get(ways)
+        if mp is None:
+            # Same expression (and association) as the scalar reference
+            # and the generated span kernels.
+            mp = self._floor + self._delta * math.exp(-ways / self._ways_scale)
+            if misscurve_table_enabled():
+                self._mpki[ways] = mp
+        return mp
+
+    def output(self, ways: float, freq_ghz: float, rho: float) -> PerfOutput:
+        """Tabulated solve of one (ways, frequency, rho) state."""
+        key = (ways, freq_ghz, rho)
+        out = self._out.get(key)
+        if out is not None:
+            self.hits += 1
+            return out
+        self.builds += 1
+        entry = PerfInput(
+            freq_ghz=freq_ghz,
+            base_cpi=self._base_cpi,
+            mpki=self.mpki(ways),
+            mem_sensitivity=self._sens,
+            jitter=self._jitter,
+        )
+        out = _evaluate(entry, self._memory.penalty_ns(rho))
+        if misscurve_table_enabled():
+            self._out[key] = out
+        return out
 
 
 def _evaluate(entry: PerfInput, penalty_ns: float) -> PerfOutput:

@@ -33,6 +33,21 @@ This module compiles each *span shape* into a specialized kernel:
   ``prev_w`` guard (only lanes whose occupancy moved re-evaluate their
   miss curve — per-core partial recompute), this generalizes the
   whole-machine stationary fast path to per-core stationarity.
+* **Clone-lane tabulation (dedup kernels)** — contended mixes run the
+  same BG spec on several cores, and at sigma 0 those lanes are exact
+  clones: identical phase constants, frequency, cache group, and (by
+  induction from a validated span entry) identical occupancy, so every
+  per-tick solver quantity — miss curve, fixed-point term, increments,
+  cache target — is bit-equal across them.  For jitter-free plans with
+  clone lanes a second kernel pair is compiled whose shape maps each
+  lane to its *class representative*: the solver runs once per class
+  and every clone reuses the representative's exact values, while
+  per-lane state (progress, counters, guards, completions) keeps its
+  own left-associated accumulation so results stay bit-identical.
+  ``SpanPlan.run`` routes to the dedup kernel only after revalidating
+  that the clone lanes' occupancy and miss-curve state still compare
+  bit-equal; ``REPRO_MISSCURVE_TABLE=0`` disables the dedup kernels
+  (and the exact solver tables in :mod:`repro.sim.perf`) entirely.
 
 **Bit-exactness.**  Every generated kernel performs the same
 floating-point operations in the same order as ``Machine.tick``:
@@ -56,7 +71,11 @@ import math
 import random
 from typing import Dict, List, Optional, Tuple
 
-from repro.sim.config import ENV_SPAN_COMPILE, span_compile_enabled
+from repro.sim.config import (
+    ENV_SPAN_COMPILE,
+    misscurve_table_enabled,
+    span_compile_enabled,
+)
 from repro.sim.perf import (
     FIXED_POINT_ITERATIONS as _FIXED_POINT_ITERATIONS,
     MPKI_SCALE,
@@ -69,9 +88,12 @@ __all__ = [
     "span_compile_enabled", "template_shapes",
 ]
 
-#: Cap on cached plans per engine; machine states cycle through a small
-#: working set (phases x frequency grades), so this is generous.
-MAX_PLANS = 64
+#: Cap on cached plans per engine; machine states cycle through a
+#: working set of phase combinations x frequency grades, which on
+#: contended multi-phase mixes exceeds 64 (the benchmark's contended
+#: section used to thrash at exactly 64 rebuilds), so this is sized to
+#: hold the full cross product of a six-lane mix.
+MAX_PLANS = 256
 
 #: Cap on fixed-point memo entries per plan.
 MAX_MEMO = 4096
@@ -105,7 +127,21 @@ class SpanStats:
       fused span of ``C`` cells times ``T`` ticks counts ``C * T``);
     * ``vector_peels``: cells that diverged mid-span (phase boundary or
       execution completion) and peeled off to their per-machine batch
-      engine for one tick before regrouping.
+      engine for one tick before regrouping;
+    * ``rho_iterations``: fixed-point iterations run by compiled
+      kernels (cold-solved ticks times the unrolled iteration count;
+      warm ticks contribute nothing);
+    * ``rho_warm_hits``: compiled ticks whose rho came from a warm
+      source — the stationary fast path or an exact-input memo hit —
+      instead of re-running the fixed point;
+    * ``table_hits``: solver evaluations served from an exact table
+      instead of recomputed — clone lanes reusing their class
+      representative's per-tick solve in dedup kernels;
+    * ``table_builds``: exact solver tables built — clone classes a
+      dedup kernel pair was compiled for;
+    * ``partial_peels``: cells evicted from a fused multi-cell span
+      while the surviving cells kept running fused (wholesale span
+      aborts do not count).
     """
 
     __slots__ = (
@@ -124,6 +160,11 @@ class SpanStats:
         "cells_per_span",
         "vector_ticks",
         "vector_peels",
+        "rho_iterations",
+        "rho_warm_hits",
+        "table_hits",
+        "table_builds",
+        "partial_peels",
     )
 
     def __init__(self) -> None:
@@ -142,13 +183,16 @@ class SpanStats:
 # A *shape* is everything the generated code depends on structurally:
 #
 #   (num_cores, cores, isfg, apki_pos, jitter, snap, groups, guard_lanes,
-#    has_energy)
+#    has_energy, stolen, classes)
 #
 # with ``cores`` the lane -> core map, ``groups`` the cache grouping in
-# lane indices, and ``guard_lanes`` the lanes carrying a phase-boundary
-# guard.  All float constants stay *outside* the shape — they are bound
-# by the per-plan factory — so kernels are shared across plans that
-# differ only in model constants (frequencies, phase parameters).
+# lane indices, ``guard_lanes`` the lanes carrying a phase-boundary
+# guard, and ``classes`` the lane -> class-representative map for the
+# clone-lane dedup kernels (``tuple(range(n))`` — every lane its own
+# representative — for the plain kernels).  All float constants stay
+# *outside* the shape — they are bound by the per-plan factory — so
+# kernels are shared across plans that differ only in model constants
+# (frequencies, phase parameters).
 
 _KERNEL_CODE_CACHE: Dict[tuple, object] = {}
 
@@ -167,22 +211,60 @@ def _generate_source(shape: tuple) -> str:
     stolen``; a fully-stolen tick skips the lane's accumulation);
     subsequent ticks are overhead-free by construction, so the main
     loop is identical to the stolen-free kernel's.
+
+    When ``classes`` maps any lane to an earlier representative, the
+    emitted solver computes each class once per tick: the clone lane's
+    miss curve, fixed-point term, and per-tick increments are the
+    representative's locals, which are bit-equal to what the lane would
+    compute itself (same constants, same occupancy — revalidated by
+    ``SpanPlan.run`` before this kernel is selected).  Per-lane state
+    (progress, counters, guards, completions) keeps its own
+    accumulation, so every float lands exactly where the scalar
+    reference puts it.  Dedup shapes drop the fixed-point memo — in the
+    contended regime occupancy moves every tick, so the memo never hits
+    and only adds key-build cost — but keep the stationary fast path.
     """
     (num_cores, cores, isfg, apki_pos, jitter, snap, groups,
-     guard_lanes, has_energy, stolen) = shape
+     guard_lanes, has_energy, stolen, classes) = shape
     n = len(cores)
+    reps = [i for i in range(n) if classes[i] == i]
+    dedup = len(reps) != n
+    if dedup and jitter:
+        raise ValueError("clone-lane dedup requires a jitter-free shape")
+    group_of = {}
+    for gi, (_ways, lanes_g) in enumerate(groups):
+        for l in lanes_g:
+            group_of[l] = gi
+    for i in range(n):
+        r = classes[i]
+        if r > i or classes[r] != r:
+            raise ValueError("classes must map lanes to earlier reps")
+        if (isfg[i] != isfg[r] or apki_pos[i] != apki_pos[r]
+                or group_of.get(i) != group_of.get(r)):
+            raise ValueError("clone lanes must share role and cache group")
+        if r != i and cores[r] >= cores[i]:
+            # The clone core's occupancy assignment reads the rep
+            # core's already-updated value in core order.
+            raise ValueError("clone lanes must follow their rep in core order")
     lane_of_core = {cores[i]: i for i in range(n) if apki_pos[i]}
     inactive = [c for c in range(num_cores) if c not in lane_of_core]
     track_idle = (not jitter) and (not snap) and bool(inactive)
-    use_memo = not jitter
+    use_memo = not jitter and not dedup
+    use_stationary = not jitter
 
     lines: List[str] = []
     add = lines.append
 
     add("def _factory(plan, e_, lg_, cs_, sn_, sq_, ln_, ms_):")
     # ---- per-plan constant bindings (closure cells of ``run``) ----
+    # Model constants are bound per *class representative* only: clone
+    # lanes read their representative's locals, which hold bit-equal
+    # values by the dedup contract (plain kernels have every lane as
+    # its own representative, so this binds all of them).
     for i in range(n):
         add("    proc_%d = plan.procs[%d]" % (i, i))
+        if classes[i] != i:
+            continue
         add("    fl_%d = plan.floor[%d]" % (i, i))
         add("    dl_%d = plan.delta[%d]" % (i, i))
         add("    ws_%d = plan.wscale[%d]" % (i, i))
@@ -212,6 +294,12 @@ def _generate_source(shape: tuple) -> str:
     add("    scl = plan.scale")
     add("    rho_cap = plan.rho_cap")
     add("    inv_peak = plan.inv_peak")
+    if not jitter:
+        # Jitter-free cycle increments are span-constant; hoisting the
+        # product is bit-identical (the same two floats multiply to the
+        # same float every tick).
+        for i in reps:
+            add("    ch_%d = fh_%d * dt" % (i, i))
     if jitter:
         add("    sigma = plan.sigma")
         add("    mu = plan.mu")
@@ -236,9 +324,10 @@ def _generate_source(shape: tuple) -> str:
     for c in range(num_cores):
         add("        ef_%d = eff[%d]" % (c, c))
     for i in range(n):
-        add("        pw_%d = pwa[%d]" % (i, i))
-        add("        mp_%d = mpa[%d]" % (i, i))
-        add("        co_%d = coa[%d]" % (i, i))
+        if classes[i] == i:
+            add("        pw_%d = pwa[%d]" % (i, i))
+            add("        mp_%d = mpa[%d]" % (i, i))
+            add("        co_%d = coa[%d]" % (i, i))
         add("        p_%d = proc_%d.progress" % (i, i))
         add("        em_%d = proc_%d.execution_misses" % (i, i))
         if isfg[i]:
@@ -256,7 +345,8 @@ def _generate_source(shape: tuple) -> str:
     add("        mh = 0")
     add("        mm = 0")
     add("        mce = 0")
-    if use_memo:
+    add("        th = 0")
+    if use_stationary:
         add("        stationary = False")
 
     def emit_guards(ind: str) -> None:
@@ -286,41 +376,52 @@ def _generate_source(shape: tuple) -> str:
         add(ind + "    em_%d = em_%d + %s" % (i, i, mis))
 
     ips_tuple = ", ".join("ips_%d" % i for i in range(n))
+    t_tuple = ", ".join("t_%d" % i for i in range(n))
     mp_tuple = ", ".join("mp_%d" % i for i in range(n))
 
     def emit_fixed_point(ind: str) -> None:
+        # Each class representative solves once; its fixed-point term
+        # ``t_r = ips_r * mp_r * ms_`` is the exact subexpression the
+        # scalar reference adds into the aggregate (same parse-tree
+        # association), so accumulating ``t_r`` per *lane* in lane
+        # order reproduces the scalar sum bit-for-bit, and the saved
+        # term is reused for the per-tick miss increments.
         for _ in range(_FIXED_POINT_ITERATIONS):
             add(ind + "pen = base_ns * (1.0 + scl * rho / (1.0 - rho))")
             for i in range(n):
-                expr = ("fh_%d / (cp_%d + co_%d * pen * se_%d * fq_%d)"
-                        % (i, i, i, i, i))
-                if jitter:
-                    expr += " * jt_%d" % i
-                add(ind + "ips_%d = %s" % (i, expr))
+                r = classes[i]
+                if i == r:
+                    expr = ("fh_%d / (cp_%d + co_%d * pen * se_%d * fq_%d)"
+                            % (r, r, r, r, r))
+                    if jitter:
+                        expr += " * jt_%d" % i
+                    add(ind + "ips_%d = %s" % (r, expr))
+                    add(ind + "t_%d = ips_%d * mp_%d * ms_" % (r, r, r))
                 if i == 0:
-                    add(ind + "tmr = ips_0 * mp_0 * ms_")
+                    add(ind + "tmr = t_%d" % r)
                 else:
-                    add(ind + "tmr = tmr + ips_%d * mp_%d * ms_" % (i, i))
+                    add(ind + "tmr = tmr + t_%d" % r)
             add(ind + "nr = tmr * inv_peak")
             add(ind + "rho = nr if nr < rho_cap else rho_cap")
 
     def emit_model_tick(ind: str, stolen_tick: bool) -> None:
         """One full-model tick; ``stolen_tick`` charges pending overhead."""
-        # -- per-lane miss curve (+ jitter draw), lane order = core order --
-        if use_memo:
+        # -- per-class miss curve (+ per-lane jitter draw), lane order --
+        if use_stationary:
             add(ind + "wch = False")
         for i in range(n):
-            add(ind + "w = ef_%d" % cores[i])
-            add(ind + "if w < 0.0:")
-            add(ind + "    w = 0.0")
-            add(ind + "if w != pw_%d:" % i)
-            if use_memo:
-                add(ind + "    wch = True")
-            add(ind + "    pw_%d = w" % i)
-            add(ind + "    mce += 1")
-            add(ind + "    mp_%d = fl_%d + dl_%d * e_(-w / ws_%d)"
-                % (i, i, i, i))
-            add(ind + "    co_%d = mp_%d * ms_" % (i, i))
+            if classes[i] == i:
+                add(ind + "w = ef_%d" % cores[i])
+                add(ind + "if w < 0.0:")
+                add(ind + "    w = 0.0")
+                add(ind + "if w != pw_%d:" % i)
+                if use_stationary:
+                    add(ind + "    wch = True")
+                add(ind + "    pw_%d = w" % i)
+                add(ind + "    mce += 1")
+                add(ind + "    mp_%d = fl_%d + dl_%d * e_(-w / ws_%d)"
+                    % (i, i, i, i))
+                add(ind + "    co_%d = mp_%d * ms_" % (i, i))
             if jitter:
                 # Inline CPython's random.Random.gauss (same algorithm,
                 # same stream, same draw order; gauss_next synced at the
@@ -345,21 +446,30 @@ def _generate_source(shape: tuple) -> str:
             emit_fixed_point(ind + "    ")
             add(ind + "    if ln_(memo) >= maxm:")
             add(ind + "        memo.clear()")
-            add(ind + "    memo[mk] = (%s, rho)" % ips_tuple)
+            add(ind + "    memo[mk] = (%s, %s, rho)" % (ips_tuple, t_tuple))
             add(ind + "else:")
             add(ind + "    mh += 1")
-            add(ind + "    %s, rho = hit" % ips_tuple)
+            add(ind + "    %s, %s, rho = hit" % (ips_tuple, t_tuple))
         else:
+            if use_stationary:
+                add(ind + "rho_in = rho")
             emit_fixed_point(ind)
+        if dedup:
+            # Clone lanes served their solve from the representative's
+            # exact values: n - len(reps) avoided lane-solves per tick.
+            add(ind + "th = th + %d" % (n - len(reps)))
 
         # -- per-lane accumulation, weights, FG completion --
         for i in range(n):
-            jt = " * jt_%d" % i if jitter else ""
-            if apki_pos[i]:
-                add(ind + "wt_%d = ap_%d * ips_%d" % (i, i, i))
+            r = classes[i]
+            if apki_pos[i] and i == r:
+                add(ind + "wt_%d = ap_%d * ips_%d" % (r, r, r))
             if stolen_tick:
                 # Scalar order: weights first, then the overhead charge;
                 # a fully-stolen tick skips the lane's accumulation.
+                # Overhead differs per core, so the stolen tick keeps
+                # per-lane arithmetic even for clone lanes.
+                jt = " * jt_%d" % i if jitter else ""
                 core = cores[i]
                 add(ind + "st = sta[%d]" % core)
                 add(ind + "if st:")
@@ -367,24 +477,49 @@ def _generate_source(shape: tuple) -> str:
                 add(ind + "de = dt - st")
                 add(ind + "if de > 0.0:")
                 bind = ind + "    "
-                dt_name = "de"
+                add(bind + "inst = ips_%d * de" % r)
+                add(bind + "mis = t_%d * de" % r)
+                add(bind + "ci_%d = ci_%d + inst" % (i, i))
+                add(bind + "cc_%d = cc_%d + fh_%d%s * de" % (i, i, r, jt))
+                if apki_pos[i]:
+                    add(bind + "ca_%d = ca_%d + inst * ap_%d * ms_"
+                        % (i, i, r))
+                else:
+                    add(bind + "ca_%d = ca_%d + mis" % (i, i))
+                add(bind + "cm_%d = cm_%d + mis" % (i, i))
+                if isfg[i]:
+                    emit_completion(bind, i, "inst", "mis", "ips_%d" % r)
+                else:
+                    add(bind + "p_%d = p_%d + inst" % (i, i))
+                    add(bind + "em_%d = em_%d + mis" % (i, i))
             else:
-                bind = ind
-                dt_name = "dt"
-            add(bind + "inst = ips_%d * %s" % (i, dt_name))
-            add(bind + "mis = ips_%d * mp_%d * ms_ * %s" % (i, i, dt_name))
-            add(bind + "ci_%d = ci_%d + inst" % (i, i))
-            add(bind + "cc_%d = cc_%d + fh_%d%s * %s" % (i, i, i, jt, dt_name))
-            if apki_pos[i]:
-                add(bind + "ca_%d = ca_%d + inst * ap_%d * ms_" % (i, i, i))
-            else:
-                add(bind + "ca_%d = ca_%d + mis" % (i, i))
-            add(bind + "cm_%d = cm_%d + mis" % (i, i))
-            if isfg[i]:
-                emit_completion(bind, i, "inst", "mis", "ips_%d" % i)
-            else:
-                add(bind + "p_%d = p_%d + inst" % (i, i))
-                add(bind + "em_%d = em_%d + mis" % (i, i))
+                # Per-tick increments are class-shared: hoist each to
+                # the representative (``mi_r = t_r * dt`` keeps the
+                # scalar's ``ips * mp * ms_ * dt`` association because
+                # ``t_r`` *is* its left-associated prefix); per-lane
+                # accumulation below stays per-lane.
+                if i == r:
+                    add(ind + "in_%d = ips_%d * dt" % (r, r))
+                    add(ind + "mi_%d = t_%d * dt" % (r, r))
+                    if apki_pos[i]:
+                        add(ind + "aa_%d = in_%d * ap_%d * ms_" % (r, r, r))
+                add(ind + "ci_%d = ci_%d + in_%d" % (i, i, r))
+                if jitter:
+                    add(ind + "cc_%d = cc_%d + fh_%d * jt_%d * dt"
+                        % (i, i, r, i))
+                else:
+                    add(ind + "cc_%d = cc_%d + ch_%d" % (i, i, r))
+                if apki_pos[i]:
+                    add(ind + "ca_%d = ca_%d + aa_%d" % (i, i, r))
+                else:
+                    add(ind + "ca_%d = ca_%d + mi_%d" % (i, i, r))
+                add(ind + "cm_%d = cm_%d + mi_%d" % (i, i, r))
+                if isfg[i]:
+                    emit_completion(ind, i, "in_%d" % r, "mi_%d" % r,
+                                    "ips_%d" % r)
+                else:
+                    add(ind + "p_%d = p_%d + in_%d" % (i, i, r))
+                    add(ind + "em_%d = em_%d + mi_%d" % (i, i, r))
 
         if has_energy:
             add(ind + "acc_e(dt, frl, bsl)")
@@ -393,17 +528,22 @@ def _generate_source(shape: tuple) -> str:
         if track_idle:
             add(ind + "ichg = False")
         for ways, lanes_g in groups:
-            terms = " + ".join("wt_%d" % l for l in lanes_g)
+            terms = " + ".join("wt_%d" % classes[l] for l in lanes_g)
             add(ind + "tot = %s" % terms)
+            emitted = set()
             for l in lanes_g:
-                add(ind + "tg_%d = %d * wt_%d / tot" % (l, ways, l))
+                r = classes[l]
+                if r in emitted:
+                    continue
+                emitted.add(r)
+                add(ind + "tg_%d = %d * wt_%d / tot" % (r, ways, r))
         for c in range(num_cores):
             i = lane_of_core.get(c)
             if snap:
                 if i is None:
                     add(ind + "ef_%d = 0.0" % c)
                 else:
-                    add(ind + "ef_%d = tg_%d" % (c, i))
+                    add(ind + "ef_%d = tg_%d" % (c, classes[i]))
             elif i is None:
                 if track_idle:
                     add(ind + "nef = ef_%d + alpha * (0.0 - ef_%d)"
@@ -414,6 +554,12 @@ def _generate_source(shape: tuple) -> str:
                 else:
                     add(ind + "ef_%d = ef_%d + alpha * (0.0 - ef_%d)"
                         % (c, c, c))
+            elif classes[i] != i:
+                # Clone core: its occupancy equals the representative
+                # core's (bit-equal at span entry by revalidation, and
+                # both receive the identical update each tick), so the
+                # inertia step is assignment, not recomputation.
+                add(ind + "ef_%d = ef_%d" % (c, cores[classes[i]]))
             else:
                 add(ind + "ef_%d = ef_%d + alpha * (tg_%d - ef_%d)"
                     % (c, c, i, c))
@@ -444,39 +590,38 @@ def _generate_source(shape: tuple) -> str:
     add(m1 + "    break")
 
     # -- stationarity: per-lane occupancy, rho, and (when tracked) idle
-    #    occupancy are all at their exact float fixed points --
-    if use_memo:
+    #    occupancy are all at their exact float fixed points.  The
+    #    stationary increments are exactly this tick's per-class
+    #    increments (``in_r`` / ``ch_r`` / ``aa_r`` / ``mi_r``), already
+    #    in locals — entry costs nothing.
+    if use_stationary:
         cond = "not wch and rho == rho_in"
         if track_idle:
             cond += " and not ichg"
         add(m1 + "if %s:" % cond)
-        for i in range(n):
-            add(m2 + "ii_%d = ips_%d * dt" % (i, i))
-            add(m2 + "ic_%d = fh_%d * dt" % (i, i))
-            add(m2 + "im_%d = ips_%d * mp_%d * ms_ * dt" % (i, i, i))
-            if apki_pos[i]:
-                add(m2 + "ia_%d = ii_%d * ap_%d * ms_" % (i, i, i))
-            else:
-                add(m2 + "ia_%d = im_%d" % (i, i))
         add(m2 + "stationary = True")
         add(m2 + "break")
 
     # ================= stationary loop =================
-    if use_memo:
+    if use_stationary:
         add(m0 + "if stationary:")
         add(m1 + "while executed < span:")
         emit_guards(m2)
         for i in range(n):
-            add(m2 + "ci_%d = ci_%d + ii_%d" % (i, i, i))
-            add(m2 + "cc_%d = cc_%d + ic_%d" % (i, i, i))
-            add(m2 + "ca_%d = ca_%d + ia_%d" % (i, i, i))
-            add(m2 + "cm_%d = cm_%d + im_%d" % (i, i, i))
-            if isfg[i]:
-                emit_completion(m2, i, "ii_%d" % i, "im_%d" % i,
-                                "ips_%d" % i)
+            r = classes[i]
+            add(m2 + "ci_%d = ci_%d + in_%d" % (i, i, r))
+            add(m2 + "cc_%d = cc_%d + ch_%d" % (i, i, r))
+            if apki_pos[i]:
+                add(m2 + "ca_%d = ca_%d + aa_%d" % (i, i, r))
             else:
-                add(m2 + "p_%d = p_%d + ii_%d" % (i, i, i))
-                add(m2 + "em_%d = em_%d + im_%d" % (i, i, i))
+                add(m2 + "ca_%d = ca_%d + mi_%d" % (i, i, r))
+            add(m2 + "cm_%d = cm_%d + mi_%d" % (i, i, r))
+            if isfg[i]:
+                emit_completion(m2, i, "in_%d" % r, "mi_%d" % r,
+                                "ips_%d" % r)
+            else:
+                add(m2 + "p_%d = p_%d + in_%d" % (i, i, r))
+                add(m2 + "em_%d = em_%d + mi_%d" % (i, i, r))
         if has_energy:
             add(m2 + "acc_e(dt, frl, bsl)")
         add(m2 + "now += 1")
@@ -490,9 +635,13 @@ def _generate_source(shape: tuple) -> str:
     for c in range(num_cores):
         add("            eff[%d] = ef_%d" % (c, c))
     for i in range(n):
-        add("            pwa[%d] = pw_%d" % (i, i))
-        add("            mpa[%d] = mp_%d" % (i, i))
-        add("            coa[%d] = co_%d" % (i, i))
+        r = classes[i]
+        # Clone lanes persist their representative's miss-curve state
+        # (bit-equal by the dedup contract), keeping the plan arrays
+        # valid for whichever kernel variant runs the next span.
+        add("            pwa[%d] = pw_%d" % (i, r))
+        add("            mpa[%d] = mp_%d" % (i, r))
+        add("            coa[%d] = co_%d" % (i, r))
         add("            proc_%d.progress = p_%d" % (i, i))
         add("            proc_%d.execution_misses = em_%d" % (i, i))
         if jitter:
@@ -502,17 +651,17 @@ def _generate_source(shape: tuple) -> str:
         add("            cc_a[%d] = cc_%d" % (core, i))
         add("            ca_a[%d] = ca_%d" % (core, i))
         add("            cm_a[%d] = cm_%d" % (core, i))
-        add("            ipv[%d] = ips_%d" % (core, i))
+        add("            ipv[%d] = ips_%d" % (core, r))
     for c in range(num_cores):
         i = lane_of_core.get(c)
         if i is None:
             add("            wb[%d] = 0.0" % c)
             add("            tb[%d] = 0.0" % c)
         else:
-            add("            wb[%d] = wt_%d" % (c, i))
-            add("            tb[%d] = tg_%d" % (c, i))
+            add("            wb[%d] = wt_%d" % (c, classes[i]))
+            add("            tb[%d] = tg_%d" % (c, classes[i]))
     add("            clock.tick = now")
-    add("        return executed, rho, stat_ticks, mh, mm, mce, completions")
+    add("        return executed, rho, stat_ticks, mh, mm, mce, th, completions")
     add("    return run")
     add("")
     return "\n".join(lines)
@@ -898,11 +1047,13 @@ def compile_cell_kernel(shape: tuple, plan, stats: SpanStats,
 def generate_kernel_source(shape: tuple) -> str:
     """Render the kernel source for one shape, without compiling.
 
-    Span shapes are the 10-tuple ``(num_cores, cores, isfg, apki_pos,
-    jitter, snap, groups, guard_lanes, has_energy, stolen)`` described
-    above (``groups`` must partition the ``apki_pos`` lanes); cell
-    shapes are the ``("cell", num_cores, cores, isfg, apki_pos, snap,
-    groups, guard_lanes)`` tuples of the vector backend.  Either way
+    Span shapes are the 11-tuple ``(num_cores, cores, isfg, apki_pos,
+    jitter, snap, groups, guard_lanes, has_energy, stolen, classes)``
+    described above (``groups`` must partition the ``apki_pos`` lanes;
+    ``classes`` maps each lane to its clone-class representative, the
+    identity for plain kernels); cell shapes are the ``("cell",
+    num_cores, cores, isfg, apki_pos, snap, groups, guard_lanes)``
+    tuples of the vector backend.  Either way
     this is the exact string the compile helpers would
     ``exec``-compile — the static analyzer and the tests audit it
     directly.
@@ -919,37 +1070,50 @@ def template_shapes() -> Tuple[tuple, ...]:
     enables the fixed-point memo and the stationary loop), snap vs
     inertia occupancy (inertia with an idle core enables idle-change
     tracking), peeled stolen-tick prologue, energy accounting, FG and
-    BG phase guards, a zero-``apki`` lane, and multi-group cache
-    partitions.  ``repro lint`` audits the source generated for every
-    one of these, so a codegen change that breaks the contract on any
-    branch fails lint even if no benchmark happens to exercise it.
+    BG phase guards, a zero-``apki`` lane, multi-group cache
+    partitions, and clone-lane dedup (non-identity ``classes`` folding
+    the solver per class).  ``repro lint`` audits the source generated
+    for every one of these, so a codegen change that breaks the
+    contract on any branch fails lint even if no benchmark happens to
+    exercise it.
     """
     six = (0, 1, 2, 3, 4, 5)
     fg_of_six = (True, False, False, False, False, False)
+    ident6 = tuple(range(6))
     return (
         # Canonical contended figure: 1 FG + 5 BG, jitter, inertia,
         # energy accounting, FG + BG guards, one shared cache group.
         (6, six, fg_of_six, (True,) * 6, True, False,
-         ((16, six),), (0, 1), True, False),
+         ((16, six),), (0, 1), True, False, ident6),
         # Jitter-free memo path with an idle core (inertia occupancy
         # decays toward zero, so idle-change tracking engages).
         (6, (0, 1, 2, 3, 4), (True, False, False, False, False),
          (True,) * 5, False, False, ((16, (0, 1, 2, 3, 4)),), (0,),
-         False, False),
+         False, False, tuple(range(5))),
         # Snap occupancy, peeled stolen tick, split cache groups, no
         # guards (every lane pinned to a full-program phase).
         (6, six, fg_of_six, (True,) * 6, False, True,
-         ((8, (0, 1, 2)), (8, (3, 4, 5))), (), False, True),
+         ((8, (0, 1, 2)), (8, (3, 4, 5))), (), False, True, ident6),
         # Jitter + snap + stolen + energy together.
         (6, six, fg_of_six, (True,) * 6, True, True,
-         ((16, six),), (0,), True, True),
+         ((16, six),), (0,), True, True, ident6),
         # A zero-apki BG lane: no cache weight, miss accumulation in
         # the access counter, its core treated as cache-idle.
         (6, six, fg_of_six, (True, True, True, True, True, False),
-         False, False, ((16, (0, 1, 2, 3, 4)),), (0, 5), True, False),
+         False, False, ((16, (0, 1, 2, 3, 4)),), (0, 5), True, False,
+         tuple(range(6))),
         # Minimal standalone FG (the baseline/standalone measurements).
         (6, (0,), (True,), (True,), False, True, ((16, (0,)),), (0,),
-         False, False),
+         False, False, (0,)),
+        # Clone-lane dedup: the sigma-0 contended mix where the five
+        # BG lanes are one clone class — the solver-bound regime the
+        # exact tabulation exists for (inertia occupancy, energy off).
+        (6, six, fg_of_six, (True,) * 6, False, False,
+         ((16, six),), (0, 1), False, False, (0, 1, 1, 1, 1, 1)),
+        # Dedup + snap occupancy + peeled stolen tick (the stolen tick
+        # keeps per-lane arithmetic while the solver stays per-class).
+        (6, six, fg_of_six, (True,) * 6, False, True,
+         ((16, six),), (0,), False, True, (0, 1, 1, 1, 1, 1)),
         # ---- cell-axis shapes (vector backend) ----
         # Canonical contended fusion: 1 FG + 5 BG across cells,
         # inertia occupancy, FG + BG guards, one shared group.
@@ -986,7 +1150,8 @@ class SpanPlan:
     """
 
     __slots__ = (
-        "machine", "stats", "kernel", "kernel_stolen", "stolen", "energy",
+        "machine", "stats", "kernel", "kernel_stolen", "kernel_dedup",
+        "kernel_dedup_stolen", "clone_checks", "stolen", "energy",
         "procs", "rngs", "floor", "delta", "wscale", "sens", "freq",
         "fh", "cpi0", "apki", "prev_w", "mpki_a", "coef",
         "eff", "cnt_i", "cnt_c", "cnt_a", "cnt_m", "ips_prev", "clock",
@@ -997,19 +1162,38 @@ class SpanPlan:
         "guard_procs",
     )
 
-    def run(self, span: int, kernel=None) -> int:
+    def run(self, span: int, stolen: bool = False) -> int:
         """Run up to ``span`` event-free ticks; returns ticks executed.
 
         Mirrors the generic ``BatchEngine._run_span`` contract: may
         return early when a guard fires or an FG execution completes;
         rho observation, cache write-back, and completion listeners all
-        happen here, in the scalar kernel's order.  Pass
-        ``self.kernel_stolen`` when a core carries stolen overhead time:
-        that variant peels the span's first tick and charges the
-        overhead exactly as the scalar kernel would.
+        happen here, in the scalar kernel's order.  Pass ``stolen=True``
+        when a core carries stolen overhead time: that kernel variant
+        peels the span's first tick and charges the overhead exactly as
+        the scalar kernel would.
+
+        When the plan compiled clone-dedup kernels, they are selected
+        only after revalidating the dedup invariant: every clone lane's
+        occupancy and persistent miss-curve state must still compare
+        bit-equal to its representative's (other plans run between
+        spans of this one and update per-core state along their own
+        trajectories, so equality is checked, never assumed).
         """
+        kernel = None
+        if self.kernel_dedup is not None:
+            eff = self.eff
+            pwa = self.prev_w
+            mpa = self.mpki_a
+            for r, i, rc, ic in self.clone_checks:
+                if (eff[rc] != eff[ic] or pwa[r] != pwa[i]
+                        or mpa[r] != mpa[i]):
+                    break
+            else:
+                kernel = self.kernel_dedup_stolen if stolen \
+                    else self.kernel_dedup
         if kernel is None:
-            kernel = self.kernel
+            kernel = self.kernel_stolen if stolen else self.kernel
         m = self.machine
         if not m._settled:
             m.settle_cache()
@@ -1026,16 +1210,22 @@ class SpanPlan:
                 total = proc._total
                 offset = progress % total if progress >= total else progress
                 bounds.append(progress - offset + proc._phase_end)
-        executed, rho, stat, mh, mm, mce, completions = kernel(
+        executed, rho, stat, mh, mm, mce, th, completions = kernel(
             span, m._rho, m.clock.tick, *bounds
         )
         stats = self.stats
         stats.memo_hits += mh
         stats.memo_misses += mm
         stats.misscurve_evals += mce
+        stats.table_hits += th
         if executed:
             stats.compiled_ticks += executed
             stats.stationary_ticks += stat
+            # Warm ticks took rho from the stationary path or an exact
+            # memo hit; everything else ran the unrolled fixed point.
+            warm = stat + mh
+            stats.rho_warm_hits += warm
+            stats.rho_iterations += _FIXED_POINT_ITERATIONS * (executed - warm)
             m._rho = rho
             m.memory.observe(rho)
             m.cache.span_commit(
@@ -1185,12 +1375,52 @@ def _build_plan(machine, stats: SpanStats) -> Optional[SpanPlan]:
         energy is not None,
     )
     plan.stolen = m._stolen_s
-    plan.kernel = _compile_kernel(shape + (False,), plan, stats)
+    ident = tuple(range(n))
+    plan.kernel = _compile_kernel(shape + (False, ident), plan, stats)
     # The stolen variant peels the span's first tick to charge pending
     # overhead time; with no overhead pending it is bit-identical to the
     # plain kernel (dt - 0.0 == dt), so routing between the two is purely
     # a performance decision.
-    plan.kernel_stolen = _compile_kernel(shape + (True,), plan, stats)
+    plan.kernel_stolen = _compile_kernel(shape + (True, ident), plan, stats)
+
+    # Clone-lane dedup: jitter-free lanes running the same phase
+    # constants at the same frequency in the same cache group compute
+    # bit-identical solver values every tick, so compile a kernel pair
+    # that solves once per clone class.  ``SpanPlan.run`` revalidates
+    # the per-core state equality before selecting these.
+    plan.kernel_dedup = None
+    plan.kernel_dedup_stolen = None
+    plan.clone_checks = ()
+    if not jitter and n > 1 and misscurve_table_enabled():
+        lane_group = {}
+        for gi, (_ways, cores_g) in enumerate(groups_cores):
+            for c in cores_g:
+                lane_group[lane_index[c]] = gi
+        first: Dict[tuple, int] = {}
+        cls: List[int] = []
+        for i, (core, proc, phase) in enumerate(lanes):
+            key = (
+                proc.is_fg,
+                phase.mpki_floor, phase.mpki_peak, phase.ways_scale,
+                phase.mem_sensitivity, phase.base_cpi, phase.apki,
+                plan.freq[i], lane_group.get(i),
+            )
+            cls.append(first.setdefault(key, i))
+        classes = tuple(cls)
+        if classes != ident:
+            plan.kernel_dedup = _compile_kernel(
+                shape + (False, classes), plan, stats
+            )
+            plan.kernel_dedup_stolen = _compile_kernel(
+                shape + (True, classes), plan, stats
+            )
+            plan.clone_checks = [
+                (classes[i], i, lanes[classes[i]][0], lanes[i][0])
+                for i in range(n) if classes[i] != i
+            ]
+            stats.table_builds += len(
+                {r for r in classes if cls.count(r) > 1}
+            )
     return plan
 
 

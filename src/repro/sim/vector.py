@@ -27,11 +27,16 @@ instead *detect* divergence exactly — a phase-boundary guard or an FG
 completion trips the kernel before the divergent tick is applied — so
 a fused span only needs the machine's exact discrete-event horizon
 (timer deadlines, DVFS transitions) and can otherwise run to the tick
-budget.  Tripped cells replay that one tick through the scalar
-reference kernel (``Machine.tick`` — what the batch engine would have
-executed, bit-identically) and rejoin a fused group once their shared
-state re-coincides: rho and the occupancy filter converge to exact
-float fixed points, so cells that took the same model path regroup.
+budget.  Trips peel *partially*: only the tripped cells are committed
+(at the exact tick they diverged) and evicted, while the surviving
+cells keep fusing over the remaining budget — the shared trajectory
+is a pure function of the shared state, never of the member set, so
+the continuation is bit-exact.  A completion-tripped cell replays the
+divergent tick through the scalar reference kernel (``Machine.tick``
+— what the batch engine would have executed, bit-identically) and
+rejoins a fused group once its shared state re-coincides: rho and the
+occupancy filter converge to exact float fixed points, so cells that
+took the same model path regroup.
 
 **Plan reuse.**  Cell plans are keyed by the structural fingerprint
 plus a power-of-two cell-axis width; the per-cell columns are gathered
@@ -56,6 +61,7 @@ from repro.sim.config import (
     span_compile_enabled,
     vector_numpy_enabled,
 )
+from repro.sim.perf import FIXED_POINT_ITERATIONS as _FIXED_POINT_ITERATIONS
 from repro.sim.process import STATE_RUNNING
 from repro.sim.spanplan import (
     MAX_MEMO,
@@ -334,7 +340,18 @@ class MultiCell:
         horizons: Dict[int, int],
         remaining: Dict[int, int],
     ) -> None:
-        """One fused span over ``members``; peels tripped cells."""
+        """One fused span over ``members``, peeling only tripped cells.
+
+        The shared model trajectory is a pure function of the shared
+        state — cell membership never feeds back into it — so when a
+        guard or FG completion trips a subset of cells, the survivors
+        can keep fusing along the *same* trajectory.  Each tripped
+        cell is committed at the exact tick it diverged, its column
+        neutralized (infinite bounds: it can never trip again), and
+        the kernel is recalled over the remaining budget.  The floats
+        the survivors see are the ones the smaller group would have
+        computed from scratch, so partial peels are bit-exact.
+        """
         machines = self._machines
         stats = self.stats
         span = min(
@@ -393,67 +410,91 @@ class MultiCell:
         m0 = machines[members[0]]
         plan.eff[:] = m0._cache_eff
 
-        executed, rho, stat, mh, mm, mce, trip, completed = plan.kernel(
-            span, m0._rho, *plan.guard_bounds
-        )
-        stats.memo_hits += mh
-        stats.memo_misses += mm
-        stats.misscurve_evals += mce
-
-        if executed:
-            stats.vector_spans += 1
-            stats.cells_per_span += width
-            stats.vector_ticks += executed * width
-            alpha_entry = plan.alpha_entry
-            for j, c in enumerate(members):
-                m = machines[c]
-                lanes = cellinfo[c][2]
-                cnt_i, cnt_c, cnt_a, cnt_m = m._cnt_arrays
-                ips_prev = m._ips_prev
-                for i, (core, proc) in enumerate(lanes):
-                    # .item() yields exact Python floats: machines stay
-                    # numpy-free even after a fused span.
-                    cnt_i[core] = st[i, j].item()
-                    cnt_c[core] = st[n + i, j].item()
-                    cnt_a[core] = st[2 * n + i, j].item()
-                    cnt_m[core] = st[3 * n + i, j].item()
-                    proc.progress = st[4 * n + i, j].item()
-                    proc.execution_misses = st[5 * n + i, j].item()
-                    ips_prev[core] = plan.ips_prev[core]
-                m._cache_eff[:] = plan.eff
-                m._rho = rho
-                m.memory.observe(rho)
-                m.cache.span_commit(
-                    plan.wbuf, plan.tbuf, plan.active_bits,
-                    plan.groups_commit, plan.disjoint, alpha_entry,
-                )
-                m.clock.tick += executed
-                rem = remaining[c] - executed
+        # Kernel-recall loop.  Each round advances every still-fused
+        # column until a trip evicts some subset; survivors continue
+        # over the remaining budget.  A trip never applies the
+        # divergent tick, so at every trip ``total`` is strictly below
+        # ``span`` — every evicted cell has at least one tick left.
+        total = 0
+        span_left = span
+        rho = m0._rho
+        active = list(range(width))
+        any_trip = False
+        while True:
+            executed, rho, stat, mh, mm, mce, trip, completed = (
+                plan.kernel(span_left, rho, *plan.guard_bounds)
+            )
+            stats.memo_hits += mh
+            stats.memo_misses += mm
+            stats.misscurve_evals += mce
+            # Every full-model tick resolves through the fixed-point
+            # memo: a miss ran the iterations, a hit — like every
+            # stationary tick — reused an already-converged rho.
+            stats.rho_iterations += _FIXED_POINT_ITERATIONS * mm
+            stats.rho_warm_hits += stat + mh
+            if executed:
+                stats.vector_ticks += executed * len(active)
+                total += executed
+                span_left -= executed
+            if trip is None:
+                break
+            any_trip = True
+            survivors = [j for j in active if not trip[j]]
+            cont = bool(survivors) and span_left >= 1
+            for j in active:
+                if not trip[j]:
+                    continue
+                c = members[j]
+                if cont:
+                    stats.partial_peels += 1
+                rem = remaining[c]
+                if total:
+                    self._commit_cell(
+                        machines[c], plan, cellinfo[c][2], j, rho, total
+                    )
+                    rem -= total
+                if completed:
+                    # Replay the divergent tick through the scalar
+                    # reference kernel — exactly what the batch engine
+                    # would run for a one-tick span — while the rest
+                    # of the group stays fused.
+                    stats.vector_peels += 1
+                    machines[c].tick()
+                    rem -= 1
+                # A phase-boundary guard trip needs no replay: the
+                # next round's fingerprint resyncs the phase cursor
+                # and the cell's next tick is a normal model tick —
+                # under the new phase constants — so it regroups.
                 if rem <= 0:
                     del remaining[c]
                 else:
                     remaining[c] = rem
+                # Neutralize the evicted column: infinite bounds and
+                # targets can never trip, and its accumulator garbage
+                # is never read back.
+                for bounds in plan.guard_bounds:
+                    bounds[j] = _INF
+                for i in range(n):
+                    if isfg[i]:
+                        plan.tts[i][j] = _INF
+            active = survivors
+            if not cont:
+                break
 
-        if trip is not None:
-            if completed:
-                # Replay the divergent tick per tripped cell through
-                # the scalar reference kernel — exactly what the batch
-                # engine would run for a one-tick span — while the
-                # rest of the group stays fused.
-                for j, c in enumerate(members):
-                    if not trip[j] or c not in remaining:
-                        continue
-                    stats.vector_peels += 1
-                    machines[c].tick()
-                    if remaining[c] <= 1:
-                        del remaining[c]
-                    else:
-                        remaining[c] -= 1
-            # A phase-boundary guard trip needs no replay: the next
-            # round's fingerprint resyncs the phase cursor and the
-            # cell's next tick is a normal model tick — under the new
-            # phase constants — so it simply regroups.
-        elif not executed:
+        if total:
+            stats.vector_spans += 1
+            stats.cells_per_span += width
+            for j in active:
+                c = members[j]
+                self._commit_cell(
+                    machines[c], plan, cellinfo[c][2], j, rho, total
+                )
+                rem = remaining[c] - total
+                if rem <= 0:
+                    del remaining[c]
+                else:
+                    remaining[c] = rem
+        elif not any_trip:
             # Defensive livelock guard; a zero-tick fuse without a trip
             # mask should be impossible.
             for c in members:
@@ -464,6 +505,41 @@ class MultiCell:
                     del remaining[c]
                 else:
                     remaining[c] -= 1
+
+    def _commit_cell(
+        self, m, plan: CellPlan, lanes: List[tuple], j: int,
+        rho: float, ticks: int,
+    ) -> None:
+        """Scatter column ``j`` back into machine ``m`` after ``ticks``.
+
+        Shared state (eff, rho, the cache-commit buffers) is read from
+        the plan *at the moment of the call*, so evicted cells must be
+        committed immediately when they trip — before the kernel runs
+        again and advances the shared trajectory past their divergence
+        point.
+        """
+        n = plan.n
+        st = plan.state
+        cnt_i, cnt_c, cnt_a, cnt_m = m._cnt_arrays
+        ips_prev = m._ips_prev
+        for i, (core, proc) in enumerate(lanes):
+            # .item() yields exact Python floats: machines stay
+            # numpy-free even after a fused span.
+            cnt_i[core] = st[i, j].item()
+            cnt_c[core] = st[n + i, j].item()
+            cnt_a[core] = st[2 * n + i, j].item()
+            cnt_m[core] = st[3 * n + i, j].item()
+            proc.progress = st[4 * n + i, j].item()
+            proc.execution_misses = st[5 * n + i, j].item()
+            ips_prev[core] = plan.ips_prev[core]
+        m._cache_eff[:] = plan.eff
+        m._rho = rho
+        m.memory.observe(rho)
+        m.cache.span_commit(
+            plan.wbuf, plan.tbuf, plan.active_bits,
+            plan.groups_commit, plan.disjoint, plan.alpha_entry,
+        )
+        m.clock.tick += ticks
 
     def _build_plan(
         self, cell: int, cellinfo: Dict[int, tuple], alloc: int

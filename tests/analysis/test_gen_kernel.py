@@ -39,8 +39,9 @@ def _shape_id(shape):
         return "cell-lanes%d-snap%d-g%d" % (
             len(shape[2]), shape[5], len(shape[7])
         )
-    return "lanes%d-j%d-s%d-e%d-st%d" % (
-        len(shape[1]), shape[4], shape[5], shape[8], shape[9]
+    dedup = shape[10] != tuple(range(len(shape[1])))
+    return "lanes%d-j%d-s%d-e%d-st%d-d%d" % (
+        len(shape[1]), shape[4], shape[5], shape[8], shape[9], dedup
     )
 
 
@@ -77,6 +78,19 @@ class TestTemplatesConform:
         shapes = _machine_shapes()
         assert {shape[9] for shape in shapes} == {True, False}
         assert {shape[8] for shape in shapes} == {True, False}
+
+    def test_templates_cover_clone_dedup_kernels(self):
+        # The clone-lane dedup variants (classes mapping several lanes
+        # to one representative) must be in the audited matrix, plain
+        # and stolen/snap alike, alongside the identity-class shapes.
+        dedup = [
+            shape for shape in _machine_shapes()
+            if shape[10] != tuple(range(len(shape[1])))
+        ]
+        assert dedup, "template matrix must include dedup shapes"
+        assert {shape[9] for shape in dedup} == {True, False}
+        for shape in dedup:
+            assert not shape[4], "dedup kernels are jitter-free"
 
     def test_cell_templates_cover_snap_and_guard_modes(self):
         shapes = _cell_shapes()

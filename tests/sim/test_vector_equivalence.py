@@ -152,6 +152,9 @@ class TestMultiCellBitEquivalence:
         if _fusion_active():
             assert driver.stats.vector_spans > 0
             assert driver.stats.vector_peels > 0
+            # Noise-drawn targets land completions at different ticks,
+            # so a trip evicts one cell while the others stay fused.
+            assert driver.stats.partial_peels > 0
 
     def test_chunked_driving_matches_one_shot(self):
         seeds = [21, 22, 23]
@@ -222,6 +225,111 @@ class TestMultiCellBitEquivalence:
             m.run_ticks(5_000)
         MultiCell(vector).run_ticks(5_000)
         _assert_fleets_equal(reference, logs_r, vector, logs_v)
+
+
+class TestPartialPeels:
+    """Trips evict only the diverging cells; survivors stay fused.
+
+    The shared model trajectory is a pure function of the shared state
+    — never of the member set — so a fused group that loses a cell
+    mid-span must keep producing the exact floats the smaller group
+    would have computed from scratch.  These tests pin that invariant
+    where it is most fragile: a single divergent cell among N, trips
+    landing at span boundaries (zero-tick evictions under 1-tick
+    budgets), and regrouping after the peeled cell recovers.
+    """
+
+    def _noisy_fg_fleet(self, seeds):
+        def populate(machine):
+            machine.spawn(
+                make_fg(input_noise=0.05, total_gi=0.2), core=0, nice=-5
+            )
+            for core in range(1, machine.config.num_cores):
+                machine.spawn(make_bg(heavy=core % 2 == 0),
+                              core=core, nice=5)
+
+        return _fleet(seeds, BACKEND_BATCH, populate=populate, **QUIET)
+
+    def test_one_divergent_cell_among_n_fused(self):
+        # Five cells, per-seed noise-drawn FG targets: the earliest
+        # completion trips exactly one column while four keep fusing.
+        seeds = [101, 102, 103, 104, 105]
+        reference, logs_r = self._noisy_fg_fleet(seeds)
+        vector, logs_v = self._noisy_fg_fleet(seeds)
+        for m in reference:
+            m.run_ticks(15_000)
+        driver = MultiCell(vector)
+        driver.run_ticks(15_000)
+        _assert_fleets_equal(reference, logs_r, vector, logs_v)
+        if _fusion_active():
+            assert driver.stats.partial_peels > 0
+            assert driver.stats.vector_peels > 0
+
+    def test_divergence_at_span_boundaries(self):
+        # Tiny drive chunks force 1-tick span budgets around the
+        # completion window, so trips land on the first tick of a
+        # fused span (zero ticks committed before the eviction).
+        seeds = [111, 112, 113, 114]
+        reference, logs_r = self._noisy_fg_fleet(seeds)
+        chunked, logs_c = self._noisy_fg_fleet(seeds)
+        chunks = (2_500, 1, 1, 1, 2, 3, 500) * 4
+        total = sum(chunks)
+        for m in reference:
+            m.run_ticks(total)
+        driver = MultiCell(chunked)
+        for chunk in chunks:
+            driver.run_ticks(chunk)
+        _assert_fleets_equal(reference, logs_r, chunked, logs_c)
+
+    def test_regroup_after_recovery(self):
+        # Single-phase FG + one long BG phase: the shared trajectory
+        # sits at its rho fixed point, so a completion trip only
+        # redraws the tripped cell's per-cell target — the replayed
+        # scalar tick lands the cell back on the exact shared
+        # trajectory and it rejoins the fused group next round.
+        from tests.conftest import make_phase
+
+        def populate(machine):
+            fg = make_fg(
+                phases=(make_phase(
+                    "only", instructions=2e8, base_cpi=0.7,
+                    mpki_floor=0.3, mpki_peak=1.5, apki=8.0,
+                ),),
+                input_noise=0.05,
+            )
+            machine.spawn(fg, core=0, nice=-5)
+            bg = make_bg()
+            bg = type(bg)(
+                name=bg.name, kind=bg.kind,
+                phases=(make_phase("flat", instructions=1e12),),
+            )
+            for core in range(1, machine.config.num_cores):
+                machine.spawn(bg, core=core, nice=5)
+
+        seeds = [121, 122, 123]
+        reference, logs_r = _fleet(
+            seeds, BACKEND_BATCH, populate=populate, **QUIET
+        )
+        vector, logs_v = _fleet(
+            seeds, BACKEND_BATCH, populate=populate, **QUIET
+        )
+        for m in reference:
+            m.run_ticks(18_000)
+        driver = MultiCell(vector)
+        driver.run_ticks(9_000)
+        if _fusion_active():
+            assert driver.stats.partial_peels > 0
+        before = driver.stats.vector_spans
+        cells_before = driver.stats.cells_per_span
+        driver.run_ticks(9_000)
+        _assert_fleets_equal(reference, logs_r, vector, logs_v)
+        if _fusion_active():
+            # Peels happened in the first half, yet full-width fused
+            # spans keep forming in the second: cells regrouped.
+            new_spans = driver.stats.vector_spans - before
+            new_cells = driver.stats.cells_per_span - cells_before
+            assert new_spans > 0
+            assert new_cells >= 2 * new_spans
 
 
 class TestKnobsAndFallbacks:
