@@ -24,7 +24,11 @@ along and emits ``BENCH_harness.json`` at the repository root:
 4. **Sweep engine + persistent cache**: wall-clock of a 3-mix x
    2-policy figure sweep — serial with cold caches, 4-worker parallel
    with cold caches, and 4-worker parallel with a warm disk cache.
-5. **Correctness**: the serial and parallel sweeps must produce
+5. **Warm workers**: repeated small sweeps with cleared result caches,
+   cold pool (re-spawned per sweep) vs one reused warm pool (persistent
+   kernel cache, warm-seeded solver memos, work-stealing dispatch) —
+   the cost repeated interactive figure runs actually pay.
+6. **Correctness**: the serial and parallel sweeps must produce
    identical RunResults (also property-tested in
    ``tests/experiments/test_parallel.py``; scalar/batch equivalence is
    pinned by ``tests/sim/test_batch_equivalence.py``, vector
@@ -57,8 +61,18 @@ from repro.core.policies import BASELINE, DIRIGENT
 from repro.experiments import harness
 from repro.experiments.harness import build_machine, run_policy
 from repro.experiments.mixes import mix_by_name
-from repro.experiments.parallel import default_workers, run_grid
+from repro.experiments.parallel import (
+    ENV_PACK_CELLS,
+    default_workers,
+    run_grid,
+    shutdown_pool,
+)
 from repro.sim import spanplan
+from repro.sim.config import (
+    ENV_KERNEL_DISK_CACHE,
+    ENV_POOL_REUSE,
+    ENV_STEAL,
+)
 from repro.sim.batch import (
     BACKEND_BATCH,
     BACKEND_SCALAR,
@@ -81,6 +95,12 @@ SWEEP_POLICIES = (BASELINE, DIRIGENT)
 SWEEP_EXECUTIONS = 8
 SWEEP_WARMUP = 2
 SWEEP_WORKERS = 4
+
+#: Warm-worker section: repeated small sweeps, where pool spawn and
+#: per-process warm-up are a real fraction of the wall-clock.
+WARM_SWEEP_REPS = 3
+WARM_SWEEP_EXECUTIONS = 2
+WARM_SWEEP_WARMUP = 1
 
 MULTI_CELL_NS = (1, 16, 64, 256)
 MULTI_CELL_TICKS = 12_000
@@ -266,6 +286,109 @@ def _snapshot(sweep) -> dict:
     return {"%s|%s" % key: repr(result) for key, result in sweep.results.items()}
 
 
+def _sum(sweeps, field: str) -> int:
+    return sum(getattr(sweep, field) for sweep in sweeps)
+
+
+def _warm_worker_section(mixes) -> dict:
+    """Cold-pool vs reused-pool wall-clock over repeated small sweeps.
+
+    The scenario is repeated figure generation: the result disk cache
+    is warm (a prime sweep fills it), so a sweep's wall-clock is pure
+    engine overhead — pool handling, cell dispatch, cache reads, IPC.
+    The cold leg pays pool spawn + the warm-up initializer on every
+    sweep; the warm leg pays them once (untimed spawn sweep) and then
+    reuses the pool.  ``REPRO_PACK_CELLS=1`` keeps the deque longer
+    than the worker count so the timed sweeps also exercise work
+    stealing.
+    """
+    pins = {
+        ENV_KERNEL_DISK_CACHE: "1",
+        ENV_STEAL: "1",
+        ENV_PACK_CELLS: "1",
+    }
+    previous = {
+        name: os.environ.get(name)
+        for name in tuple(pins) + (ENV_POOL_REUSE,)
+    }
+
+    def _sweep():
+        start = time.perf_counter()
+        sweep = run_grid(
+            mixes, SWEEP_POLICIES, executions=WARM_SWEEP_EXECUTIONS,
+            warmup=WARM_SWEEP_WARMUP, workers=SWEEP_WORKERS,
+        )
+        return sweep, time.perf_counter() - start
+
+    os.environ.update(pins)
+    try:
+        # Prime the result and kernel caches: the timed sweeps below
+        # measure engine overhead on a warm cache, not simulation time.
+        os.environ[ENV_POOL_REUSE] = "0"
+        shutdown_pool()
+        harness.clear_caches()
+        prime, _ = _sweep()
+
+        cold_sweeps = []
+        cold_s = 0.0
+        for _ in range(WARM_SWEEP_REPS):
+            shutdown_pool()
+            sweep, elapsed = _sweep()
+            cold_sweeps.append(sweep)
+            cold_s += elapsed
+
+        os.environ[ENV_POOL_REUSE] = "1"
+        shutdown_pool()
+        spawn, _ = _sweep()  # pays the one-time spawn + preload, untimed
+        warm_sweeps = []
+        warm_s = 0.0
+        for _ in range(WARM_SWEEP_REPS):
+            sweep, elapsed = _sweep()
+            warm_sweeps.append(sweep)
+            warm_s += elapsed
+    finally:
+        shutdown_pool()
+        harness.clear_caches()
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+    snapshots = [
+        _snapshot(sweep)
+        for sweep in [prime] + cold_sweeps + [spawn] + warm_sweeps
+    ]
+    assert all(snapshot == snapshots[0] for snapshot in snapshots)
+
+    return {
+        "note": (
+            "repeated %d-cell sweeps on a warm result cache (pure "
+            "engine overhead); cold re-spawns the pool per sweep, warm "
+            "reuses one pool (spawn sweep untimed); counters are "
+            "summed over the timed warm sweeps (plus the spawn sweep "
+            "for the disk-preload counters)"
+            % len(prime.results)
+        ),
+        "reps": WARM_SWEEP_REPS,
+        "executions": WARM_SWEEP_EXECUTIONS,
+        "warmup": WARM_SWEEP_WARMUP,
+        "workers": SWEEP_WORKERS,
+        "cold_pool_s": round(cold_s, 3),
+        "warm_pool_s": round(warm_s, 3),
+        "speedup_warm_vs_cold": round(cold_s / warm_s, 3),
+        "warm_starts": _sum(warm_sweeps, "warm_starts"),
+        "kernels_preloaded": _sum([spawn] + warm_sweeps,
+                                  "kernels_preloaded"),
+        "kernel_disk_hits": _sum([spawn] + warm_sweeps,
+                                 "kernel_disk_hits"),
+        "steals": _sum(warm_sweeps, "steals"),
+        "packs_split": _sum(warm_sweeps, "packs_split"),
+        "ipc_bytes": _sum(warm_sweeps, "ipc_bytes"),
+        "identical_results": True,
+    }
+
+
 def run_benchmark() -> dict:
     """Measure every layer and write ``BENCH_harness.json``.
 
@@ -343,6 +466,8 @@ def run_benchmark() -> dict:
     assert _snapshot(serial) == _snapshot(parallel_cold) == _snapshot(
         parallel_warm
     )
+
+    warm_worker = _warm_worker_section(mixes)
 
     speedup_default = rate_default / pre["tick_rate_default"]
     speedup_sigma0 = rate_sigma0 / pre["tick_rate_sigma0"]
@@ -453,6 +578,7 @@ def run_benchmark() -> dict:
                 "which is what repeated figure generation pays."
             ),
         },
+        "warm_worker": warm_worker,
         "identical_results": True,
     }
     ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
@@ -472,6 +598,12 @@ def check_floors(artifact: dict) -> None:
     assert artifact["sweep"]["speedup_vs_pre_pr_serial_warm"] >= 4.0, (
         artifact["sweep"]
     )
+    warm_worker = artifact["warm_worker"]
+    assert warm_worker["speedup_warm_vs_cold"] >= 2.0, warm_worker
+    assert warm_worker["warm_starts"] > 0, warm_worker
+    assert warm_worker["kernel_disk_hits"] > 0, warm_worker
+    assert warm_worker["steals"] > 0, warm_worker
+    assert warm_worker["ipc_bytes"] > 0, warm_worker
     assert backends["event_sparse"]["speedup"] >= 3.0, (
         backends["event_sparse"]
     )

@@ -8,6 +8,7 @@ Usage::
     python -m repro table1
     python -m repro cache stats
     python -m repro cache clear
+    python -m repro cache kernels [stats|list|clear]
     python -m repro bench [--profile profile.pstats] [--skip-floors]
     python -m repro lint [paths ...] [--format=json] [--select=DET,ENV]
     python -m repro chaos [--scenario sensor-degraded] [--mix "bodytrack bwaves"]
@@ -62,8 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="root for scope-relative paths")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule registry and exit")
-    cache = sub.add_parser("cache", help="inspect or purge the result cache")
-    cache.add_argument("action", choices=("stats", "clear"))
+    cache = sub.add_parser(
+        "cache", help="inspect or purge the result and kernel caches"
+    )
+    cache.add_argument("action", choices=("stats", "clear", "kernels"))
+    cache.add_argument(
+        "sub", nargs="?", default="stats",
+        choices=("stats", "list", "clear"),
+        help="kernel-cache operation (only with the kernels action; "
+             "default: stats)",
+    )
     chaos = sub.add_parser(
         "chaos",
         help="run the fault-injection scenario suite "
@@ -166,6 +175,11 @@ def _run_bench(args) -> int:
           % (noisy["speedup"], noisy["stats"]["partial_peels"]))
     print("sweep speedup (warm cache):    %.3fx"
           % artifact["sweep"]["speedup_vs_pre_pr_serial_warm"])
+    warm = artifact["warm_worker"]
+    print("warm-pool sweep speedup:       %.3fx (%d warm starts, "
+          "%d kernel disk hits, %d steals)"
+          % (warm["speedup_warm_vs_cold"], warm["warm_starts"],
+             warm["kernel_disk_hits"], warm["steals"]))
     if args.skip_floors:
         return 0
     try:
@@ -219,7 +233,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             lint_argv.append("--list-rules")
         return run_lint(lint_argv)
     if args.command == "cache":
-        from repro.experiments.diskcache import get_cache
+        from repro.experiments.diskcache import get_cache, get_kernel_cache
+        if args.action == "kernels":
+            kernels = get_kernel_cache()
+            if args.sub == "clear":
+                removed = kernels.clear()
+                print("removed %d cached kernels from %s"
+                      % (removed, kernels.root))
+                return 0
+            if args.sub == "list":
+                shown = 0
+                for shape, source in kernels.entries():
+                    print("%r: %d source bytes" % (shape, len(source)))
+                    shown += 1
+                print("%d kernel(s) for the current code version" % shown)
+                return 0
+            stats = kernels.stats()
+            print("kernel cache:  %s" % stats["root"])
+            print("enabled:       %s" % stats["enabled"])
+            print("code version:  %s" % stats["code_version"])
+            print("entries:       %d current, %d stale (%.1f KiB)"
+                  % (stats["entries"], stats["stale_entries"],
+                     stats["total_bytes"] / 1024.0))
+            print("this process:  %d hits, %d misses, %d stores"
+                  % (stats["hits"], stats["misses"], stats["stores"]))
+            print("corrupt drops: %d (unreadable entries discarded this "
+                  "process)" % stats["corrupt_drops"])
+            return 0
         cache = get_cache()
         if args.action == "clear":
             removed = cache.clear()
@@ -251,7 +291,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.sim.batch import ENV_BACKEND
         os.environ[ENV_BACKEND] = args.backend
     result = driver(seed=args.seed, **kwargs)
-    print(render(result, max_rows=args.max_rows))
+    from repro.experiments.parallel import last_sweep
+
+    print(render(result, max_rows=args.max_rows, sweep=last_sweep()))
     return 0
 
 

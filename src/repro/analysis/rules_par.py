@@ -17,8 +17,13 @@ callables to be picklable — importable at top level under their
   names, no mutating method calls (``append``/``clear``/...) on them.
   Such writes land in the *worker's* copy of the module and are lost —
   or, under a ``fork`` start method, differ by scheduling history.
+* ``PAR003`` — a pool's ``initializer=`` callable is held to the same
+  bar as the workers it warms: module level (picklable, closure-free)
+  and free of direct module-state mutation in its own body.  An impure
+  initializer is worse than an impure worker — it runs before any cell
+  and taints *every* result the pool produces.
 
-Both rules are scoped to modules that actually use a process pool, so
+All rules are scoped to modules that actually use a process pool, so
 ordinary code pays nothing.
 """
 
@@ -88,6 +93,18 @@ def _submissions(tree: ast.Module, pools: Set[str]):
         index = SUBMIT_METHODS[func.attr]
         if len(node.args) > index:
             yield node, node.args[index]
+
+
+def _initializers(tree: ast.Module):
+    """Yield the ``initializer=`` expression of each pool constructor."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if call_name(node) not in POOL_CONSTRUCTORS:
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == "initializer":
+                yield keyword.value
 
 
 def _function_index(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
@@ -230,3 +247,46 @@ class WorkerMustNotMutateModuleState(Rule):
                         "state from a worker process"
                         % (worker.name, func.value.id, func.attr),
                     )
+
+
+@register
+class PoolInitializerMustBePure(WorkerMustNotMutateModuleState):
+    """PAR003: pool initializers face the same bar as workers."""
+
+    id = "PAR003"
+    severity = "error"
+    description = (
+        "process-pool initializer is not a module-level pure callable: "
+        "it must pickle by qualified name and must not mutate module "
+        "state, because it runs in every worker before any cell does"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        top_level = _function_index(module.tree)
+        nested = _nested_function_names(module.tree) - set(top_level)
+        module_names = module.top_level_names()
+        for init_expr in _initializers(module.tree):
+            if isinstance(init_expr, ast.Lambda):
+                yield self.finding(
+                    module, init_expr,
+                    "lambda used as a pool initializer; define a "
+                    "module-level function instead",
+                )
+            elif isinstance(init_expr, ast.Name):
+                if init_expr.id in nested:
+                    yield self.finding(
+                        module, init_expr,
+                        "nested function %r used as a pool initializer; "
+                        "hoist it to module level so it pickles and "
+                        "carries no closure state" % init_expr.id,
+                    )
+                elif init_expr.id in top_level:
+                    yield from self._check_worker(
+                        module, top_level[init_expr.id], module_names
+                    )
+            else:
+                yield self.finding(
+                    module, init_expr,
+                    "pool initializer is not a plain module-level "
+                    "function reference",
+                )

@@ -16,11 +16,17 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.policies import DIRIGENT
+from repro.core.policies import BASELINE, DIRIGENT
 from repro.errors import ExperimentError
 from repro.experiments.figures import FigureResult
-from repro.experiments.harness import RunResult, run_policy
+from repro.experiments.harness import (
+    RunResult,
+    default_executions,
+    run_policy,
+)
 from repro.experiments.mixes import Mix, mix_by_name
+from repro.experiments.parallel import run_grid
+from repro.experiments.report import sweep_summary
 from repro.faults import SCENARIO_NAMES, scenario
 
 #: Mixes the chaos suite (and the CI smoke job) exercises by default:
@@ -48,6 +54,20 @@ def run_chaos(
     """
     mix_names = tuple(mixes) if mixes else DEFAULT_CHAOS_MIXES
     scenario_names = tuple(scenarios) if scenarios else SCENARIO_NAMES
+    # Warm the clean-Baseline deadlines through the (parallel, cached)
+    # sweep engine before the serial chaos cells ask for them one by
+    # one.  Executions are resolved first so the warm sweep's cache
+    # keys match what each chaos cell's `deadlines_for` will look up.
+    resolved = (
+        executions if executions is not None else default_executions()
+    )
+    warm_sweep = run_grid(
+        [mix_by_name(name) for name in mix_names],
+        [BASELINE],
+        executions=resolved,
+        warmup=warmup,
+        seed=seed,
+    )
     rows: List[Tuple[object, ...]] = []
     hardened = None
     for mix_name in mix_names:
@@ -93,6 +113,8 @@ def run_chaos(
             "fault-free — only the runtime's sensor/actuator view is "
             "corrupted",
             "hardening kill switch: REPRO_DEGRADED_MODE=0",
+        ) + tuple(
+            "baseline warm-up %s" % line for line in sweep_summary(warm_sweep)
         ),
     )
 

@@ -53,6 +53,32 @@ cells are recomputed serially once (:attr:`SweepResult.retried`), with
 unrecoverable cells counted in :attr:`SweepResult.failed` instead of
 aborting the sweep.  Lost-cell recovery cannot change values: every
 cell's result depends only on its arguments, never on where it ran.
+
+**Warm workers.** Repeated small sweeps (policy tournaments, fleet
+grids) used to pay full cold start on every call: a fresh pool, a fresh
+``exec`` of every span kernel per worker, static pack assignment, and a
+pickled object graph per result row.  Four mechanisms remove that
+overhead, all result-neutral and individually kill-switchable:
+
+* **Pool reuse** (``REPRO_POOL_REUSE``): a module-level
+  :class:`WorkerPool` keeps the executor alive across consecutive
+  :func:`run_grid` calls.  The pool's generation key folds in the
+  worker count, the code-version tag, and a fingerprint of every
+  declared env knob; any change — or a broken/timed-out pool — retires
+  the workers and respawns.
+* **Warm initializer**: respawned workers run :func:`_warm_worker`
+  once, preloading compiled span kernels from the persistent kernel
+  cache (``REPRO_KERNEL_DISK_CACHE``, see
+  :mod:`repro.experiments.diskcache`) and pre-seeding the solver memos
+  for the sweep's workload phases.
+* **Work stealing** (``REPRO_STEAL``): packs are seeded one per worker
+  and the remainder drained from a deque as futures complete, with the
+  largest remaining pack split at seed-group boundaries when workers
+  idle — a straggler pack no longer bounds wall-clock.
+* **Columnar transport**: workers return packs as flat
+  :class:`~repro.experiments.transport.EncodedPack` columns instead of
+  pickled ``RunResult`` graphs; the parent decodes bit-identical
+  objects and records the payload size in ``SweepResult.ipc_bytes``.
 """
 
 from __future__ import annotations
@@ -60,13 +86,15 @@ from __future__ import annotations
 import logging
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.policies import Policy
+from repro.experiments.diskcache import code_version_tag
 from repro.experiments.harness import (
     DEFAULT_WARMUP,
     RunResult,
@@ -77,6 +105,7 @@ from repro.experiments.harness import (
     run_policy_cached,
 )
 from repro.experiments.mixes import Mix
+from repro.experiments.transport import EncodedPack, decode_pack, encode_pack
 from repro.sim.batch import BACKEND_VECTOR, resolve_backend
 from repro.sim.config import (
     ENV_CELL_TIMEOUT_S,
@@ -86,14 +115,20 @@ from repro.sim.config import (
     env_cell_timeout_s,
     env_pack_cells,
     env_workers,
+    knob_fingerprint,
+    pool_reuse_enabled,
+    steal_enabled,
 )
+from repro.sim.perf import warm_solver_tables
+from repro.sim.spanplan import consume_kernel_cache_stats, preload_kernels
+from repro.workloads.catalog import get_rotate_pair, get_workload
 
 _log = logging.getLogger(__name__)
 
 _default_workers: Optional[int] = None
 
-__all__ = ["ENV_PACK_CELLS", "SweepResult", "default_workers", "run_grid",
-           "set_default_workers"]
+__all__ = ["ENV_PACK_CELLS", "SweepResult", "default_workers", "last_sweep",
+           "run_grid", "set_default_workers", "shutdown_pool"]
 
 
 def set_default_workers(workers: int) -> None:
@@ -137,6 +172,19 @@ class SweepResult:
         failures: ``(mix, policy, reason)`` per failed cell.
         fallback_reason: Why a requested parallel sweep ran serially
             instead (None for healthy sweeps).
+        warm_starts: 1 when the sweep ran on a reused (already-live)
+            worker pool, 0 for a cold pool or a serial sweep.
+        kernels_preloaded: Span kernels compiled ahead of demand by
+            pool initializers (summed over workers) and parent-side
+            preloads.
+        kernel_disk_hits: Kernel sources served from the persistent
+            ``.repro_cache/kernels/`` store instead of regenerated
+            (workers + parent).
+        steals: Packs dispatched on demand after the initial one-per-
+            worker seeding (work-stealing mode only).
+        packs_split: Packs split in two because workers were idle with
+            too few packs queued.
+        ipc_bytes: Columnar result payload bytes returned by workers.
     """
 
     results: Dict[Tuple, RunResult] = field(default_factory=dict)
@@ -150,6 +198,12 @@ class SweepResult:
     failed: int = 0
     failures: List[Tuple[str, str, str]] = field(default_factory=list)
     fallback_reason: Optional[str] = None
+    warm_starts: int = 0
+    kernels_preloaded: int = 0
+    kernel_disk_hits: int = 0
+    steals: int = 0
+    packs_split: int = 0
+    ipc_bytes: int = 0
 
     def get(
         self, mix: Mix, policy: Policy, seed: Optional[int] = None
@@ -239,6 +293,147 @@ def _run_pack(pack: List[Tuple]) -> List[Tuple[Tuple, RunResult, float]]:
     return out
 
 
+def _run_pack_encoded(pack: List[Tuple]) -> EncodedPack:
+    """Worker: run a pack and return it in columnar transport form.
+
+    The kernel-cache counter snapshot rides along so the parent can
+    attribute worker-side disk hits and initializer preloads to the
+    sweep without the workers sharing any state.
+    """
+    return encode_pack(_run_pack(pack), consume_kernel_cache_stats())
+
+
+def _warm_payload(
+    mixes: Sequence[Mix], config: MachineConfig
+) -> Tuple[Tuple, MachineConfig]:
+    """Initializer payload: the sweep's distinct phase specs + config.
+
+    Collected parent-side (phase specs are small frozen dataclasses, so
+    the payload pickles cheaply) and handed to every respawned worker's
+    :func:`_warm_worker`.
+    """
+    phases: List[object] = []
+    seen = set()
+    specs: List[object] = []
+    for mix in mixes:
+        specs.append(get_workload(mix.fg_name))
+        if mix.is_rotate:
+            pair = get_rotate_pair(mix.rotate_name)
+            specs.append(pair.first)
+            specs.append(pair.second)
+        else:
+            specs.append(get_workload(mix.bg_name))
+    for spec in specs:
+        for phase in spec.phases:
+            key = (spec.name, phase.name)
+            if key not in seen:
+                seen.add(key)
+                phases.append(phase)
+    return tuple(phases), config
+
+
+def _warm_worker(payload: Tuple[Tuple, MachineConfig]) -> None:
+    """Pool initializer: warm a fresh worker's per-process caches.
+
+    Runs once per worker process before its first task: compiles the
+    shipped template shapes plus every persisted kernel-cache entry
+    into the in-process code cache, and pre-seeds the solver memos for
+    the sweep's workload phases.  Warming is purely accelerative — a
+    seeded memo entry is bit-identical to the one a cold run would
+    build — and best-effort: a failure here logs and leaves the worker
+    cold rather than breaking the pool.
+    """
+    phases, config = payload
+    try:
+        preload_kernels()
+        warm_solver_tables(config, phases)
+    except Exception:  # pragma: no cover - warming must never kill a pool
+        _log.exception("worker warm-up failed; continuing cold")
+
+
+class WorkerPool:
+    """Keeps one ``ProcessPoolExecutor`` alive across consecutive sweeps.
+
+    Reuse is generation-based: the live pool is handed out again only
+    while ``(max_workers, code-version tag, env-knob fingerprint)``
+    matches the key it was spawned under.  Any mismatch — a knob flip,
+    a different worker count, new simulator code — and any unhealthy
+    release (timeout, ``BrokenProcessPool``) retires the pool; the next
+    acquire respawns with the warm initializer and bumps
+    ``generation``.  With ``REPRO_POOL_REUSE`` off, acquire returns a
+    plain single-sweep pool exactly as before this layer existed: sized
+    to the cell count, no initializer, never retained.
+    """
+
+    def __init__(self) -> None:
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._key: Optional[Tuple] = None
+        self.generation = 0
+
+    def acquire(
+        self, workers: int, payload: Tuple[Tuple, MachineConfig]
+    ) -> Tuple[ProcessPoolExecutor, bool]:
+        """A pool of ``workers`` processes; returns ``(pool, warm)``.
+
+        ``warm`` is True when the returned pool was already alive (its
+        workers carry previous sweeps' caches).  May raise whatever the
+        executor constructor raises; the caller owns the fallback.
+        """
+        if not pool_reuse_enabled():
+            self.discard()
+            return ProcessPoolExecutor(max_workers=workers), False
+        key = (workers, code_version_tag(), knob_fingerprint())
+        if self._pool is not None and self._key == key:
+            return self._pool, True
+        self.discard()
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_warm_worker,
+            initargs=(payload,),
+        )
+        self._pool = pool
+        self._key = key
+        self.generation += 1
+        return pool, False
+
+    def release(
+        self, pool: ProcessPoolExecutor, keep: bool, wait_workers: bool
+    ) -> None:
+        """Return a pool after a sweep.
+
+        A healthy retained pool stays alive for the next acquire;
+        anything else shuts down (without waiting when a timed-out
+        worker may still be wedged on a pack).
+        """
+        if keep and pool is self._pool and pool_reuse_enabled():
+            return
+        if pool is self._pool:
+            self._pool = None
+            self._key = None
+        pool.shutdown(wait=wait_workers, cancel_futures=True)
+
+    def discard(self) -> None:
+        """Retire the live pool immediately (tests, CLI, invalidation)."""
+        pool, self._pool, self._key = self._pool, None, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+_POOL = WorkerPool()
+
+_LAST_SWEEP: Optional[SweepResult] = None
+
+
+def shutdown_pool() -> None:
+    """Retire the module's reused worker pool (if any)."""
+    _POOL.discard()
+
+
+def last_sweep() -> Optional[SweepResult]:
+    """The most recently completed sweep (for report footers), or None."""
+    return _LAST_SWEEP
+
+
 def _pack_cells(
     cells: List[Tuple], workers: int, by_policy: bool = False
 ) -> List[List[Tuple]]:
@@ -319,8 +514,7 @@ def run_grid(
         if lost is not None:
             sweep.mode = "parallel"
             _retry_lost_cells(sweep, lost)
-            sweep.elapsed_s = time.perf_counter() - start
-            return sweep
+            return _finish_sweep(sweep, start)
         # Pool never came up or died before producing results
         # (restricted platform): run serially below, keeping the cause.
         sweep = SweepResult(workers=1,
@@ -331,7 +525,22 @@ def run_grid(
         for key, result, spent in _run_pack(pack):
             sweep.results[key] = result
             sweep.cell_timings[key] = spent
+    return _finish_sweep(sweep, start)
+
+
+def _finish_sweep(sweep: SweepResult, start: float) -> SweepResult:
+    """Fold parent-side counters in, stamp timing, publish the sweep.
+
+    Parent-side kernel-cache activity covers serial sweeps, serial
+    retries of lost cells, and any preloading the parent process did
+    itself; worker-side activity arrived with each pack's columns.
+    """
+    global _LAST_SWEEP
+    counters = consume_kernel_cache_stats()
+    sweep.kernel_disk_hits += counters.get("kernel_disk_hits", 0)
+    sweep.kernels_preloaded += counters.get("kernels_preloaded", 0)
     sweep.elapsed_s = time.perf_counter() - start
+    _LAST_SWEEP = sweep
     return sweep
 
 
@@ -397,12 +606,20 @@ def _run_parallel(
             )
     packs = _pack_cells(cells, workers, by_policy)
     timeout_s = env_cell_timeout_s()
-    timed_out = False
+    mix_map = {mix.name: mix for mix in mixes}
+    # Without pool reuse the pool is sized to the cell count exactly as
+    # before this layer existed; a reusable pool keeps its full width so
+    # the generation key (and the forked workers) stay stable across
+    # sweeps of different sizes.
+    size = workers if pool_reuse_enabled() else min(workers, len(cells))
     try:
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(cells)))
+        pool, warm = _POOL.acquire(size, _warm_payload(mixes, config))
     except (OSError, RuntimeError, PermissionError) as exc:
         _fall_back(sweep, exc)
         return None
+    sweep.warm_starts = 1 if warm else 0
+    timed_out = False
+    pool_broken = False
     try:
         try:
             if needs_prepare and len(mixes) > 0:
@@ -411,29 +628,156 @@ def _run_parallel(
                     _prepare_cell, prepare_args, chunksize=chunk
                 ):
                     sweep.prepare_timings[name] = spent
-            sweep.pack_sizes = [len(pack) for pack in packs]
-            futures = [(pack, pool.submit(_run_pack, pack))
-                       for pack in packs]
         except (OSError, BrokenProcessPool, RuntimeError,
                 PermissionError) as exc:
             # No fork/spawn, no semaphores, or the pool died during the
             # prepare phase: nothing collected yet, recompute serially.
+            pool_broken = True
             _fall_back(sweep, exc)
             return None
-        lost: List[Tuple] = []
-        pool_broken = False
-        for pack, future in futures:
-            if pool_broken:
-                lost.extend(pack)
-                continue
-            try:
-                if timeout_s is not None:
-                    pack_results = future.result(
-                        timeout=timeout_s * len(pack)
-                    )
-                else:
-                    pack_results = future.result()
-            except FutureTimeoutError:
+        if steal_enabled():
+            lost, timed_out, pool_broken = _dispatch_stealing(
+                sweep, pool, packs, timeout_s, size, mix_map
+            )
+        else:
+            lost, timed_out, pool_broken = _dispatch_static(
+                sweep, pool, packs, timeout_s, mix_map
+            )
+        if lost is None:
+            return None
+        return lost
+    finally:
+        # A healthy pool is retained for the next sweep (reuse mode); a
+        # timed-out worker may still be running, so abandon it rather
+        # than letting shutdown block result delivery on its completion.
+        _POOL.release(
+            pool,
+            keep=not (timed_out or pool_broken),
+            wait_workers=not timed_out,
+        )
+
+
+def _dispatch_static(
+    sweep: SweepResult,
+    pool: ProcessPoolExecutor,
+    packs: List[List[Tuple]],
+    timeout_s: Optional[float],
+    mix_map: Dict[str, Mix],
+) -> Tuple[Optional[List[Tuple]], bool, bool]:
+    """Pre-PR dispatch: submit every pack up front, collect in order.
+
+    Selected by ``REPRO_STEAL=0``.  Returns ``(lost, timed_out,
+    pool_broken)``; ``lost`` is None when the pool died before any
+    policy-cell result was collected (whole-sweep serial fallback).
+    """
+    try:
+        sweep.pack_sizes = [len(pack) for pack in packs]
+        futures = [(pack, pool.submit(_run_pack_encoded, pack))
+                   for pack in packs]
+    except (OSError, BrokenProcessPool, RuntimeError,
+            PermissionError) as exc:
+        _fall_back(sweep, exc)
+        return None, False, True
+    lost: List[Tuple] = []
+    timed_out = False
+    pool_broken = False
+    for pack, future in futures:
+        if pool_broken:
+            lost.extend(pack)
+            continue
+        try:
+            if timeout_s is not None:
+                payload = future.result(timeout=timeout_s * len(pack))
+            else:
+                payload = future.result()
+        except FutureTimeoutError:
+            _log.warning(
+                "sweep pack of %d cells exceeded the %.1fs/cell "
+                "budget (%s); retrying its cells serially",
+                len(pack), timeout_s, ENV_CELL_TIMEOUT_S,
+            )
+            timed_out = True
+            future.cancel()
+            lost.extend(pack)
+        except BrokenProcessPool as exc:
+            _log.warning(
+                "worker pool died mid-sweep (%s); retrying the "
+                "remaining cells serially", exc,
+            )
+            pool_broken = True
+            lost.extend(pack)
+        else:
+            _collect_pack(sweep, payload, mix_map)
+    return lost, timed_out, pool_broken
+
+
+def _dispatch_stealing(
+    sweep: SweepResult,
+    pool: ProcessPoolExecutor,
+    packs: List[List[Tuple]],
+    timeout_s: Optional[float],
+    workers: int,
+    mix_map: Dict[str, Mix],
+) -> Tuple[List[Tuple], bool, bool]:
+    """Adaptive dispatch: seed one pack per worker, steal the rest.
+
+    The remaining packs wait in a largest-first deque and are handed
+    out as futures complete; when idle capacity exceeds the queue
+    length the largest queued pack is split at a seed-group boundary.
+    Which worker runs a pack — and how packs are split — changes
+    scheduling only: every cell's result depends on its arguments
+    alone, and ``run_policy_batch`` sub-batches are bit-identical to
+    the unsplit batch (pinned by the warm-pool determinism suite).
+
+    Per-pack deadlines (``REPRO_CELL_TIMEOUT_S``) run from submission;
+    an expired pack is cancelled and its cells lost for the serial
+    retry, exactly as in static mode.  Returns ``(lost, timed_out,
+    pool_broken)``.
+    """
+    queue: Deque[List[Tuple]] = deque(
+        sorted(packs, key=len, reverse=True)
+    )
+    while len(queue) < workers and _split_largest(sweep, queue):
+        pass
+    inflight: Dict[object, Tuple[List[Tuple], Optional[float]]] = {}
+    lost: List[Tuple] = []
+    timed_out = False
+    pool_broken = False
+    seeded = 0
+    try:
+        while queue and seeded < workers:
+            _submit_pack(sweep, pool, queue, inflight, timeout_s)
+            seeded += 1
+    except BrokenProcessPool as exc:
+        _log.warning(
+            "worker pool died mid-sweep (%s); retrying the remaining "
+            "cells serially", exc,
+        )
+        pool_broken = True
+    while inflight and not pool_broken:
+        if timeout_s is not None:
+            now = time.monotonic()
+            budget = max(
+                0.0,
+                min(d for _, d in inflight.values() if d is not None)
+                - now,
+            )
+        else:
+            budget = None
+        done, _pending = wait(
+            list(inflight), timeout=budget,
+            return_when=FIRST_COMPLETED,
+        )
+        if not done:
+            # The wait expired: cancel every overdue pack and keep
+            # collecting the rest.
+            now = time.monotonic()
+            overdue = [
+                future for future, (_pack, deadline) in inflight.items()
+                if deadline is not None and deadline <= now
+            ]
+            for future in overdue:
+                pack, _deadline = inflight.pop(future)
                 _log.warning(
                     "sweep pack of %d cells exceeded the %.1fs/cell "
                     "budget (%s); retrying its cells serially",
@@ -442,6 +786,11 @@ def _run_parallel(
                 timed_out = True
                 future.cancel()
                 lost.extend(pack)
+            continue
+        for future in done:
+            pack, _deadline = inflight.pop(future)
+            try:
+                payload = future.result()
             except BrokenProcessPool as exc:
                 _log.warning(
                     "worker pool died mid-sweep (%s); retrying the "
@@ -449,15 +798,113 @@ def _run_parallel(
                 )
                 pool_broken = True
                 lost.extend(pack)
-            else:
-                for key, result, spent in pack_results:
-                    sweep.results[key] = result
-                    sweep.cell_timings[key] = spent
-        return lost
-    finally:
-        # A timed-out worker may still be running; abandon it rather
-        # than letting shutdown block result delivery on its completion.
-        pool.shutdown(wait=not timed_out, cancel_futures=True)
+                continue
+            _collect_pack(sweep, payload, mix_map)
+        if pool_broken:
+            break
+        idle = workers - len(inflight)
+        while queue and len(queue) < idle and _split_largest(sweep, queue):
+            pass
+        try:
+            while queue and len(inflight) < workers:
+                _submit_pack(sweep, pool, queue, inflight, timeout_s)
+                sweep.steals += 1
+        except BrokenProcessPool as exc:
+            _log.warning(
+                "worker pool died mid-sweep (%s); retrying the "
+                "remaining cells serially", exc,
+            )
+            pool_broken = True
+    if pool_broken:
+        for future, (pack, _deadline) in inflight.items():
+            future.cancel()
+            lost.extend(pack)
+        inflight.clear()
+    # Packs never dispatched (the pool died, or every worker wedged on
+    # a timed-out pack) fall through to the serial retry.
+    for pack in queue:
+        lost.extend(pack)
+    return lost, timed_out, pool_broken
+
+
+def _submit_pack(
+    sweep: SweepResult,
+    pool: ProcessPoolExecutor,
+    queue: Deque[List[Tuple]],
+    inflight: Dict[object, Tuple[List[Tuple], Optional[float]]],
+    timeout_s: Optional[float],
+) -> None:
+    """Dispatch the next queued pack; on submit failure re-queue it."""
+    pack = queue.popleft()
+    try:
+        future = pool.submit(_run_pack_encoded, pack)
+    except BrokenProcessPool:
+        queue.appendleft(pack)
+        raise
+    deadline = (
+        time.monotonic() + timeout_s * len(pack)
+        if timeout_s is not None else None
+    )
+    inflight[future] = (pack, deadline)
+    sweep.pack_sizes.append(len(pack))
+
+
+def _split_largest(
+    sweep: SweepResult, queue: Deque[List[Tuple]]
+) -> bool:
+    """Split the largest queued pack in two; False when none can split."""
+    if not queue:
+        return False
+    index = max(range(len(queue)), key=lambda i: len(queue[i]))
+    pack = queue[index]
+    if len(pack) < 2:
+        return False
+    head, tail = _split_pack(pack)
+    del queue[index]
+    queue.append(head)
+    queue.append(tail)
+    sweep.packs_split += 1
+    return True
+
+
+def _split_pack(pack: List[Tuple]) -> Tuple[List[Tuple], List[Tuple]]:
+    """Cut a pack near its midpoint, preferring a seed-group boundary.
+
+    A cut inside a seed group merely splits one ``run_policy_batch``
+    call into two smaller ones (bit-identical per cell, slightly less
+    fusion), so it is allowed when the pack is a single group.
+    """
+    half = len(pack) // 2
+    cut = half
+    boundaries = []
+    total = 0
+    for group in _seed_groups(pack)[:-1]:
+        total += len(group)
+        boundaries.append(total)
+    if boundaries:
+        cut = min(boundaries, key=lambda b: abs(b - half))
+    return pack[:cut], pack[cut:]
+
+
+def _collect_pack(
+    sweep: SweepResult, payload: object, mix_map: Dict[str, Mix]
+) -> None:
+    """Merge one pack's worker payload into the sweep.
+
+    Workers return :class:`EncodedPack` columns; plain row lists (test
+    doubles monkeypatching the worker) are accepted unchanged.
+    """
+    if isinstance(payload, EncodedPack):
+        sweep.ipc_bytes += payload.nbytes()
+        counters = payload.counters
+        sweep.kernel_disk_hits += counters.get("kernel_disk_hits", 0)
+        sweep.kernels_preloaded += counters.get("kernels_preloaded", 0)
+        rows = decode_pack(payload, mix_map)
+    else:
+        rows = payload
+    for key, result, spent in rows:
+        sweep.results[key] = result
+        sweep.cell_timings[key] = spent
 
 
 def _fall_back(sweep: SweepResult, exc: BaseException) -> None:

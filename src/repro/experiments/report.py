@@ -2,17 +2,68 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.experiments.figures import FigureResult
+from repro.experiments.parallel import SweepResult
 
 
-def render(result: FigureResult, max_rows: int = 0) -> str:
+def sweep_summary(sweep: SweepResult) -> Tuple[str, ...]:
+    """One-line-per-fact summary of how a sweep actually executed.
+
+    Surfaces the dispatch counters that matter when a sweep misbehaves
+    (retries, failures, degraded serial fallback) alongside the
+    warm-worker telemetry (pool reuse, kernel preloads, steals, IPC
+    volume).  Zero-valued degradation counters are omitted so a healthy
+    sweep reads as two short lines.
+    """
+    lines: List[str] = []
+    mode = "%s, %d worker%s" % (
+        sweep.mode, sweep.workers, "" if sweep.workers == 1 else "s"
+    )
+    if sweep.fallback_reason:
+        mode += " (fallback: %s)" % sweep.fallback_reason
+    lines.append("sweep: %d cells in %.2fs (%s)"
+                 % (len(sweep.results), sweep.elapsed_s, mode))
+    if sweep.pack_sizes:
+        lines.append("packs: %d sized %s" % (
+            len(sweep.pack_sizes),
+            "/".join(str(size) for size in sweep.pack_sizes),
+        ))
+    if sweep.retried or sweep.failed:
+        lines.append("degraded: %d cell(s) retried serially, %d failed"
+                     % (sweep.retried, sweep.failed))
+    warm_bits = []
+    if sweep.warm_starts:
+        warm_bits.append("%d warm start(s)" % sweep.warm_starts)
+    if sweep.kernels_preloaded:
+        warm_bits.append("%d kernel(s) preloaded" % sweep.kernels_preloaded)
+    if sweep.kernel_disk_hits:
+        warm_bits.append("%d kernel disk hit(s)" % sweep.kernel_disk_hits)
+    if warm_bits:
+        lines.append("warm workers: %s" % ", ".join(warm_bits))
+    if sweep.steals or sweep.packs_split:
+        lines.append("stealing: %d steal(s), %d pack(s) split"
+                     % (sweep.steals, sweep.packs_split))
+    if sweep.ipc_bytes:
+        lines.append("transport: %d column bytes from workers"
+                     % sweep.ipc_bytes)
+    return tuple(lines)
+
+
+def render(
+    result: FigureResult,
+    max_rows: int = 0,
+    sweep: Optional[SweepResult] = None,
+) -> str:
     """Render a :class:`FigureResult` as an aligned text table.
 
     Args:
         result: The figure data to render.
         max_rows: Truncate to this many rows (0 = no limit).
+        sweep: When given, append that sweep's execution summary as a
+            footer (dispatch mode, pack sizes, retries, warm-worker
+            counters).
     """
     rows = [tuple(str(cell) for cell in row) for row in result.rows]
     shown = rows if max_rows <= 0 else rows[:max_rows]
@@ -35,4 +86,6 @@ def render(result: FigureResult, max_rows: int = 0) -> str:
         lines.append("... (%d more rows)" % (len(rows) - max_rows))
     for note in result.notes:
         lines.append("note: %s" % note)
+    if sweep is not None:
+        lines.extend(sweep_summary(sweep))
     return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Columnar IPC transport for parallel-sweep results.
+
+A sweep pack's result rows are ``(key, RunResult, spent_s)`` tuples.
+Pickling those object graphs for the worker -> parent return path is
+the dominant IPC cost of a warm sweep: every ``RunResult`` drags its
+``Mix``, per-task duration tuples, prediction records, and histogram
+dicts through pickle's generic machinery.  This module flattens a pack
+into a handful of typed columns — one ``array('d')`` of floats, one
+``array('q')`` of layout integers, and short string lists — that pickle
+as compact contiguous buffers, and reconstructs the exact same objects
+on the parent side.
+
+Fidelity is the whole contract: floats ride C doubles bit-for-bit,
+histogram entries keep their insertion order, and the parent re-binds
+each row's ``Mix`` from the sweep's own mix objects (the serial path
+stores those very instances).  Rows the columns cannot carry — today,
+results with a ``fault_report`` — fall back to a per-row pickle blob,
+so the encoder never loses information.  Bit-identity of a decoded
+sweep against a serial one is pinned by the warm-pool determinism
+suite.
+"""
+
+from __future__ import annotations
+
+import pickle
+from array import array
+from typing import Any, Dict, List, Sequence, Tuple
+
+__all__ = ["EncodedPack", "decode_pack", "encode_pack"]
+
+
+class EncodedPack:
+    """One pack's result rows in columnar form (plus worker counters).
+
+    Attributes:
+        keys: Sweep keys, verbatim (small tuples of str/int).
+        policy_names: Per-row ``RunResult.policy_name``.
+        floats: All float payloads, row-major (``array('d')``).
+        ints: Row layout descriptors and integer payloads
+            (``array('q')``).
+        blobs: Pickled ``RunResult`` fallbacks for rows the columns
+            cannot carry (indexed in row order of the fallback rows).
+        counters: Worker-process counter deltas (kernel cache activity)
+            consumed by the parent into ``SweepResult``.
+    """
+
+    __slots__ = ("keys", "policy_names", "floats", "ints", "blobs",
+                 "counters")
+
+    def __init__(self) -> None:
+        self.keys: List[tuple] = []
+        self.policy_names: List[str] = []
+        self.floats = array("d")
+        self.ints = array("q")
+        self.blobs: List[bytes] = []
+        self.counters: Dict[str, int] = {}
+
+    def nbytes(self) -> int:
+        """Approximate transported payload size in bytes.
+
+        Counts the column buffers, fallback blobs, and key/name
+        strings; the few bytes of pickle framing around them are not
+        modeled.
+        """
+        total = self.floats.itemsize * len(self.floats)
+        total += self.ints.itemsize * len(self.ints)
+        total += sum(len(blob) for blob in self.blobs)
+        total += sum(len(name) for name in self.policy_names)
+        total += sum(len(repr(key)) for key in self.keys)
+        return total
+
+
+#: Row flags in the ``ints`` column.
+_ROW_COLUMNAR = 0
+_ROW_PICKLED = 1
+
+
+def encode_pack(
+    rows: Sequence[Tuple[tuple, Any, float]],
+    counters: Dict[str, int],
+) -> EncodedPack:
+    """Flatten ``(key, RunResult, spent_s)`` rows into an EncodedPack."""
+    pack = EncodedPack()
+    pack.counters = dict(counters)
+    floats = pack.floats
+    ints = pack.ints
+    for key, result, spent in rows:
+        pack.keys.append(key)
+        pack.policy_names.append(result.policy_name)
+        if result.fault_report is not None:
+            # Fault reports are deep, rare (chaos runs are serial), and
+            # not worth a bespoke layout: fall back to pickle per row.
+            ints.append(_ROW_PICKLED)
+            floats.append(spent)
+            pack.blobs.append(
+                pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+            )
+            continue
+        ints.append(_ROW_COLUMNAR)
+        floats.append(spent)
+        deadlines = result.deadlines_s
+        ints.append(len(deadlines))
+        floats.extend(deadlines)
+        ints.append(len(result.durations_s))
+        for task in result.durations_s:
+            ints.append(len(task))
+            floats.extend(task)
+        floats.append(result.bg_instr_per_s)
+        floats.append(result.elapsed_s)
+        floats.append(result.fg_instr)
+        floats.append(result.fg_misses)
+        floats.append(result.bg_misses)
+        floats.append(result.bg_instr)
+        ints.append(len(result.prediction_logs))
+        for log in result.prediction_logs:
+            ints.append(len(log))
+            for record in log:
+                ints.append(record.execution_index)
+                floats.append(record.predicted_total_s)
+                floats.append(record.actual_total_s)
+        histogram = result.bg_grade_histogram
+        ints.append(len(histogram))
+        for grade, count in histogram.items():
+            ints.append(grade)
+            ints.append(count)
+        ints.append(len(result.partition_history))
+        ints.extend(result.partition_history)
+    return pack
+
+
+def decode_pack(
+    pack: EncodedPack, mixes_by_name: Dict[str, Any]
+) -> List[Tuple[tuple, Any, float]]:
+    """Rebuild the ``(key, RunResult, spent_s)`` rows of an EncodedPack.
+
+    ``mixes_by_name`` supplies the parent-side ``Mix`` instances; each
+    row's key leads with the mix name, so the decoded ``RunResult``
+    carries the identical object a serial sweep would have stored.
+    """
+    from repro.core.runtime import PredictionRecord
+    from repro.experiments.harness import RunResult
+
+    rows: List[Tuple[tuple, Any, float]] = []
+    floats = pack.floats
+    ints = pack.ints
+    fi = 0
+    ii = 0
+    bi = 0
+    for row, key in enumerate(pack.keys):
+        flag = ints[ii]
+        ii += 1
+        spent = floats[fi]
+        fi += 1
+        if flag == _ROW_PICKLED:
+            rows.append((key, pickle.loads(pack.blobs[bi]), spent))
+            bi += 1
+            continue
+        n = ints[ii]
+        ii += 1
+        deadlines = tuple(floats[fi:fi + n])
+        fi += n
+        tasks = ints[ii]
+        ii += 1
+        durations: List[Tuple[float, ...]] = []
+        for _ in range(tasks):
+            n = ints[ii]
+            ii += 1
+            durations.append(tuple(floats[fi:fi + n]))
+            fi += n
+        scalars = floats[fi:fi + 6]
+        fi += 6
+        logs_n = ints[ii]
+        ii += 1
+        logs: List[Tuple[PredictionRecord, ...]] = []
+        for _ in range(logs_n):
+            n = ints[ii]
+            ii += 1
+            records = []
+            for _ in range(n):
+                index = ints[ii]
+                ii += 1
+                records.append(PredictionRecord(
+                    execution_index=index,
+                    predicted_total_s=floats[fi],
+                    actual_total_s=floats[fi + 1],
+                ))
+                fi += 2
+            logs.append(tuple(records))
+        hist_n = ints[ii]
+        ii += 1
+        histogram: Dict[int, int] = {}
+        for _ in range(hist_n):
+            histogram[ints[ii]] = ints[ii + 1]
+            ii += 2
+        n = ints[ii]
+        ii += 1
+        partitions = tuple(ints[ii:ii + n])
+        ii += n
+        result = RunResult(
+            mix=mixes_by_name[key[0]],
+            policy_name=pack.policy_names[row],
+            deadlines_s=deadlines,
+            durations_s=tuple(durations),
+            bg_instr_per_s=scalars[0],
+            elapsed_s=scalars[1],
+            fg_instr=scalars[2],
+            fg_misses=scalars[3],
+            bg_misses=scalars[4],
+            bg_instr=scalars[5],
+            prediction_logs=tuple(logs),
+            bg_grade_histogram=histogram,
+            partition_history=partitions,
+        )
+        rows.append((key, result, spent))
+    return rows

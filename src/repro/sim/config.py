@@ -192,6 +192,15 @@ ENV_CELL_TIMEOUT_S = "REPRO_CELL_TIMEOUT_S"
 #: Graceful-degradation kill switch (``0`` disables all hardening).
 ENV_DEGRADED_MODE = "REPRO_DEGRADED_MODE"
 
+#: Worker-pool reuse kill switch (``0``/``off``/``false`` disables).
+ENV_POOL_REUSE = "REPRO_POOL_REUSE"
+
+#: Persistent kernel-source cache kill switch (``0``/``off``/``false``).
+ENV_KERNEL_DISK_CACHE = "REPRO_KERNEL_DISK_CACHE"
+
+#: Work-stealing sweep dispatch kill switch (``0``/``off``/``false``).
+ENV_STEAL = "REPRO_STEAL"
+
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -298,6 +307,34 @@ KNOBS: Tuple[EnvKnob, ...] = (
         # the zero-fault equivalence tests.
         ENV_DEGRADED_MODE, "degraded_mode_enabled", "flag", "1", None,
         "Graceful-degradation hardening kill switch (chaos baseline).",
+    ),
+    EnvKnob(
+        # Scheduling-only: a reused pool re-runs the same module-level
+        # worker functions on the same pickled arguments as a fresh
+        # pool; every per-process cache the warm worker carries is an
+        # exact-key memo of a pure computation.  Bit-identity of warm
+        # vs. cold vs. serial sweeps is pinned by
+        # tests/experiments/test_warm_pool.py.
+        ENV_POOL_REUSE, "pool_reuse_enabled", "flag", "1", None,
+        "Worker-pool reuse across sweeps (bit-identical either way).",
+    ),
+    EnvKnob(
+        # Result-neutral: the disk cache stores generated kernel
+        # *sources* keyed by shape + code-version tag and every load is
+        # digest-verified, so a loaded source is byte-equal to what
+        # _generate_source would emit (audited by lint rule GEN003 and
+        # the torn-write tests).
+        ENV_KERNEL_DISK_CACHE, "kernel_disk_cache_enabled", "flag", "1",
+        None,
+        "Persistent kernel-source cache (bit-identical either way).",
+    ),
+    EnvKnob(
+        # Scheduling-only: stealing changes which worker runs a pack and
+        # when, never the pack's cells or their lane-packing; splits cut
+        # packs at seed-group boundaries the serial path also honors.
+        # Pinned by tests/experiments/test_warm_pool.py.
+        ENV_STEAL, "steal_enabled", "flag", "1", None,
+        "Work-stealing sweep dispatch (bit-identical either way).",
     ),
 )
 
@@ -460,3 +497,59 @@ def degraded_mode_enabled() -> bool:
     fault symptoms that clean runs never produce.
     """
     return os.environ.get(ENV_DEGRADED_MODE, "1") != "0"
+
+
+def pool_reuse_enabled() -> bool:
+    """True unless ``REPRO_POOL_REUSE`` disables worker-pool reuse.
+
+    Recognized off-values are ``0``, ``off``, and ``false``
+    (case-insensitive); anything else — including unset — keeps the
+    sweep engine's ``ProcessPoolExecutor`` alive across consecutive
+    ``run_grid`` calls.  A reused pool runs the same module-level worker
+    functions on the same pickled arguments as a fresh one, so this
+    knob is result-neutral (pinned by the warm-pool determinism suite).
+    """
+    flag = os.environ.get(ENV_POOL_REUSE, "").strip().lower()
+    return flag not in ("0", "off", "false")
+
+
+def kernel_disk_cache_enabled() -> bool:
+    """True unless ``REPRO_KERNEL_DISK_CACHE`` disables the kernel cache.
+
+    Recognized off-values are ``0``, ``off``, and ``false``
+    (case-insensitive); anything else — including unset — lets
+    :mod:`repro.sim.spanplan` persist generated kernel sources under
+    ``<cache_dir>/kernels/`` and load them instead of regenerating.
+    Loads are digest-verified against the stored source, and entries are
+    keyed by the code-version tag, so the knob is result-neutral.
+    """
+    flag = os.environ.get(ENV_KERNEL_DISK_CACHE, "").strip().lower()
+    return flag not in ("0", "off", "false")
+
+
+def steal_enabled() -> bool:
+    """True unless ``REPRO_STEAL`` disables work-stealing dispatch.
+
+    Recognized off-values are ``0``, ``off``, and ``false``
+    (case-insensitive); anything else — including unset — replaces the
+    static submit-everything-up-front sweep dispatch with the adaptive
+    seed/steal/split scheme.  Stealing only changes which worker runs a
+    pack and when, never a pack's cells or lane packing, so this knob
+    is result-neutral (pinned by the warm-pool determinism suite).
+    """
+    flag = os.environ.get(ENV_STEAL, "").strip().lower()
+    return flag not in ("0", "off", "false")
+
+
+def knob_fingerprint() -> Tuple[Tuple[str, Optional[str]], ...]:
+    """Raw environment values of every declared knob, in registry order.
+
+    The parallel sweep engine folds this snapshot into its worker-pool
+    generation key: forked workers capture the parent's environment at
+    spawn time, so any knob flip must retire the live pool rather than
+    let stale workers serve the next sweep.  Reading through
+    ``os.environ`` here (rather than the typed accessors) keeps the
+    fingerprint sensitive to *any* textual change, including
+    invalid-but-set values the accessors would normalize away.
+    """
+    return tuple((knob.name, os.environ.get(knob.name)) for knob in KNOBS)

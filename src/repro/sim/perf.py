@@ -236,6 +236,52 @@ def clear_solver_tables() -> None:
     clear_evaluate_memo()
 
 
+def warm_solver_tables(config, phases: Sequence[object]) -> int:
+    """Pre-seed the solver memos for a sweep's workload phases.
+
+    Evaluates every ``(phase, DVFS grade, integer LLC ways)`` state at
+    the cold-start utilization (``rho = 0``, the first iteration of
+    every fixed point) through the exact-key memos, so a fresh worker
+    process enters its first simulation with the hottest solver states
+    already tabulated.  Seeding goes through the same
+    :func:`_penalty_memo`/:func:`_evaluate_memo` code as live solves
+    with the same expression for the miss curve, so a seeded entry is
+    bit-identical to the one a cold run would build — warming changes
+    hit counters, never results.  Fractional occupancy-weighted ways
+    and jittered lanes simply miss the memo as before.
+
+    Returns the number of memo entries evaluated (0 when tabulation is
+    disabled via ``REPRO_MISSCURVE_TABLE``).
+    """
+    if not misscurve_table_enabled():
+        return 0
+    memory = MemorySystem(config)
+    penalty_ns = _penalty_memo(memory, 0.0)
+    seeded = 0
+    for phase in phases:
+        floor = phase.mpki_floor
+        scale = phase.ways_scale
+        for freq_ghz in config.freq_grades_ghz:
+            for ways in range(1, config.llc_ways + 1):
+                w = float(ways)
+                # Same association as the scalar reference
+                # (machine.py) so seeded keys are bit-equal to live
+                # ones.
+                mpki = floor + (phase.mpki_peak - floor) * math.exp(
+                    -w / scale
+                )
+                entry = PerfInput(
+                    freq_ghz=freq_ghz,
+                    base_cpi=phase.base_cpi,
+                    mpki=mpki,
+                    mem_sensitivity=phase.mem_sensitivity,
+                    jitter=1.0,
+                )
+                _evaluate_memo(entry, penalty_ns)
+                seeded += 1
+    return seeded
+
+
 class MissCurveTable:
     """Exact per-process ``PerfOutput`` table over reachable solver states.
 

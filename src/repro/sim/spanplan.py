@@ -84,7 +84,8 @@ from repro.sim.process import STATE_RUNNING
 
 __all__ = [
     "ENV_SPAN_COMPILE", "SpanPlan", "SpanPlanner", "SpanStats",
-    "compile_cell_kernel", "generate_kernel_source",
+    "compile_cell_kernel", "consume_kernel_cache_stats",
+    "generate_kernel_source", "kernel_cache_stats", "preload_kernels",
     "span_compile_enabled", "template_shapes",
 ]
 
@@ -195,6 +196,105 @@ class SpanStats:
 # (frequencies, phase parameters).
 
 _KERNEL_CODE_CACHE: Dict[tuple, object] = {}
+
+#: Cross-process kernel-source cache activity in this process.  The
+#: sweep engine snapshots these per pack (see
+#: ``consume_kernel_cache_stats``) so worker-side hits surface in
+#: ``SweepResult`` without the workers touching shared state.
+_KERNEL_DISK_COUNTERS: Dict[str, int] = {
+    "kernel_disk_hits": 0,
+    "kernel_disk_stores": 0,
+    "kernels_preloaded": 0,
+}
+
+
+def _kernel_disk_cache():
+    """The persistent kernel-source store, or None when unavailable.
+
+    Imported lazily: :mod:`repro.sim` must stay importable without the
+    experiments package (and the knob gating lives with the cache).
+    """
+    try:
+        from repro.experiments.diskcache import get_kernel_cache
+    except ImportError:  # pragma: no cover - trimmed installs
+        return None
+    cache = get_kernel_cache()
+    return cache if cache.enabled else None
+
+
+def _kernel_source(shape: tuple) -> str:
+    """Source for ``shape``: loaded from the persistent cache, else
+    generated (and persisted so no other process generates it again).
+
+    Every disk load is digest-verified by the cache layer before it is
+    returned, so the string handed to ``compile`` is byte-equal to a
+    fresh ``generate_kernel_source(shape)`` unless the entry was
+    doctored in place — which lint rule GEN003 audits for explicitly.
+    """
+    cache = _kernel_disk_cache()
+    if cache is not None:
+        source = cache.load(shape)
+        if source is not None:
+            _KERNEL_DISK_COUNTERS["kernel_disk_hits"] += 1
+            return source
+    source = generate_kernel_source(shape)
+    if cache is not None:
+        cache.store(shape, source)
+        _KERNEL_DISK_COUNTERS["kernel_disk_stores"] += 1
+    return source
+
+
+def _compile_filename(shape: tuple) -> str:
+    return "<spanplan-cell>" if shape and shape[0] == "cell" \
+        else "<spanplan>"
+
+
+def preload_kernels(extra_shapes: Tuple[tuple, ...] = ()) -> int:
+    """Warm the in-process kernel code cache; returns kernels compiled.
+
+    Compiles every valid persistent-cache entry, the shipped
+    :func:`template_shapes`, and any ``extra_shapes`` the caller
+    observed (e.g. the previous sweep's shapes) into
+    ``_KERNEL_CODE_CACHE``.  Worker-pool initializers call this once
+    per process so the first simulated span of every sweep cell finds
+    its kernel already compiled.
+    """
+    count = 0
+    cache = _kernel_disk_cache()
+    if cache is not None:
+        for shape, source in cache.entries():
+            if shape in _KERNEL_CODE_CACHE:
+                continue
+            try:
+                code = compile(source, _compile_filename(shape), "exec")
+            except SyntaxError:  # pragma: no cover - digest-verified
+                continue
+            _KERNEL_CODE_CACHE[shape] = code
+            _KERNEL_DISK_COUNTERS["kernel_disk_hits"] += 1
+            count += 1
+    for shape in tuple(template_shapes()) + tuple(extra_shapes):
+        if shape in _KERNEL_CODE_CACHE:
+            continue
+        source = _kernel_source(shape)
+        _KERNEL_CODE_CACHE[shape] = compile(
+            source, _compile_filename(shape), "exec"
+        )
+        count += 1
+    _KERNEL_DISK_COUNTERS["kernels_preloaded"] += count
+    return count
+
+
+def kernel_cache_stats() -> Dict[str, int]:
+    """Snapshot of this process's kernel-source cache counters."""
+    return dict(_KERNEL_DISK_COUNTERS)
+
+
+def consume_kernel_cache_stats() -> Dict[str, int]:
+    """Snapshot and zero the counters (sweep-worker delta reporting)."""
+    out = dict(_KERNEL_DISK_COUNTERS)
+    for name in _KERNEL_DISK_COUNTERS:
+        _KERNEL_DISK_COUNTERS[name] = 0
+    return out
 
 
 def _generate_source(shape: tuple) -> str:
@@ -1023,7 +1123,7 @@ def compile_cell_kernel(shape: tuple, plan, stats: SpanStats,
     """
     code = _KERNEL_CODE_CACHE.get(shape)
     if code is None:
-        source = _generate_cell_source(shape)
+        source = _kernel_source(shape)
         code = compile(source, "<spanplan-cell>", "exec")
         _KERNEL_CODE_CACHE[shape] = code
         stats.kernels_compiled += 1
@@ -1428,7 +1528,7 @@ def _compile_kernel(shape: tuple, plan: SpanPlan, stats: SpanStats):
     """Compile (or fetch) the kernel for ``shape``, bound to ``plan``."""
     code = _KERNEL_CODE_CACHE.get(shape)
     if code is None:
-        source = _generate_source(shape)
+        source = _kernel_source(shape)
         code = compile(source, "<spanplan>", "exec")
         _KERNEL_CODE_CACHE[shape] = code
         stats.kernels_compiled += 1

@@ -421,6 +421,71 @@ class TestPar002WorkerMustNotMutateModuleState:
         assert findings == []
 
 
+class TestPar003PoolInitializerMustBePure:
+    def test_flags_lambda_initializer(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(cells):
+                pool = ProcessPoolExecutor(initializer=lambda: None)
+                return pool
+        """, select={"PAR003"})
+        assert rule_ids(findings) == ["PAR003"]
+
+    def test_flags_nested_initializer(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(cells):
+                def warm():
+                    pass
+                pool = ProcessPoolExecutor(initializer=warm)
+                return pool
+        """, select={"PAR003"})
+        assert rule_ids(findings) == ["PAR003"]
+
+    def test_flags_initializer_mutating_module_state(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            WARMED = []
+
+            def warm():
+                WARMED.append(1)
+
+            def run(cells):
+                pool = ProcessPoolExecutor(initializer=warm)
+                return pool
+        """, select={"PAR003"})
+        assert rule_ids(findings) == ["PAR003"]
+
+    def test_pure_module_level_initializer_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def warm(payload):
+                shapes, config = payload
+                return len(shapes)
+
+            def run(cells, payload):
+                pool = ProcessPoolExecutor(
+                    max_workers=2, initializer=warm, initargs=(payload,)
+                )
+                return pool
+        """, select={"PAR003"})
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(cells):
+                pool = ProcessPoolExecutor(initializer=lambda: None)  # repro-lint: disable=PAR003
+                return pool
+        """, select={"PAR003"})
+        assert findings == []
+
+
 class TestGen001ExecHygiene:
     def test_flags_exec_without_namespace(self, tmp_path):
         findings = lint_source(tmp_path, """\

@@ -61,8 +61,13 @@ def _raise_cell(cell):
 
 @pytest.fixture(autouse=True)
 def fresh_caches():
+    # Discard any retained warm pool: these tests monkeypatch worker
+    # callables and env knobs, and a pool forked before the patch would
+    # serve stale code.
+    parallel_mod.shutdown_pool()
     harness.clear_caches()
     yield
+    parallel_mod.shutdown_pool()
     harness.clear_caches()
 
 
