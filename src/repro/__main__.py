@@ -53,7 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*",
                       help="files or directories to analyze "
                            "(default: the installed repro package)")
-    lint.add_argument("--format", choices=("text", "json"),
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
                       default="text", dest="fmt",
                       help="report format (default: text)")
     lint.add_argument("--select", default=None,
@@ -63,6 +63,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="root for scope-relative paths")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule registry and exit")
+    lint.add_argument("--baseline", nargs="?",
+                      const=".repro-lint-baseline.json", default=None,
+                      metavar="PATH",
+                      help="filter findings recorded in a baseline file "
+                           "before gating")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline file with the current "
+                           "findings")
+    lint.add_argument("--changed", action="store_true",
+                      help="analyze only files changed in the git "
+                           "worktree")
+    lint.add_argument("--cache", action="store_true", dest="lint_cache",
+                      help="reuse findings for content-unchanged files")
+    lint.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="incremental lint cache location")
     cache = sub.add_parser(
         "cache", help="inspect or purge the result and kernel caches"
     )
@@ -231,6 +246,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             lint_argv += ["--root", args.root]
         if args.list_rules:
             lint_argv.append("--list-rules")
+        if args.baseline:
+            lint_argv += ["--baseline", args.baseline]
+        if args.update_baseline:
+            lint_argv.append("--update-baseline")
+        if args.changed:
+            lint_argv.append("--changed")
+        if args.lint_cache:
+            lint_argv.append("--cache")
+        if args.cache_dir:
+            lint_argv += ["--cache-dir", args.cache_dir]
         return run_lint(lint_argv)
     if args.command == "cache":
         from repro.experiments.diskcache import get_cache, get_kernel_cache

@@ -1,0 +1,128 @@
+"""Findings baseline for ``repro lint``.
+
+A baseline freezes the analyzer's current findings so a new rule (or a
+stricter one) can land and gate *new* violations immediately while the
+pre-existing ones are burned down incrementally.  The workflow:
+
+* ``repro lint --update-baseline`` writes every current finding to
+  ``.repro-lint-baseline.json`` (committed to the repository).
+* ``repro lint --baseline`` filters findings that match a baseline
+  entry before gating; the JSON summary reports how many were
+  baselined and how many baseline entries went stale (fixed findings
+  whose rows should be deleted).
+
+Entries are matched by a ``(rule, path, message)`` fingerprint with the
+path relativized to the analysis root — line numbers are deliberately
+excluded so unrelated edits above a baselined finding do not un-baseline
+it.  Multiplicity is respected: two identical findings need two
+baseline rows.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import Finding
+
+#: Default baseline filename, resolved against the current directory.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+#: Schema version of the baseline document.
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+def finding_fingerprint(finding: Finding,
+                        root: Optional[Path]) -> Fingerprint:
+    """Stable identity of a finding: (rule, root-relative path, message)."""
+    return (finding.rule, _relative_path(finding.path, root),
+            finding.message)
+
+
+def _relative_path(path: str, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return Path(path).resolve().relative_to(
+                root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return Path(path).as_posix()
+
+
+def load_baseline(path: Path) -> List[Fingerprint]:
+    """Fingerprints stored in a baseline file.
+
+    Raises ``SystemExit`` with a usable message on a missing or
+    malformed file — a CI gate must fail loudly, not lint un-baselined.
+    """
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SystemExit(
+            "repro lint: baseline file %s does not exist "
+            "(create it with --update-baseline)" % path
+        )
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(
+            "repro lint: cannot read baseline file %s: %s" % (path, exc)
+        )
+    if (not isinstance(document, dict)
+            or document.get("version") != BASELINE_VERSION
+            or not isinstance(document.get("findings"), list)):
+        raise SystemExit(
+            "repro lint: baseline file %s is not a version-%d baseline "
+            "document" % (path, BASELINE_VERSION)
+        )
+    entries: List[Fingerprint] = []
+    for row in document["findings"]:
+        if not isinstance(row, dict):
+            continue
+        entries.append((str(row.get("rule", "")),
+                        str(row.get("path", "")),
+                        str(row.get("message", ""))))
+    return entries
+
+
+def save_baseline(path: Path, findings: Sequence[Finding],
+                  root: Optional[Path]) -> None:
+    """Write the current findings as the new baseline."""
+    rows = [
+        {"rule": rule, "path": rel, "message": message}
+        for rule, rel, message in sorted(
+            finding_fingerprint(f, root) for f in findings
+        )
+    ]
+    document = {"version": BASELINE_VERSION, "findings": rows}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    entries: Sequence[Fingerprint],
+    root: Optional[Path],
+) -> Tuple[List[Finding], int, List[Fingerprint]]:
+    """Split findings into (surviving, baselined count, stale entries).
+
+    Each baseline entry absorbs at most one matching finding; leftover
+    entries are *stale* — the finding they froze is fixed and the row
+    should be removed (``--update-baseline`` does that).
+    """
+    budget: Dict[Fingerprint, int] = Counter(entries)
+    surviving: List[Finding] = []
+    baselined = 0
+    for finding in findings:
+        fp = finding_fingerprint(finding, root)
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            baselined += 1
+        else:
+            surviving.append(finding)
+    stale = sorted(
+        fp for fp, remaining in budget.items() for _ in range(remaining)
+    )
+    return surviving, baselined, stale

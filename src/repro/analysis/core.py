@@ -34,8 +34,9 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
@@ -111,6 +112,7 @@ class SourceModule:
         self.suppressions = _collect_suppressions(text)
         self._parents: Optional[Dict[ast.AST, ast.AST]] = None
         self._import_time: Optional[Set[ast.AST]] = None
+        self._decorator_owners: Optional[Dict[ast.AST, ast.AST]] = None
 
     @property
     def parents(self) -> Dict[ast.AST, ast.AST]:
@@ -165,6 +167,27 @@ class SourceModule:
                 mark(stmt, True)
             self._import_time = marked
         return self._import_time
+
+    def decorator_owner(self, node: ast.AST) -> Optional[ast.AST]:
+        """The decorated ``def``/``class`` owning ``node``, or None.
+
+        Findings anchored at nodes *inside* a decorator expression are
+        reported at the owning definition's line, so an inline
+        ``# repro-lint: disable=RULE`` placed on the ``def`` line
+        suppresses them (the natural place reviewers put it).
+        """
+        if self._decorator_owners is None:
+            owners: Dict[ast.AST, ast.AST] = {}
+            for owner in ast.walk(self.tree):
+                if not isinstance(owner, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef,
+                                          ast.ClassDef)):
+                    continue
+                for dec in owner.decorator_list:
+                    for inner in ast.walk(dec):
+                        owners[inner] = owner
+            self._decorator_owners = owners
+        return self._decorator_owners.get(node)
 
     def path_matches(self, *suffixes: str) -> bool:
         """True when the module's relative path ends with any suffix."""
@@ -252,6 +275,10 @@ class Rule:
     id: str = ""
     severity: str = "error"
     description: str = ""
+    #: "module" for per-file rules, "project" for whole-set rules;
+    #: surfaced by ``--list-rules`` and used by the incremental cache
+    #: (module-rule findings cache per file, project rules per run).
+    kind: str = "module"
 
     def check_module(self, module: SourceModule) -> Iterator[Finding]:
         """Yield findings for one module."""
@@ -259,19 +286,27 @@ class Rule:
 
     def finding(self, module: SourceModule, node: ast.AST,
                 message: str) -> Finding:
-        """Build a finding anchored at ``node``."""
+        """Build a finding anchored at ``node``.
+
+        A node inside a decorator expression anchors at the decorated
+        definition's ``def``/``class`` line instead, so suppressions
+        placed on the definition line apply.
+        """
+        anchor = module.decorator_owner(node) or node
         return Finding(
             rule=self.id,
             severity=self.severity,
             path=str(module.path),
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
+            line=getattr(anchor, "lineno", 1),
+            col=getattr(anchor, "col_offset", 0),
             message=message,
         )
 
 
 class ProjectRule(Rule):
     """A rule that runs once over the whole analyzed module set."""
+
+    kind = "project"
 
     def check_module(self, module: SourceModule) -> Iterator[Finding]:
         return iter(())
@@ -281,6 +316,17 @@ class ProjectRule(Rule):
     ) -> Iterator[Finding]:
         """Yield findings for the analyzed set as a whole."""
         raise NotImplementedError
+
+    def project_state_fingerprint(self) -> str:
+        """Stamp of external state this rule's result depends on.
+
+        The incremental lint cache reuses a cached project-rule result
+        only while the analyzed sources *and* this stamp are unchanged.
+        Rules that consult state outside the analyzed files (e.g. the
+        on-disk kernel cache) override this to fold that state in; the
+        default covers rules that are pure functions of the sources.
+        """
+        return ""
 
 
 #: Registered rule classes by id, in registration order.
@@ -306,7 +352,14 @@ def default_rules() -> List[Rule]:
     """Instantiate every registered rule (importing the rule modules)."""
     # Imported here so the registry is populated exactly once, on first
     # use, without import cycles at package-init time.
-    from repro.analysis import rules_det, rules_env, rules_gen, rules_par  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        rules_cov,
+        rules_det,
+        rules_env,
+        rules_flo,
+        rules_gen,
+        rules_par,
+    )
     return [REGISTRY[rule_id]() for rule_id in sorted(REGISTRY)]
 
 
@@ -348,18 +401,42 @@ def is_set_expression(node: ast.AST) -> bool:
 
 
 def collect_files(paths: Sequence[Path]) -> List[Path]:
-    """Expand paths into the sorted list of ``.py`` files to analyze."""
+    """Expand paths into the sorted list of ``.py`` files to analyze.
+
+    Overlapping inputs (``repro lint src src/repro``, a file listed
+    twice, a directory plus a file inside it) are deduplicated by
+    resolved path, so each file is analyzed — and each finding counted
+    — exactly once.
+    """
     files: List[Path] = []
+    seen: Set[Path] = set()
+
+    def add(candidate: Path) -> None:
+        resolved = candidate.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            files.append(candidate)
+
     for path in paths:
         if path.is_file() and path.suffix == ".py":
-            files.append(path)
+            add(path)
         elif path.is_dir():
             for candidate in sorted(path.rglob("*.py")):
                 parts = set(candidate.parts)
                 if parts & _SKIP_DIRS or ".egg-info" in str(candidate):
                     continue
-                files.append(candidate)
+                add(candidate)
     return files
+
+
+def module_relpath(path: Path, root: Optional[Path] = None) -> str:
+    """POSIX path of ``path`` relative to ``root`` (scope matching)."""
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+    return path.as_posix()
 
 
 def load_module(path: Path, root: Optional[Path] = None) -> SourceModule:
@@ -371,14 +448,193 @@ def load_module(path: Path, root: Optional[Path] = None) -> SourceModule:
     """
     text = path.read_text(encoding="utf-8")
     tree = ast.parse(text, filename=str(path))
-    if root is not None:
+    return SourceModule(path, module_relpath(path, root), text, tree)
+
+
+@dataclass
+class RuleStats:
+    """Per-rule run accounting (surfaced in the JSON summary)."""
+
+    findings: int = 0
+    suppressed: int = 0
+    time_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "findings": self.findings,
+            "suppressed": self.suppressed,
+            "time_s": round(self.time_s, 6),
+        }
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced, for reporters and the CLI."""
+
+    findings: List[Finding]
+    checked_files: int
+    rule_stats: Dict[str, RuleStats] = field(default_factory=dict)
+    cache_stats: Optional[Dict[str, object]] = None
+
+    @property
+    def suppressed(self) -> int:
+        """Total findings silenced by inline suppressions."""
+        return sum(stats.suppressed for stats in self.rule_stats.values())
+
+
+def _stats_for(rule_stats: Dict[str, RuleStats], rule_id: str) -> RuleStats:
+    stats = rule_stats.get(rule_id)
+    if stats is None:
+        stats = rule_stats[rule_id] = RuleStats()
+    return stats
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+    cache=None,
+) -> AnalysisResult:
+    """Run ``rules`` (default: all registered) over ``paths``.
+
+    Findings come back sorted by (path, line, rule) with inline
+    suppressions already filtered out; files that fail to parse yield a
+    synthetic ``PARSE`` error finding instead of aborting the run.
+    ``cache`` (a :class:`repro.analysis.cache.LintCache`) reuses
+    module-rule findings for files whose content hash is unchanged and
+    the whole project-rule pass when *no* analyzed file changed — a
+    fully warm run never parses a single file.
+    """
+    if rules is None:
+        rules = default_rules()
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    rule_stats: Dict[str, RuleStats] = {r.id: RuleStats() for r in rules}
+    findings: List[Finding] = []
+
+    entries: List[tuple] = []  # (path, relkey, text, content_sha)
+    for path in collect_files([Path(p) for p in paths]):
+        text = path.read_text(encoding="utf-8")
+        entries.append((path, module_relpath(path, root), text,
+                        _content_sha(text)))
+
+    project_key = None
+    cached_project = None
+    if cache is not None and project_rules:
+        state = "\x1f".join(sorted(
+            "%s=%s" % (rule.id, rule.project_state_fingerprint())
+            for rule in project_rules
+        ))
+        project_key = _content_sha("\x1f".join(
+            sorted("%s=%s" % (relkey, sha)
+                   for _, relkey, _, sha in entries)
+        ) + "\x1e" + state)
+        cached_project = cache.lookup_project(project_key)
+    # Project rules need the parsed module set, so a project-cache miss
+    # forces parsing even content-unchanged files (their module-rule
+    # findings still come from the cache).
+    need_all_modules = bool(project_rules) and cached_project is None
+
+    modules: List[SourceModule] = []
+    files_reused = 0
+    for path, relkey, text, sha in entries:
+        cached_mod = cache.lookup_module(relkey, sha) if cache else None
+        if cached_mod is not None:
+            mod_findings, suppressed_by_rule = cached_mod
+            files_reused += 1
+            findings.extend(mod_findings)
+            for finding in mod_findings:
+                _stats_for(rule_stats, finding.rule).findings += 1
+            for rule_id, count in suppressed_by_rule.items():
+                _stats_for(rule_stats, rule_id).suppressed += count
+            if not need_all_modules:
+                continue
         try:
-            relpath = path.resolve().relative_to(root.resolve()).as_posix()
-        except ValueError:
-            relpath = path.as_posix()
+            module = load_module(path, root=root)
+        except SyntaxError as exc:
+            if cached_mod is None:
+                parse_finding = Finding(
+                    rule="PARSE",
+                    severity="error",
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message="file does not parse: %s" % exc.msg,
+                )
+                findings.append(parse_finding)
+                _stats_for(rule_stats, "PARSE").findings += 1
+                if cache is not None:
+                    cache.store_module(relkey, sha, [parse_finding], {})
+            continue
+        modules.append(module)
+        if cached_mod is not None:
+            continue  # parsed only for the project pass
+        mod_findings = []
+        suppressed_by_rule: Dict[str, int] = {}
+        for rule in module_rules:
+            stats = rule_stats[rule.id]
+            started = time.perf_counter()
+            for finding in rule.check_module(module):
+                if module.suppressed(finding):
+                    stats.suppressed += 1
+                    suppressed_by_rule[rule.id] = (
+                        suppressed_by_rule.get(rule.id, 0) + 1
+                    )
+                else:
+                    mod_findings.append(finding)
+                    stats.findings += 1
+            stats.time_s += time.perf_counter() - started
+        findings.extend(mod_findings)
+        if cache is not None:
+            cache.store_module(relkey, sha, mod_findings,
+                               suppressed_by_rule)
+
+    if cached_project is not None:
+        project_findings, suppressed_by_rule = cached_project
+        findings.extend(project_findings)
+        for finding in project_findings:
+            _stats_for(rule_stats, finding.rule).findings += 1
+        for rule_id, count in suppressed_by_rule.items():
+            _stats_for(rule_stats, rule_id).suppressed += count
     else:
-        relpath = path.as_posix()
-    return SourceModule(path, relpath, text, tree)
+        by_path = {str(m.path): m for m in modules}
+        project_findings = []
+        suppressed_by_rule = {}
+        for rule in project_rules:
+            stats = rule_stats[rule.id]
+            started = time.perf_counter()
+            for finding in rule.check_project(modules):
+                module = by_path.get(finding.path)
+                if module is not None and module.suppressed(finding):
+                    stats.suppressed += 1
+                    suppressed_by_rule[rule.id] = (
+                        suppressed_by_rule.get(rule.id, 0) + 1
+                    )
+                else:
+                    project_findings.append(finding)
+                    stats.findings += 1
+            stats.time_s += time.perf_counter() - started
+        findings.extend(project_findings)
+        if cache is not None and project_key is not None:
+            cache.store_project(project_key, project_findings,
+                                suppressed_by_rule)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    cache_stats = None
+    if cache is not None:
+        cache_stats = {
+            "enabled": True,
+            "files_reused": files_reused,
+            "files_analyzed": len(entries) - files_reused,
+            "project_reused": cached_project is not None,
+        }
+        cache.save()
+    return AnalysisResult(
+        findings=findings,
+        checked_files=len(entries),
+        rule_stats=rule_stats,
+        cache_stats=cache_stats,
+    )
 
 
 def analyze_paths(
@@ -386,44 +642,14 @@ def analyze_paths(
     rules: Optional[Sequence[Rule]] = None,
     root: Optional[Path] = None,
 ) -> List[Finding]:
-    """Run ``rules`` (default: all registered) over ``paths``.
+    """:func:`run_analysis` returning just the finding list."""
+    return run_analysis(paths, rules=rules, root=root).findings
 
-    Returns findings sorted by (path, line, rule) with inline
-    suppressions already filtered out.  Files that fail to parse yield
-    a synthetic ``PARSE`` error finding instead of aborting the run.
-    """
-    if rules is None:
-        rules = default_rules()
-    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
-    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
-    findings: List[Finding] = []
-    modules: List[SourceModule] = []
-    for path in collect_files([Path(p) for p in paths]):
-        try:
-            module = load_module(path, root=root)
-        except SyntaxError as exc:
-            findings.append(Finding(
-                rule="PARSE",
-                severity="error",
-                path=str(path),
-                line=exc.lineno or 1,
-                col=exc.offset or 0,
-                message="file does not parse: %s" % exc.msg,
-            ))
-            continue
-        modules.append(module)
-        for rule in module_rules:
-            for finding in rule.check_module(module):
-                if not module.suppressed(finding):
-                    findings.append(finding)
-    by_path = {str(m.path): m for m in modules}
-    for rule in project_rules:
-        for finding in rule.check_project(modules):
-            module = by_path.get(finding.path)
-            if module is None or not module.suppressed(finding):
-                findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
+
+def _content_sha(text: str) -> str:
+    import hashlib
+
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def iter_rule_info(rules: Iterable[Rule]) -> Iterator[Dict[str, str]]:
@@ -432,5 +658,6 @@ def iter_rule_info(rules: Iterable[Rule]) -> Iterator[Dict[str, str]]:
         yield {
             "id": rule.id,
             "severity": rule.severity,
+            "kind": rule.kind,
             "description": rule.description,
         }

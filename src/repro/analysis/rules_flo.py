@@ -1,0 +1,314 @@
+"""FLO rules: determinism dataflow over RNG instances and seeds.
+
+The DET family polices *call sites* — no wall-clock reads, no
+process-global ``random.*`` draws, no unseeded constructors.  That is
+flow-blind: ``random.Random(int(time.time()))`` passes DET002 (it has
+a seed argument) yet every run replays differently, and two fault
+surfaces sharing one module-level ``random.Random(7)`` pass too while
+silently coupling their draw sequences.
+
+The FLO family adds the dataflow half.  A lightweight intra-procedural
+reaching-definitions pass (union over assignments, flow-insensitive,
+nested scopes excluded) answers the question "where does this seed
+come from?":
+
+* ``FLO001`` — every RNG seed must flow from configuration: literals,
+  parameters, attributes (``self.config.seed``) and unknown names are
+  clean; any value reaching the seed through a nondeterministic call
+  (wall clock, global RNG draws, ``id()``) taints the construction.
+* ``FLO002`` — no RNG instance shared across cells or fault surfaces:
+  an RNG constructed at import time (module body, class body, or a
+  default argument) is one stream shared by every consumer in the
+  process, and two all-constant constructions with identical arguments
+  in different function scopes are the same stream in disguise.
+* ``FLO003`` — no re-seeding or re-construction inside an explicit
+  ``for``/``while`` loop in simulator code: per-iteration reseeding
+  collapses the stream and couples draws across iterations.
+  Comprehensions are exempt on purpose — the sanctioned per-core
+  pattern hoists one derived RNG per lane at init time
+  (``[derive_rng(seed, "jitter-core-%d" % c) for c in cores]``).
+
+Taint sources reuse the DET family's ``NONDETERMINISTIC_CALLS`` and
+``GLOBAL_RNG_CALLS`` tables so the two families cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Rule, SourceModule, call_name, register
+from repro.analysis.rules_det import GLOBAL_RNG_CALLS, NONDETERMINISTIC_CALLS
+
+#: Calls that construct a deterministic RNG stream.
+RNG_CONSTRUCTORS = frozenset({
+    "random.Random",
+    "Random",
+    "derive_rng",
+    "timebase.derive_rng",
+})
+
+#: Additional taint sources beyond the DET tables: values that vary
+#: across processes even when every call is "deterministic".
+IDENTITY_CALLS = frozenset({"id", "hash"})
+
+
+def _is_taint_call(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    return (name in NONDETERMINISTIC_CALLS
+            or name in GLOBAL_RNG_CALLS
+            or name in IDENTITY_CALLS)
+
+
+def _enclosing_scope(module: SourceModule, node: ast.AST) -> ast.AST:
+    """Nearest enclosing function, else the module itself."""
+    current = module.parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = module.parents.get(current)
+    return module.tree
+
+
+def _assigned_names(target: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            names.update(_assigned_names(element))
+    return names
+
+
+def _scope_assignments(scope: ast.AST) -> Dict[str, List[ast.AST]]:
+    """Name -> assigned value expressions, within one scope only.
+
+    Flow-insensitive union over every assignment; nested function and
+    class bodies are separate scopes and are skipped.
+    """
+    env: Dict[str, List[ast.AST]] = {}
+    stack: List[ast.AST] = list(getattr(scope, "body", []))
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for name in _assigned_names(target):
+                    env.setdefault(name, []).append(stmt.value)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            if stmt.value is not None:
+                for name in _assigned_names(stmt.target):
+                    env.setdefault(name, []).append(stmt.value)
+        for attr in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(stmt, attr, []))
+        for handler in getattr(stmt, "handlers", []):
+            stack.extend(handler.body)
+    return env
+
+
+def _taint_source(expr: ast.AST, env: Dict[str, List[ast.AST]],
+                  visited: Set[str]) -> Optional[str]:
+    """Name of the nondeterministic call a value derives from, or None.
+
+    Parameters, attributes, literals, and names with no assignment in
+    the scope are clean — the point is provenance *within* the scope;
+    cross-function flow is the caller's FLO001 problem at its own
+    construction sites.
+    """
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if _is_taint_call(name):
+                return name
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id in visited:
+                continue
+            visited.add(node.id)
+            for value in env.get(node.id, []):
+                source = _taint_source(value, env, visited)
+                if source is not None:
+                    return source
+    return None
+
+
+def _seed_exprs(node: ast.Call) -> List[ast.AST]:
+    """Argument expressions that act as the seed of a construction."""
+    exprs: List[ast.AST] = list(node.args)
+    exprs.extend(kw.value for kw in node.keywords if kw.value is not None)
+    return exprs
+
+
+def _is_reseed_call(node: ast.Call) -> bool:
+    """True for ``<rng>.seed(...)`` method calls (not ``random.seed``)."""
+    func = node.func
+    return (isinstance(func, ast.Attribute)
+            and func.attr == "seed"
+            and bool(node.args)
+            and call_name(node) not in GLOBAL_RNG_CALLS)
+
+
+@register
+class SeedProvenance(Rule):
+    """FLO001: every RNG seed must flow from configuration."""
+
+    id = "FLO001"
+    severity = "error"
+    description = (
+        "an RNG seed derives from a nondeterministic source (wall "
+        "clock, global RNG draw, id()/hash()); seeds must flow from "
+        "config/plan arguments so runs replay deterministically"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        env_by_scope: Dict[ast.AST, Dict[str, List[ast.AST]]] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in RNG_CONSTRUCTORS and node.args:
+                seed_exprs = _seed_exprs(node)
+            elif _is_reseed_call(node):
+                seed_exprs = list(node.args)
+            else:
+                continue
+            scope = _enclosing_scope(module, node)
+            env = env_by_scope.get(scope)
+            if env is None:
+                env = _scope_assignments(scope)
+                env_by_scope[scope] = env
+            for expr in seed_exprs:
+                source = _taint_source(expr, env, set())
+                if source is not None:
+                    yield self.finding(
+                        module, node,
+                        "RNG seed derives from %s(); a seed must flow "
+                        "from config/plan arguments (e.g. "
+                        "derive_rng(config.seed, stream)) or the run "
+                        "cannot be replayed" % source,
+                    )
+                    break
+
+
+@register
+class SharedRngInstance(Rule):
+    """FLO002: no RNG instance shared across cells or fault surfaces."""
+
+    id = "FLO002"
+    severity = "error"
+    description = (
+        "an RNG is constructed at import time (shared by every "
+        "consumer in the process) or two function scopes construct "
+        "the identical constant-seeded stream; each cell/fault "
+        "surface needs its own derived stream"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        import_time = module.import_time_nodes
+        constant_sites: Dict[Tuple[str, Tuple[object, ...]],
+                             List[Tuple[ast.AST, ast.Call]]] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name not in RNG_CONSTRUCTORS:
+                continue
+            if node in import_time:
+                yield self.finding(
+                    module, node,
+                    "RNG constructed at import time is one stream "
+                    "shared by every cell and fault surface in the "
+                    "process; construct per-run from a derived seed "
+                    "instead",
+                )
+                continue
+            constants = self._constant_args(node)
+            if constants is None:
+                continue
+            scope = _enclosing_scope(module, node)
+            key = (name.split(".")[-1], constants)
+            constant_sites.setdefault(key, []).append((scope, node))
+        for (short_name, constants), sites in sorted(
+                constant_sites.items(),
+                key=lambda item: item[1][0][1].lineno):
+            scopes = {scope for scope, _ in sites}
+            if len(scopes) < 2:
+                continue
+            ordered = sorted(sites, key=lambda item: item[1].lineno)
+            first_line = ordered[0][1].lineno
+            for _, node in ordered[1:]:
+                yield self.finding(
+                    module, node,
+                    "%s(%s) duplicates the constant-seeded stream "
+                    "constructed at line %d in another scope; two "
+                    "surfaces drawing from identical streams are "
+                    "correlated — derive distinct streams per surface"
+                    % (short_name,
+                       ", ".join(repr(value) for value in constants),
+                       first_line),
+                )
+
+    @staticmethod
+    def _constant_args(node: ast.Call) -> Optional[Tuple[object, ...]]:
+        values: List[object] = []
+        for expr in _seed_exprs(node):
+            if not isinstance(expr, ast.Constant):
+                return None
+            values.append(expr.value)
+        if not values:
+            return None
+        return tuple(values)
+
+
+@register
+class ReseedInLoop(Rule):
+    """FLO003: no RNG reseeding/construction inside simulator loops."""
+
+    id = "FLO003"
+    severity = "error"
+    description = (
+        "an RNG is re-seeded or re-constructed inside an explicit "
+        "for/while loop in simulator code; per-iteration reseeding "
+        "collapses the stream and couples draws across iterations — "
+        "hoist the construction out of the loop"
+    )
+    scope = "sim/"
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.in_scope(self.scope):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if not (name in RNG_CONSTRUCTORS or _is_reseed_call(node)):
+                continue
+            loop = self._enclosing_loop(module, node)
+            if loop is None:
+                continue
+            what = ("re-seeded" if _is_reseed_call(node)
+                    else "constructed")
+            yield self.finding(
+                module, node,
+                "RNG %s inside a %s loop; hoist it out (one derived "
+                "stream per lane, e.g. a per-core comprehension at "
+                "init time) so iterations draw from a single advancing "
+                "stream" % (what,
+                            "while" if isinstance(loop, ast.While)
+                            else "for"),
+            )
+
+    @staticmethod
+    def _enclosing_loop(module: SourceModule,
+                        node: ast.AST) -> Optional[ast.AST]:
+        current = module.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.For, ast.AsyncFor, ast.While)):
+                return current
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Lambda)):
+                return None
+            current = module.parents.get(current)
+        return None

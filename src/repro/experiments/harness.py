@@ -73,6 +73,28 @@ DRIVE_BLOCK_TICKS = 32
 # All result caches (in memory and on disk) fold the active simulation
 # backend into their keys, so results produced by one backend are never
 # served to a run under the other.
+
+#: Machine-readable registry of the disk-cache namespaces this module
+#: writes and the identifiers every key tuple for each namespace must
+#: fold in.  ``repro lint``'s ``COV003`` cross-checks it against the
+#: actual ``disk.get``/``disk.put`` call sites: an undeclared
+#: namespace, a declared-but-unused one, and a key tuple missing a
+#: required identifier are all errors — so a new result-relevant
+#: parameter cannot silently stay out of a cache key.  The symbol
+#: ``backend`` also matches a direct ``resolve_backend()`` call inside
+#: the tuple (the two spellings are the same value by construction).
+CACHE_KEY_FIELDS = {
+    "profile": ("fg_name", "config", "sampling_period_s", "backend"),
+    "baseline": ("mix", "config", "executions", "warmup", "seed",
+                 "backend"),
+    "standalone": ("fg_name", "config", "executions", "warmup", "seed",
+                   "backend"),
+    "partition": ("mix", "config", "seed", "candidates", "executions",
+                  "warmup", "knee_tolerance", "backend"),
+    "run": ("mix", "policy", "executions", "warmup", "config", "seed",
+            "backend"),
+}
+
 _PROFILE_CACHE: Dict[
     Tuple[str, MachineConfig, float, str], ExecutionProfile
 ] = {}

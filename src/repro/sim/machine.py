@@ -25,6 +25,21 @@ from repro.workloads.spec import WorkloadSpec
 
 CompletionListener = Callable[[Process, ExecutionRecord], None]
 
+#: Hot-state attributes the scalar ``tick`` kernel mutates that are
+#: *intentionally* absent from the other backends' mirrored-state
+#: registries (:data:`repro.sim.vector.CELL_COLUMNS`,
+#: :data:`repro.sim.spanplan.KERNEL_STATE`): the ``_b_*`` names are
+#: per-tick scratch buffers — gather arrays reloaded from scratch at
+#: the top of every tick, never read across ticks — so a backend that
+#: skips them loses nothing.  ``repro lint``'s ``COV`` rules parse this
+#: allowlist from the module source and flag any entry that stops
+#: matching a mutation in the hot path (a stale allowlist is itself an
+#: error), so additions here stay honest.
+SCALAR_ONLY_STATE = frozenset({
+    "_b_core", "_b_proc", "_b_phase", "_b_mpki", "_b_freq", "_b_coef",
+    "_b_sens", "_b_fh", "_b_cpi0", "_b_jit", "_b_ips",
+})
+
 
 class Machine:
     """Discrete-time multicore node with one pinned process per core."""

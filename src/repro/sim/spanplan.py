@@ -1163,6 +1163,60 @@ def generate_kernel_source(shape: tuple) -> str:
     return _generate_source(shape)
 
 
+#: Field names of the 11-tuple span shapes, positionally.  ``repro
+#: lint``'s ``COV002`` asserts every ``template_shapes()`` entry has
+#: exactly this arity, so adding a shape axis without extending this
+#: registry (and the audit) fails lint instead of silently compiling
+#: kernels the analyzer no longer understands.
+SHAPE_FIELDS = (
+    "num_cores", "cores", "isfg", "apki_pos", "jitter", "snap",
+    "groups", "guard_lanes", "has_energy", "stolen", "classes",
+)
+
+#: Field names of the 8-tuple cell-axis shapes (``shape[0] == "cell"``).
+CELL_SHAPE_FIELDS = (
+    "kind", "num_cores", "cores", "isfg", "apki_pos", "snap",
+    "groups", "guard_lanes",
+)
+
+#: Machine-readable registry of the scalar hot-state surface the
+#: span-compiled kernels mirror, in the same key naming as
+#: :data:`repro.sim.vector.CELL_COLUMNS` (plain machine attributes,
+#: ``process.<member>`` entries, ``<name>()`` state-advancing
+#: callables).  ``COV002`` cross-checks it against the AST def-use
+#: extraction of ``Machine.tick`` in both directions, so a new
+#: hot-state mutation the generated kernels do not carry — or a stale
+#: registry row — fails lint before any benchmark can diverge.
+KERNEL_STATE = {
+    "_cnt_arrays": "counter arrays bound as ci_/cc_/ca_/cm_ closures",
+    "process.progress": "per-lane progress writes in the lane loop",
+    "process.execution_misses": "per-lane miss writes in the lane loop",
+    "process.advance()": "completion path calls it inside the kernel",
+    "process.complete_execution()": (
+        "completion path calls it inside the kernel"
+    ),
+    "process._sync_phase_cursor()": (
+        "cursors synced while planning (_build_plan lane gather)"
+    ),
+    "process.current_phase()": (
+        "phase constants are closure-bound plan columns"
+    ),
+    "_ips_prev": "committed from plan.ips_prev by SpanPlan.run",
+    "_rho": "committed by SpanPlan.run after the span",
+    "memory": "m.memory.observe(rho) committed by SpanPlan.run",
+    "cache": "m.cache.span_commit(...) committed by SpanPlan.run",
+    "_cache_tick()": "span_commit applies the span's occupancy update",
+    "clock": "m.clock.tick advanced by the committed span length",
+    "_settled": "plans are built only on settled machines",
+    "_completion_listeners": "SpanPlan.run fires listeners on completion",
+    "governor": "event ticks stay outside spans (batch-engine horizon)",
+    "timers": "event ticks stay outside spans (batch-engine horizon)",
+    "_energy": "acc_e closure accumulates per span tick",
+    "_stolen_s": "the stolen-variant kernel peels the charged tick",
+    "_gauss_fns": "per-lane rnd_<i> draws replay CPython's gauss",
+}
+
+
 def template_shapes() -> Tuple[tuple, ...]:
     """Representative span shapes covering the generator's feature matrix.
 

@@ -75,9 +75,57 @@ try:  # numpy is optional: the driver degrades to per-machine engines.
 except ImportError:  # pragma: no cover - exercised on the no-numpy leg
     _np = None
 
-__all__ = ["CellPlan", "MultiCell", "numpy_available"]
+__all__ = ["CELL_COLUMNS", "CellPlan", "MultiCell", "numpy_available"]
 
 _INF = float("inf")
+
+#: Machine-readable registry of the scalar hot-state surface this
+#: backend mirrors: every attribute (or ``process.<member>`` entry, or
+#: ``<name>()`` state-advancing callable) that ``Machine.tick`` mutates,
+#: mapped to *how* the multi-cell driver accounts for it — a fused
+#: column scattered back by ``_commit_cell``, a commit-time write, or a
+#: deliberate peel to the per-machine batch engine (which runs the
+#: scalar reference bit-identically).  ``repro lint``'s ``COV001``
+#: cross-checks this registry against an AST def-use extraction of the
+#: scalar kernel in both directions: a hot-state mutation missing here
+#: is a silent-corruption risk (the fused path would drop it), and an
+#: entry with no scalar counterpart is stale documentation.  Keys
+#: follow the extraction's naming: plain machine attributes
+#: (``_rho``), per-process members (``process.progress``), mutating
+#: method calls on processes (``process.advance()``), and
+#: state-advancing callable attributes (``_cache_tick()``).
+CELL_COLUMNS = {
+    "_cnt_arrays": "state rows CI/CC/CA/CM, scattered by _commit_cell",
+    "process.progress": "state row P, scattered by _commit_cell",
+    "process.execution_misses": "state row EM, scattered by _commit_cell",
+    "process.advance()": "completion tick replays through Machine.tick",
+    "process.complete_execution()": (
+        "completion tick replays through Machine.tick"
+    ),
+    "process._sync_phase_cursor()": (
+        "cursors synced while fingerprinting (_cell_state)"
+    ),
+    "process.current_phase()": (
+        "phase constants are plan columns, re-gathered per span"
+    ),
+    "_ips_prev": "plan.ips_prev scattered per core by _commit_cell",
+    "_rho": "committed rho written back by _commit_cell",
+    "memory": "m.memory.observe(rho) on commit",
+    "cache": "m.cache.span_commit(...) on commit",
+    "_cache_tick()": (
+        "span_commit applies the span's whole occupancy update"
+    ),
+    "clock": "m.clock.tick advanced by the committed span length",
+    "_settled": "settle_cache() forced before fingerprinting",
+    "_completion_listeners": (
+        "completion ticks replay through Machine.tick, which fires them"
+    ),
+    "governor": "event ticks dispatched via the per-cell batch engine",
+    "timers": "event ticks dispatched via the per-cell batch engine",
+    "_energy": "energy-accounting cells never fuse (wholesale peel)",
+    "_stolen_s": "cells with pending stolen time never fuse (peel)",
+    "_gauss_fns": "jittered cells never fuse (wholesale peel)",
+}
 
 
 def numpy_available() -> bool:

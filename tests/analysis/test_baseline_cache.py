@@ -1,0 +1,299 @@
+"""Tests for the analyzer's plumbing added with the COV/FLO families:
+
+* findings baseline (filtering, update, staleness accounting),
+* the content-hash incremental cache (module and project reuse,
+  invalidation on edits),
+* overlapping-path dedupe,
+* decorator-expression finding anchoring,
+* the git-aware ``--changed`` mode.
+"""
+
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    finding_fingerprint,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.cache import LintCache
+from repro.analysis.cli import run_lint
+from repro.analysis.core import (
+    Finding,
+    analyze_paths,
+    default_rules,
+    run_analysis,
+)
+
+
+def write_tree(tmp_path, files):
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def det_rules():
+    return [r for r in default_rules() if r.id.startswith("DET")]
+
+
+BAD_SOURCE = "import time\nSTART = time.time()\n"
+
+
+class TestBaseline:
+    def test_round_trip_filters_known_findings(self, tmp_path):
+        tree = write_tree(tmp_path / "src", {"mod.py": BAD_SOURCE})
+        findings = analyze_paths([tree], rules=det_rules(), root=tree)
+        assert len(findings) == 1
+        baseline = tmp_path / "baseline.json"
+        save_baseline(baseline, findings, tree)
+        entries = load_baseline(baseline)
+        surviving, baselined, stale = apply_baseline(
+            findings, entries, tree)
+        assert surviving == []
+        assert baselined == 1
+        assert stale == []
+
+    def test_new_findings_survive_the_baseline(self, tmp_path):
+        tree = write_tree(tmp_path / "src", {"mod.py": BAD_SOURCE})
+        findings = analyze_paths([tree], rules=det_rules(), root=tree)
+        baseline = tmp_path / "baseline.json"
+        save_baseline(baseline, findings, tree)
+        (tree / "fresh.py").write_text(BAD_SOURCE)
+        findings = analyze_paths([tree], rules=det_rules(), root=tree)
+        surviving, baselined, stale = apply_baseline(
+            findings, load_baseline(baseline), tree)
+        assert [f.path for f in surviving] == [str(tree / "fresh.py")]
+        assert baselined == 1
+        assert stale == []
+
+    def test_fixed_findings_become_stale_entries(self, tmp_path):
+        tree = write_tree(tmp_path / "src", {"mod.py": BAD_SOURCE})
+        findings = analyze_paths([tree], rules=det_rules(), root=tree)
+        baseline = tmp_path / "baseline.json"
+        save_baseline(baseline, findings, tree)
+        (tree / "mod.py").write_text("START = 0.0\n")
+        surviving, baselined, stale = apply_baseline(
+            analyze_paths([tree], rules=det_rules(), root=tree),
+            load_baseline(baseline), tree)
+        assert surviving == []
+        assert baselined == 0
+        assert len(stale) == 1
+
+    def test_multiplicity_respected(self, tmp_path):
+        finding = Finding(rule="DET001", severity="error",
+                          path="mod.py", line=2, col=0, message="dup")
+        twin = Finding(rule="DET001", severity="error",
+                       path="mod.py", line=9, col=0, message="dup")
+        one_entry = [finding_fingerprint(finding, None)]
+        surviving, baselined, _ = apply_baseline(
+            [finding, twin], one_entry, None)
+        assert baselined == 1
+        assert len(surviving) == 1
+
+    def test_cli_gate_with_baseline(self, tmp_path, capsys):
+        tree = write_tree(tmp_path / "src", {"mod.py": BAD_SOURCE})
+        baseline = tmp_path / "baseline.json"
+        # Without a baseline the tree fails the gate ...
+        assert run_lint([str(tree), "--root", str(tree),
+                         "--select", "DET"]) == 1
+        # ... --update-baseline freezes the findings ...
+        assert run_lint([str(tree), "--root", str(tree),
+                         "--select", "DET", "--baseline", str(baseline),
+                         "--update-baseline"]) == 0
+        # ... and the gate passes with them baselined.
+        assert run_lint([str(tree), "--root", str(tree),
+                         "--select", "DET", "--baseline", str(baseline),
+                         "--format", "json"]) == 0
+        capsys.readouterr()
+
+    def test_missing_baseline_fails_loudly(self, tmp_path):
+        tree = write_tree(tmp_path / "src", {"mod.py": "X = 1\n"})
+        try:
+            run_lint([str(tree), "--root", str(tree),
+                      "--baseline", str(tmp_path / "nope.json")])
+        except SystemExit as exc:
+            assert "does not exist" in str(exc)
+        else:
+            raise AssertionError("expected SystemExit")
+
+
+class TestIncrementalCache:
+    def test_warm_run_reuses_everything(self, tmp_path):
+        tree = write_tree(tmp_path / "src", {
+            "a.py": BAD_SOURCE, "b.py": "X = 1\n",
+        })
+        cold = run_analysis([tree], rules=det_rules(), root=tree,
+                            cache=LintCache(tree))
+        assert cold.cache_stats["files_reused"] == 0
+        assert cold.cache_stats["files_analyzed"] == 2
+        warm = run_analysis([tree], rules=det_rules(), root=tree,
+                            cache=LintCache(tree))
+        assert warm.cache_stats["files_reused"] == 2
+        assert warm.cache_stats["files_analyzed"] == 0
+        assert warm.findings == cold.findings
+        assert warm.rule_stats["DET001"].findings == 1
+
+    def test_edited_file_invalidates_only_itself(self, tmp_path):
+        tree = write_tree(tmp_path / "src", {
+            "a.py": BAD_SOURCE, "b.py": "X = 1\n",
+        })
+        run_analysis([tree], rules=det_rules(), root=tree,
+                     cache=LintCache(tree))
+        (tree / "b.py").write_text("X = 2\n")
+        result = run_analysis([tree], rules=det_rules(), root=tree,
+                              cache=LintCache(tree))
+        assert result.cache_stats["files_reused"] == 1
+        assert result.cache_stats["files_analyzed"] == 1
+
+    def test_suppressed_counts_survive_cache_replay(self, tmp_path):
+        tree = write_tree(tmp_path / "src", {
+            "a.py": "import time\n"
+                    "START = time.time()  # repro-lint: disable=DET001\n",
+        })
+        cold = run_analysis([tree], rules=det_rules(), root=tree,
+                            cache=LintCache(tree))
+        assert cold.suppressed == 1
+        warm = run_analysis([tree], rules=det_rules(), root=tree,
+                            cache=LintCache(tree))
+        assert warm.cache_stats["files_reused"] == 1
+        assert warm.suppressed == 1
+
+    def test_project_pass_reuses_and_invalidates(self, tmp_path):
+        tree = write_tree(tmp_path / "src", {
+            "repro/experiments/harness.py": """\
+                CACHE_KEY_FIELDS = {
+                    "run": ("mix", "seed"),
+                }
+
+
+                def run_cached(disk, mix, seed):
+                    return disk.get("run", (mix, seed))
+            """,
+        })
+        rules = [r for r in default_rules() if r.id == "COV003"]
+        cold = run_analysis([tree], rules=rules, root=tree,
+                            cache=LintCache(tree))
+        assert cold.cache_stats["project_reused"] is False
+        warm = run_analysis([tree], rules=rules, root=tree,
+                            cache=LintCache(tree))
+        assert warm.cache_stats["project_reused"] is True
+        assert warm.findings == cold.findings == []
+        # Editing the harness invalidates the project entry and the
+        # re-run sees the new violation.
+        path = tree / "repro" / "experiments" / "harness.py"
+        path.write_text(path.read_text().replace(
+            'disk.get("run", (mix, seed))',
+            'disk.get("rogue", (mix, seed))',
+        ))
+        edited = run_analysis([tree], rules=rules, root=tree,
+                              cache=LintCache(tree))
+        assert edited.cache_stats["project_reused"] is False
+        # Two findings: the undeclared "rogue" namespace, and the
+        # now-unused declared "run" row.
+        assert [f.rule for f in edited.findings] == ["COV003", "COV003"]
+
+    def test_cli_cache_flag_reports_stats(self, tmp_path, capsys):
+        tree = write_tree(tmp_path / "src", {"a.py": "X = 1\n"})
+        cache_dir = tmp_path / "lintcache"
+        for expected_reused in (0, 1):
+            assert run_lint([str(tree), "--root", str(tree),
+                             "--cache", "--cache-dir", str(cache_dir),
+                             "--format", "json"]) == 0
+            document = json.loads(capsys.readouterr().out)
+            assert document["cache"]["enabled"] is True
+            assert document["cache"]["files_reused"] == expected_reused
+
+
+class TestOverlappingPathDedupe:
+    def test_nested_paths_report_once(self, tmp_path):
+        tree = write_tree(tmp_path, {"pkg/mod.py": BAD_SOURCE})
+        findings = analyze_paths([tree, tree / "pkg",
+                                  tree / "pkg" / "mod.py"],
+                                 rules=det_rules(), root=tree)
+        assert len(findings) == 1
+
+
+class TestDecoratorAnchoring:
+    SOURCE = """\
+        import time
+
+
+        def deco(stamp):
+            def wrap(fn):
+                return fn
+            return wrap
+
+
+        @deco(time.time())
+        def handler():
+            return 1
+    """
+
+    def test_finding_anchors_at_the_def_line(self, tmp_path):
+        tree = write_tree(tmp_path, {"mod.py": self.SOURCE})
+        findings = analyze_paths([tree], rules=det_rules(), root=tree)
+        assert [f.rule for f in findings] == ["DET001"]
+        # Line 11 is `def handler():`, not line 10 (the decorator).
+        assert findings[0].line == 11
+
+    def test_suppression_on_the_def_line_works(self, tmp_path):
+        source = self.SOURCE.replace(
+            "def handler():",
+            "def handler():  # repro-lint: disable=DET001",
+        )
+        tree = write_tree(tmp_path, {"mod.py": source})
+        assert analyze_paths([tree], rules=det_rules(),
+                             root=tree) == []
+
+
+class TestChangedMode:
+    def _git(self, cwd, *args):
+        subprocess.run(["git", "-C", str(cwd), *args], check=True,
+                       capture_output=True)
+
+    def _init_repo(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "clean.py": BAD_SOURCE,      # committed: excluded from --changed
+            "untouched.py": "X = 1\n",
+        })
+        self._git(tree, "init", "-q")
+        self._git(tree, "-c", "user.email=t@example.invalid",
+                  "-c", "user.name=t", "add", ".")
+        self._git(tree, "-c", "user.email=t@example.invalid",
+                  "-c", "user.name=t", "commit", "-q", "-m", "seed")
+        return tree
+
+    def test_only_changed_files_are_linted(self, tmp_path, capsys):
+        tree = self._init_repo(tmp_path)
+        (tree / "fresh.py").write_text(BAD_SOURCE)
+        exit_code = run_lint([str(tree), "--root", str(tree),
+                              "--select", "DET", "--changed",
+                              "--format", "json"])
+        document = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert document["summary"]["checked_files"] == 1
+        assert [Path(f["path"]).name
+                for f in document["findings"]] == ["fresh.py"]
+
+    def test_clean_worktree_lints_nothing(self, tmp_path, capsys):
+        tree = self._init_repo(tmp_path)
+        exit_code = run_lint([str(tree), "--root", str(tree),
+                              "--select", "DET", "--changed",
+                              "--format", "json"])
+        document = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert document["summary"]["checked_files"] == 0
+
+    def test_outside_git_fails_loudly(self, tmp_path):
+        tree = write_tree(tmp_path, {"mod.py": "X = 1\n"})
+        try:
+            run_lint([str(tree), "--root", str(tree), "--changed"])
+        except SystemExit as exc:
+            assert "git" in str(exc)
+        else:
+            raise AssertionError("expected SystemExit")

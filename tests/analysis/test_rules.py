@@ -518,6 +518,391 @@ class TestGen001ExecHygiene:
         assert findings == []
 
 
+def lint_tree(tmp_path, files, select=None):
+    """Write a {relpath: source} tree under ``tmp_path`` and lint it."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    rules = default_rules()
+    if select is not None:
+        rules = [rule for rule in rules if rule.id in select]
+    return analyze_paths([tmp_path], rules=rules, root=tmp_path)
+
+
+COV_MACHINE = """\
+    SCALAR_ONLY_STATE = frozenset({"_scratch"})
+
+
+    class Machine:
+        def tick(self, dt):
+            self._rho = 1.0
+            self._scratch = 0
+            self.governor.tick(dt)
+            for core, proc in enumerate(self._procs_by_core):
+                proc.advance(dt)
+"""
+
+COV_VECTOR = """\
+    CELL_COLUMNS = {
+        "_rho": "per-cell utilization column",
+        "governor": "governor sub-state",
+        "process.advance()": "progress advance",
+    }
+"""
+
+
+class TestCov001VectorColumnCoverage:
+    def test_mirrored_state_is_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "repro/sim/machine.py": COV_MACHINE,
+            "repro/sim/vector.py": COV_VECTOR,
+        }, select={"COV001"})
+        assert findings == []
+
+    def test_flags_unmirrored_hot_state(self, tmp_path):
+        machine = COV_MACHINE.replace(
+            "self._rho = 1.0", "self._rho = 1.0\n            self._leak = dt"
+        )
+        findings = lint_tree(tmp_path, {
+            "repro/sim/machine.py": machine,
+            "repro/sim/vector.py": COV_VECTOR,
+        }, select={"COV001"})
+        assert rule_ids(findings) == ["COV001"]
+        assert "'_leak'" in findings[0].message
+        assert findings[0].path.endswith("machine.py")
+
+    def test_flags_mutation_through_alias(self, tmp_path):
+        machine = COV_MACHINE.replace(
+            "self._rho = 1.0",
+            "self._rho = 1.0\n"
+            "            stash = self._leaky\n"
+            "            stash[0] = dt",
+        )
+        findings = lint_tree(tmp_path, {
+            "repro/sim/machine.py": machine,
+            "repro/sim/vector.py": COV_VECTOR,
+        }, select={"COV001"})
+        assert rule_ids(findings) == ["COV001"]
+        assert "'_leaky'" in findings[0].message
+
+    def test_flags_stale_registry_entry(self, tmp_path):
+        vector = COV_VECTOR.replace(
+            '"_rho": "per-cell utilization column",',
+            '"_rho": "per-cell utilization column",\n'
+            '        "ghost": "column with no scalar counterpart",',
+        )
+        findings = lint_tree(tmp_path, {
+            "repro/sim/machine.py": COV_MACHINE,
+            "repro/sim/vector.py": vector,
+        }, select={"COV001"})
+        assert rule_ids(findings) == ["COV001"]
+        assert "'ghost'" in findings[0].message
+        assert findings[0].path.endswith("vector.py")
+
+    def test_flags_stale_allowlist_entry(self, tmp_path):
+        machine = COV_MACHINE.replace(
+            'frozenset({"_scratch"})',
+            'frozenset({"_scratch", "_gone"})',
+        )
+        findings = lint_tree(tmp_path, {
+            "repro/sim/machine.py": machine,
+            "repro/sim/vector.py": COV_VECTOR,
+        }, select={"COV001"})
+        assert rule_ids(findings) == ["COV001"]
+        assert "'_gone'" in findings[0].message
+
+    def test_suppressed(self, tmp_path):
+        machine = COV_MACHINE.replace(
+            'SCALAR_ONLY_STATE = frozenset({"_scratch"})',
+            'SCALAR_ONLY_STATE = frozenset({"_scratch"})'
+            '  # repro-lint: disable=COV001',
+        ).replace(
+            "self._rho = 1.0", "self._rho = 1.0\n            self._leak = dt"
+        )
+        findings = lint_tree(tmp_path, {
+            "repro/sim/machine.py": machine,
+            "repro/sim/vector.py": COV_VECTOR,
+        }, select={"COV001"})
+        assert findings == []
+
+
+class TestCov002KernelStateCoverage:
+    SPANPLAN = """\
+        KERNEL_STATE = {
+            "_rho": "utilization",
+            "governor": "governor",
+            "process.advance()": "progress advance",
+        }
+    """
+
+    def test_mirrored_state_is_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "repro/sim/machine.py": COV_MACHINE.replace(
+                '"_scratch"', '"_scratch"'),
+            "repro/sim/spanplan.py": self.SPANPLAN,
+        }, select={"COV002"})
+        assert findings == []
+
+    def test_flags_unmirrored_hot_state(self, tmp_path):
+        machine = COV_MACHINE.replace(
+            "self._rho = 1.0", "self._rho = 1.0\n            self._leak = dt"
+        )
+        findings = lint_tree(tmp_path, {
+            "repro/sim/machine.py": machine,
+            "repro/sim/spanplan.py": self.SPANPLAN,
+        }, select={"COV002"})
+        assert rule_ids(findings) == ["COV002"]
+        assert "'_leak'" in findings[0].message
+
+    def test_suppressed(self, tmp_path):
+        machine = COV_MACHINE.replace(
+            'SCALAR_ONLY_STATE = frozenset({"_scratch"})',
+            'SCALAR_ONLY_STATE = frozenset({"_scratch"})'
+            '  # repro-lint: disable=COV002',
+        ).replace(
+            "self._rho = 1.0", "self._rho = 1.0\n            self._leak = dt"
+        )
+        findings = lint_tree(tmp_path, {
+            "repro/sim/machine.py": machine,
+            "repro/sim/spanplan.py": self.SPANPLAN,
+        }, select={"COV002"})
+        assert findings == []
+
+
+class TestCov003CacheKeyFieldCoverage:
+    HARNESS = """\
+        CACHE_KEY_FIELDS = {
+            "run": ("mix", "seed"),
+        }
+
+
+        def run_cached(disk, mix, seed):
+            key = (mix, seed)
+            hit = disk.get("run", key)
+            if hit is None:
+                disk.put("run", key, mix)
+            return hit
+    """
+
+    def test_declared_fields_are_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "repro/experiments/harness.py": self.HARNESS,
+        }, select={"COV003"})
+        assert findings == []
+
+    def test_flags_undeclared_namespace(self, tmp_path):
+        harness = self.HARNESS.replace('disk.get("run", key)',
+                                       'disk.get("rogue", key)')
+        findings = lint_tree(tmp_path, {
+            "repro/experiments/harness.py": harness,
+        }, select={"COV003"})
+        assert "'rogue'" in findings[0].message
+        assert any("not declared" in f.message for f in findings)
+
+    def test_flags_missing_key_field(self, tmp_path):
+        harness = self.HARNESS.replace("key = (mix, seed)",
+                                       "key = (mix,)")
+        findings = lint_tree(tmp_path, {
+            "repro/experiments/harness.py": harness,
+        }, select={"COV003"})
+        assert len(findings) == 2  # both the get and the put site
+        assert all("seed" in f.message for f in findings)
+        assert findings[0].line > 1  # anchored at the call site
+
+    def test_flags_stale_namespace_row(self, tmp_path):
+        harness = self.HARNESS.replace(
+            '"run": ("mix", "seed"),',
+            '"run": ("mix", "seed"),\n            "orphan": ("mix",),',
+        )
+        findings = lint_tree(tmp_path, {
+            "repro/experiments/harness.py": harness,
+        }, select={"COV003"})
+        assert rule_ids(findings) == ["COV003"]
+        assert "'orphan'" in findings[0].message
+
+    def test_missing_registry_is_an_error(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "repro/experiments/harness.py": """\
+                def run_cached(disk, mix):
+                    return disk.get("run", (mix,))
+            """,
+        }, select={"COV003"})
+        assert rule_ids(findings) == ["COV003"]
+        assert "CACHE_KEY_FIELDS" in findings[0].message
+
+    def test_suppressed(self, tmp_path):
+        harness = self.HARNESS.replace(
+            'hit = disk.get("run", key)',
+            'hit = disk.get("rogue", key)  # repro-lint: disable=COV003',
+        ).replace('disk.put("run", key, mix)',
+                  'disk.put("rogue", key, mix)'
+                  '  # repro-lint: disable=COV003')
+        # The declared "run" row is now unused; silence that at the
+        # registry line too.
+        harness = harness.replace(
+            "CACHE_KEY_FIELDS = {",
+            "CACHE_KEY_FIELDS = {  # repro-lint: disable=COV003",
+        )
+        findings = lint_tree(tmp_path, {
+            "repro/experiments/harness.py": harness,
+        }, select={"COV003"})
+        assert findings == []
+
+
+class TestFlo001SeedProvenance:
+    def test_flags_wall_clock_seed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+            import time
+
+            def make_rng():
+                seed = int(time.time())
+                return random.Random(seed)
+        """, select={"FLO001"})
+        assert rule_ids(findings) == ["FLO001"]
+        assert "time.time" in findings[0].message
+
+    def test_flags_reseed_from_global_rng(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            def shuffle_stream(rng):
+                rng.seed(random.random())
+        """, select={"FLO001"})
+        assert rule_ids(findings) == ["FLO001"]
+
+    def test_config_seed_is_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            def make_rng(config, stream):
+                seed = "%d/%s" % (config.seed, stream)
+                return random.Random(seed)
+        """, select={"FLO001"})
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+            import time
+
+            def make_rng():
+                return random.Random(int(time.time()))  # repro-lint: disable=FLO001
+        """, select={"FLO001"})
+        assert findings == []
+
+
+class TestFlo002SharedRngInstance:
+    def test_flags_import_time_rng(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            RNG = random.Random(7)
+        """, select={"FLO002"})
+        assert rule_ids(findings) == ["FLO002"]
+        assert "import time" in findings[0].message
+
+    def test_flags_duplicate_constant_streams(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            def surface_a():
+                return random.Random(7)
+
+            def surface_b():
+                return random.Random(7)
+        """, select={"FLO002"})
+        assert rule_ids(findings) == ["FLO002"]
+        assert findings[0].line == 7  # the second construction
+
+    def test_distinct_constant_streams_are_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            def surface_a():
+                return random.Random(7)
+
+            def surface_b():
+                return random.Random(8)
+        """, select={"FLO002"})
+        assert findings == []
+
+    def test_derived_streams_are_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            def make_rng(seed, stream):
+                return random.Random("%d/%s" % (seed, stream))
+        """, select={"FLO002"})
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            RNG = random.Random(7)  # repro-lint: disable=FLO002
+        """, select={"FLO002"})
+        assert findings == []
+
+
+class TestFlo003ReseedInLoop:
+    def test_flags_construction_in_sim_loop(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            def run(seeds):
+                out = []
+                for s in seeds:
+                    rng = random.Random(s)
+                    out.append(rng.random())
+                return out
+        """, relpath="sim/hot.py", select={"FLO003"})
+        assert rule_ids(findings) == ["FLO003"]
+
+    def test_flags_reseed_in_while_loop(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            def run(rng, n):
+                while n > 0:
+                    rng.seed(n)
+                    n -= 1
+        """, relpath="sim/hot.py", select={"FLO003"})
+        assert rule_ids(findings) == ["FLO003"]
+
+    def test_comprehension_hoist_is_clean(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            def make_lanes(seeds):
+                return [random.Random(s) for s in seeds]
+        """, relpath="sim/hot.py", select={"FLO003"})
+        assert findings == []
+
+    def test_outside_sim_scope_is_fine(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            def run(seeds):
+                out = []
+                for s in seeds:
+                    out.append(random.Random(s))
+                return out
+        """, select={"FLO003"})
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_source(tmp_path, """\
+            import random
+
+            def run(seeds):
+                out = []
+                for s in seeds:
+                    out.append(random.Random(s))  # repro-lint: disable=FLO003
+                return out
+        """, relpath="sim/hot.py", select={"FLO003"})
+        assert findings == []
+
+
 class TestBlanketSuppression:
     def test_disable_without_rule_list_silences_everything(self, tmp_path):
         findings = lint_source(tmp_path, """\
@@ -537,7 +922,7 @@ class TestParseErrors:
 class TestRegistry:
     def test_all_families_registered(self):
         ids = {rule.id for rule in default_rules()}
-        for family in ("DET", "ENV", "PAR", "GEN"):
+        for family in ("DET", "ENV", "PAR", "GEN", "COV", "FLO"):
             assert any(rule_id.startswith(family) for rule_id in ids), (
                 "no %s rules registered" % family
             )
@@ -549,7 +934,8 @@ class TestRegistry:
             assert rule.description
 
 
-@pytest.mark.parametrize("family", ["DET", "ENV", "PAR", "GEN"])
+@pytest.mark.parametrize("family",
+                         ["DET", "ENV", "PAR", "GEN", "COV", "FLO"])
 def test_each_family_fails_lint_on_seeded_fixture(tmp_path, family):
     """Acceptance: one seeded violation per family exits non-zero."""
     from repro.analysis.cli import run_lint
@@ -565,8 +951,15 @@ def test_each_family_fails_lint_on_seeded_fixture(tmp_path, family):
             "        pool.submit(lambda c: c, 1)\n"
         )),
         "GEN": ("mod.py", "def f(src):\n    exec(src)\n"),
+        "COV": ("repro/sim/machine.py", (
+            "class Machine:\n"
+            "    def tick(self, dt):\n"
+            "        self._leak = dt\n"
+        )),
+        "FLO": ("mod.py", "import random\nRNG = random.Random(7)\n"),
     }
     relpath, source = fixtures[family]
+    (tmp_path / relpath).parent.mkdir(parents=True, exist_ok=True)
     (tmp_path / relpath).write_text(source)
     exit_code = run_lint([str(tmp_path), "--select", family,
                           "--root", str(tmp_path)])

@@ -16,6 +16,7 @@ from repro.analysis.core import analyze_paths
 
 
 PACKAGE_DIR = Path(repro.__file__).resolve().parent
+REPO_ROOT = PACKAGE_DIR.parent.parent
 
 
 class TestShippedTreeIsClean:
@@ -36,10 +37,50 @@ class TestShippedTreeIsClean:
     def test_cli_lint_json_document(self, capsys):
         assert main(["lint", "--format", "json"]) == 0
         document = json.loads(capsys.readouterr().out)
-        assert document["version"] == 1
+        assert document["version"] == 2
         assert document["findings"] == []
         assert document["summary"]["errors"] == 0
         assert document["summary"]["checked_files"] > 40
+        assert document["summary"]["suppressed"] == 0
+        # Per-rule stats cover every registered rule, with timings.
+        stats = document["rule_stats"]
+        for rule_id in ("DET001", "COV001", "FLO001", "GEN003"):
+            assert rule_id in stats
+            assert stats[rule_id]["findings"] == 0
+            assert stats[rule_id]["time_s"] >= 0.0
+
+    def test_shipped_tree_is_clean_against_committed_baseline(self,
+                                                              capsys):
+        """The CI gate invocation: zero un-baselined findings.
+
+        The committed baseline is empty (the tree lints clean), so this
+        both validates the gate wiring and pins the tree-is-clean
+        property; a finding can only land by being fixed, suppressed
+        inline, or explicitly baselined in review.
+        """
+        baseline = REPO_ROOT / ".repro-lint-baseline.json"
+        assert baseline.exists(), "committed baseline file is missing"
+        document = json.loads(baseline.read_text())
+        assert document["findings"] == [], (
+            "the committed baseline should be empty while the tree "
+            "lints clean"
+        )
+        assert main(["lint", "--baseline", str(baseline),
+                     "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["errors"] == 0
+        assert report["summary"]["baselined"] == 0
+        assert report["summary"]["stale_baseline_entries"] == 0
+
+    def test_list_rules_marks_project_rules(self, capsys):
+        assert main(["lint", "--list-rules", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        kinds = {row["id"]: row["kind"] for row in document["rules"]}
+        for rule_id in ("COV001", "COV002", "COV003", "GEN002", "GEN003",
+                        "ENV003"):
+            assert kinds[rule_id] == "project"
+        for rule_id in ("DET001", "FLO001", "FLO002", "FLO003"):
+            assert kinds[rule_id] == "module"
 
 
 class TestCliSurface:
