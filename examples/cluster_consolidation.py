@@ -10,7 +10,9 @@ scheduler's role:
 2. let a reservation-based dispatcher pack as many streams as possible
    onto a rack of nodes for each distribution (Figure 2 at rack scale);
 3. run a small mixed cluster — one unmanaged node, one Dirigent node —
-   in lockstep and report per-node and cluster-wide outcomes.
+   in lockstep and report per-node and cluster-wide outcomes;
+4. crash one node of a small fleet mid-run and let the self-healing
+   control plane (:mod:`repro.cluster.control`) re-place its stream.
 
 Run with::
 
@@ -25,16 +27,17 @@ from repro.cluster import (
 )
 from repro.core import BASELINE, DIRIGENT
 from repro.experiments import measure_baseline, mix_by_name, run_policy
+from repro.faults import NodeFaultPlan, NodeFaultSpec
 from repro.sched.reservation import reservation_for
 
 EXECUTIONS = 25
 RACK_NODES = 4
 
 
-def main() -> None:
+def main(executions: int = EXECUTIONS, rack_nodes: int = RACK_NODES) -> None:
     mix = mix_by_name("ferret rs")
-    baseline = measure_baseline(mix, executions=EXECUTIONS)
-    dirigent = run_policy(mix, DIRIGENT, executions=EXECUTIONS)
+    baseline = measure_baseline(mix, executions=executions)
+    dirigent = run_policy(mix, DIRIGENT, executions=executions)
 
     print("Task: %s (deadline %.3f s)" % (mix.fg_name, baseline.deadlines_s[0]))
     print(
@@ -52,7 +55,7 @@ def main() -> None:
         ("Dirigent", dirigent.all_durations),
     ):
         dispatcher = ReservationDispatcher(
-            num_nodes=RACK_NODES, capacity_cores=3.0
+            num_nodes=rack_nodes, capacity_cores=3.0
         )
         requests = [
             StreamRequest(
@@ -60,7 +63,7 @@ def main() -> None:
                 period_s=period,
                 durations_s=tuple(durations),
             )
-            for i in range(4 * RACK_NODES)
+            for i in range(4 * rack_nodes)
         ]
         admitted = dispatcher.place_all(requests)
         print(
@@ -69,7 +72,7 @@ def main() -> None:
             % (
                 label,
                 admitted,
-                RACK_NODES,
+                rack_nodes,
                 100
                 * sum(dispatcher.utilization())
                 / (len(dispatcher.utilization()) * 3.0),
@@ -81,8 +84,8 @@ def main() -> None:
     print("Running a 2-node cluster (one unmanaged, one Dirigent)...")
     cluster = Cluster(
         [
-            ClusterNode("unmanaged", mix, BASELINE, executions=EXECUTIONS),
-            ClusterNode("dirigent", mix, DIRIGENT, executions=EXECUTIONS,
+            ClusterNode("unmanaged", mix, BASELINE, executions=executions),
+            ClusterNode("dirigent", mix, DIRIGENT, executions=executions,
                         seed=1),
         ]
     )
@@ -104,6 +107,39 @@ def main() -> None:
             outcome.total_bg_instr_per_s / 1e9,
         )
     )
+
+    # Fleet self-healing: crash one node mid-run; the control plane
+    # detects the missing heartbeats and re-places its stream.
+    print()
+    print("Crashing one node of a 3-node Dirigent fleet...")
+    fleet = Cluster(
+        [
+            ClusterNode("n%d" % i, mix, DIRIGENT, executions=executions,
+                        seed=10 + i, warmup=2)
+            for i in range(3)
+        ]
+    )
+    plan = NodeFaultPlan(
+        scenario="demo-crash",
+        seed=0,
+        overrides=(NodeFaultSpec(node="n1", kind="crash", onset_s=0.5),),
+    )
+    healed = fleet.run(fault_plan=plan)
+    print(
+        "  fleet attainment %.0f%%  failovers %d  stranded executions %d"
+        % (
+            100 * healed.fg_success_ratio,
+            healed.failovers,
+            healed.stranded_executions,
+        )
+    )
+    for incident, (ttd, ttr) in enumerate(
+        zip(healed.time_to_detection_s, healed.time_to_recovery_s)
+    ):
+        print(
+            "  incident %d: detected after %.0f ms, re-placed after %.0f ms"
+            % (incident, 1000 * ttd, 1000 * ttr)
+        )
 
 
 if __name__ == "__main__":

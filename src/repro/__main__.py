@@ -12,6 +12,7 @@ Usage::
     python -m repro bench [--profile profile.pstats] [--skip-floors]
     python -m repro lint [paths ...] [--format=json] [--select=DET,ENV]
     python -m repro chaos [--scenario sensor-degraded] [--mix "bodytrack bwaves"]
+    python -m repro chaos --fleet [--scenario node-crash] [--nodes 5]
 """
 
 from __future__ import annotations
@@ -109,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "REPRO_EXECUTIONS or 40)")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--max-rows", type=int, default=0)
+    chaos.add_argument(
+        "--fleet", action="store_true",
+        help="run the fleet scenario catalog (node-level faults and the "
+             "self-healing control plane) instead of the single-node "
+             "sensor/actuator suite",
+    )
+    chaos.add_argument(
+        "--nodes", type=int, default=None, metavar="N",
+        help="fleet size for --fleet (default: 5)",
+    )
     bench = sub.add_parser(
         "bench",
         help="run the performance benchmark harness "
@@ -219,20 +230,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "chaos":
-        from repro.experiments.chaos import run_chaos
-        from repro.faults import SCENARIO_NAMES
-
-        for name in args.scenarios or ():
-            if name not in SCENARIO_NAMES:
-                print("unknown scenario %r (available: %s)"
-                      % (name, ", ".join(SCENARIO_NAMES)))
-                return 2
-        result = run_chaos(
-            mixes=args.mixes,
-            scenarios=args.scenarios,
-            executions=args.executions,
-            seed=args.seed,
+        from repro.experiments.chaos import (
+            DEFAULT_FLEET_EXECUTIONS,
+            DEFAULT_FLEET_NODES,
+            run_chaos,
+            run_fleet_chaos,
         )
+        from repro.faults import FLEET_SCENARIO_NAMES, SCENARIO_NAMES
+
+        catalog = FLEET_SCENARIO_NAMES if args.fleet else SCENARIO_NAMES
+        for name in args.scenarios or ():
+            if name not in catalog:
+                print("unknown scenario %r (available: %s)"
+                      % (name, ", ".join(catalog)))
+                return 2
+        if args.fleet:
+            result = run_fleet_chaos(
+                scenarios=args.scenarios,
+                num_nodes=args.nodes or DEFAULT_FLEET_NODES,
+                mixes=args.mixes,
+                executions=(
+                    args.executions if args.executions is not None
+                    else DEFAULT_FLEET_EXECUTIONS
+                ),
+                seed=args.seed,
+            )
+        else:
+            if args.nodes is not None:
+                print("--nodes requires --fleet")
+                return 2
+            result = run_chaos(
+                mixes=args.mixes,
+                scenarios=args.scenarios,
+                executions=args.executions,
+                seed=args.seed,
+            )
         print(render(result, max_rows=args.max_rows))
         return 0
     if args.command == "lint":

@@ -1,5 +1,11 @@
 """Cluster integration layer: per-node Dirigent under a cluster scheduler."""
 
+from repro.cluster.control import (
+    ControlPlaneConfig,
+    FailoverDispatcher,
+    FleetController,
+    HeartbeatMonitor,
+)
 from repro.cluster.dispatch import (
     Cluster,
     ClusterNode,
@@ -12,6 +18,10 @@ __all__ = [
     "ClusterNode",
     "Cluster",
     "ClusterResult",
+    "ControlPlaneConfig",
+    "FailoverDispatcher",
+    "FleetController",
+    "HeartbeatMonitor",
     "StreamRequest",
     "ReservationDispatcher",
 ]

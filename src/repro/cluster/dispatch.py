@@ -22,7 +22,8 @@ integration point on the simulated substrate:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.policies import Policy
@@ -33,13 +34,24 @@ from repro.experiments.harness import (
     drive_sessions_vectorized,
 )
 from repro.experiments.mixes import Mix
-from repro.sched.reservation import ReservationScheduler, TaskStream
-from repro.sim.config import MachineConfig
+from repro.faults.fleet import FleetFaultReport, NodeFaultPlan
+from repro.sched.reservation import (
+    ReservationScheduler,
+    TaskStream,
+    reservation_for,
+)
+from repro.sim.config import MachineConfig, fleet_failover_enabled
 from repro.sim.spanplan import SpanStats
 
 
 class ClusterNode:
-    """One node of the cluster: a named policy session."""
+    """One node of the cluster: a named policy session.
+
+    The construction arguments are kept on the node: the fleet control
+    plane replays them when it spawns a replacement session for a
+    failed-over stream, and ``ClusterResult.node_labels`` reports them
+    so chaos tables are self-describing.
+    """
 
     def __init__(
         self,
@@ -52,6 +64,12 @@ class ClusterNode:
         warmup: int = 5,
     ) -> None:
         self.name = name
+        self.mix = mix
+        self.policy = policy
+        self.executions = executions
+        self.config = config
+        self.seed = seed
+        self.warmup = warmup
         self.session = PolicySession(
             mix,
             policy,
@@ -79,15 +97,58 @@ class ClusterNode:
 class ClusterResult:
     """Aggregated outcome of a cluster run.
 
+    The fleet fields default to their clean-run values, so plain (and
+    zero-fault) runs carry the same payload they always did plus the
+    self-describing labels.
+
     Attributes:
-        node_results: Per-node results keyed by node name.
+        node_results: Per-node results keyed by node name; a faulted
+            run adds completed replacement sessions under
+            ``"<home>@<host>"`` labels.
         fg_success_ratio: Execution-weighted FG success over all nodes.
-        total_bg_instr_per_s: Sum of BG instruction rates over all nodes.
+            Under a fault plan this is the *fleet-wide deadline
+            attainment*: every stream's full execution target counts,
+            credit comes from completions delivered before the hosting
+            node's loss of service plus re-placed work, and stranded
+            executions count as missed.
+        total_bg_instr_per_s: Sum of BG instruction rates over all
+            completed sessions.
+        node_labels: ``name -> (mix, policy, seed)`` for every node.
+        node_health: Final monitor state per node (``alive``/``suspect``
+            /``dead``; empty for clean runs).
+        health_timelines: Per-node ``(time_s, state)`` transitions
+            merging schedule onsets and monitor verdicts.
+        failovers: Streams successfully re-placed onto survivors.
+        failover_retries: Placement attempts that backed off.
+        stranded_streams: Streams with undelivered executions.
+        stranded_executions: FG executions never delivered fleet-wide
+            (the stranded-throughput headline number).
+        time_to_detection_s: Per-incident onset -> dead-declaration lag.
+        time_to_recovery_s: Per-failover onset -> re-placement lag.
+        fleet_elapsed_s: Fleet-virtual seconds until resolution (0 for
+            clean runs, which do not share a fleet clock).
+        fleet_report: Fleet fault/control accounting (None without a
+            plan; empty-signature for a zero plan).
     """
 
     node_results: Dict[str, RunResult]
     fg_success_ratio: float
     total_bg_instr_per_s: float
+    node_labels: Dict[str, Tuple[str, str, int]] = field(
+        default_factory=dict
+    )
+    node_health: Dict[str, str] = field(default_factory=dict)
+    health_timelines: Dict[str, Tuple[Tuple[float, str], ...]] = field(
+        default_factory=dict
+    )
+    failovers: int = 0
+    failover_retries: int = 0
+    stranded_streams: int = 0
+    stranded_executions: int = 0
+    time_to_detection_s: Tuple[float, ...] = ()
+    time_to_recovery_s: Tuple[float, ...] = ()
+    fleet_elapsed_s: float = 0.0
+    fleet_report: Optional[FleetFaultReport] = None
 
 
 class Cluster:
@@ -109,8 +170,14 @@ class Cluster:
         if not nodes:
             raise ExperimentError("cluster needs at least one node")
         names = [node.name for node in nodes]
-        if len(set(names)) != len(names):
-            raise ExperimentError("node names must be unique")
+        duplicates = sorted(
+            name for name, count in Counter(names).items() if count > 1
+        )
+        if duplicates:
+            raise ExperimentError(
+                "node names must be unique (duplicated: %s)"
+                % ", ".join(repr(name) for name in duplicates)
+            )
         self._nodes = list(nodes)
         self._vectorized = vectorized
         self.vector_stats: Optional[SpanStats] = None
@@ -120,8 +187,36 @@ class Cluster:
         """The cluster's nodes."""
         return list(self._nodes)
 
-    def run(self) -> ClusterResult:
-        """Step all nodes until each finished its executions."""
+    def run(
+        self,
+        fault_plan: Optional[NodeFaultPlan] = None,
+        control: Optional["object"] = None,
+    ) -> ClusterResult:
+        """Step all nodes until each finished its executions.
+
+        A non-zero ``fault_plan`` hands the run to the fleet control
+        plane (:class:`repro.cluster.control.FleetController`), which
+        injects the planned node faults and — when failover is enabled —
+        re-places streams off dead nodes.  ``control`` optionally
+        carries a :class:`repro.cluster.control.ControlPlaneConfig`.
+        A ``None`` or zero plan takes the exact pre-fleet code path, so
+        zero-fault runs are bit-identical to plain runs by construction
+        (the only addition is the empty report / label metadata).
+        """
+        if fault_plan is not None and not fault_plan.is_zero:
+            # Imported here: control.py imports ClusterResult from this
+            # module, so a top-level import would be a cycle.
+            from repro.cluster.control import FleetController
+
+            controller = FleetController(
+                self._nodes,
+                fault_plan,
+                config=control,
+                vectorized=self._vectorized,
+            )
+            result = controller.run()
+            self.vector_stats = controller.vector_stats
+            return result
         if self._vectorized:
             driver = drive_sessions_vectorized(
                 [node.session for node in self._nodes]
@@ -146,10 +241,22 @@ class Cluster:
             bg_rate += result.bg_instr_per_s
         if total == 0:
             raise ExperimentError("cluster produced no measured executions")
+        report = None
+        if fault_plan is not None:
+            report = FleetFaultReport(
+                scenario=fault_plan.scenario,
+                fault_seed=fault_plan.seed,
+                failover_enabled=fleet_failover_enabled(),
+            )
         return ClusterResult(
             node_results=results,
             fg_success_ratio=met / total,
             total_bg_instr_per_s=bg_rate,
+            node_labels={
+                node.name: (node.mix.name, node.policy.name, node.seed)
+                for node in self._nodes
+            },
+            fleet_report=report,
         )
 
 
@@ -206,8 +313,6 @@ class ReservationDispatcher:
 
     def place(self, request: StreamRequest) -> Optional[int]:
         """Place one stream; returns the node index or None if rejected."""
-        from repro.sched.reservation import reservation_for
-
         reservation = reservation_for(
             list(request.durations_s), self._percentile
         )

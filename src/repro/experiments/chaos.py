@@ -14,8 +14,10 @@ fault surface is exactly what the cache key does not capture.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Sequence, Tuple
 
+from repro.cluster import Cluster, ClusterNode, ClusterResult
 from repro.core.policies import BASELINE, DIRIGENT
 from repro.errors import ExperimentError
 from repro.experiments.figures import FigureResult
@@ -27,7 +29,12 @@ from repro.experiments.harness import (
 from repro.experiments.mixes import Mix, mix_by_name
 from repro.experiments.parallel import run_grid
 from repro.experiments.report import sweep_summary
-from repro.faults import SCENARIO_NAMES, scenario
+from repro.faults import (
+    FLEET_SCENARIO_NAMES,
+    SCENARIO_NAMES,
+    fleet_scenario,
+    scenario,
+)
 
 #: Mixes the chaos suite (and the CI smoke job) exercises by default:
 #: one cache-sensitive and one compute-bound FG against the streaming
@@ -134,4 +141,168 @@ def run_chaos_cell(
         warmup=warmup,
         seed=seed,
         fault_plan=scenario(scenario_name, seed=seed),
+    )
+
+
+#: Mix the fleet chaos suite runs on every node by default.  The FG has
+#: enough headroom under Dirigent that fleet attainment is governed by
+#: the control plane (detection + re-placement), not by per-node misses.
+DEFAULT_FLEET_MIX = "raytrace rs"
+
+#: Fleet chaos defaults: node count and per-node measured executions.
+DEFAULT_FLEET_NODES = 5
+DEFAULT_FLEET_EXECUTIONS = 10
+
+
+def build_fleet(
+    num_nodes: int = DEFAULT_FLEET_NODES,
+    mix_names: Optional[Sequence[str]] = None,
+    executions: int = DEFAULT_FLEET_EXECUTIONS,
+    warmup: int = 3,
+    seed: int = 0,
+) -> List[ClusterNode]:
+    """Construct the chaos fleet: Dirigent nodes over round-robin mixes.
+
+    Nodes are named ``n0..n<N-1>`` and seeded ``seed + i`` so every
+    node's trajectory is distinct but the fleet as a whole is a pure
+    function of ``seed``.
+    """
+    if num_nodes < 2:
+        raise ExperimentError("a fleet needs at least two nodes")
+    names = tuple(mix_names) if mix_names else (DEFAULT_FLEET_MIX,)
+    return [
+        ClusterNode(
+            "n%d" % i,
+            mix_by_name(names[i % len(names)]),
+            DIRIGENT,
+            executions=executions,
+            seed=seed + i,
+            warmup=warmup,
+        )
+        for i in range(num_nodes)
+    ]
+
+
+def run_fleet_cell(
+    scenario_name: str,
+    num_nodes: int = DEFAULT_FLEET_NODES,
+    mix_names: Optional[Sequence[str]] = None,
+    executions: int = DEFAULT_FLEET_EXECUTIONS,
+    warmup: int = 3,
+    seed: int = 0,
+    vectorized: bool = False,
+) -> ClusterResult:
+    """One fleet chaos cell: a fresh fleet under one node-fault scenario."""
+    cluster = Cluster(
+        build_fleet(
+            num_nodes,
+            mix_names=mix_names,
+            executions=executions,
+            warmup=warmup,
+            seed=seed,
+        ),
+        vectorized=vectorized,
+    )
+    return cluster.run(fault_plan=fleet_scenario(scenario_name, seed=seed))
+
+
+def _signature_digest(result: ClusterResult) -> str:
+    """Short stable digest of the fleet event signature.
+
+    The digest is a pure function of the (sorted, rounded) event tuple,
+    so equal digests across backends certify equal control-plane
+    histories without printing the whole stream.
+    """
+    report = result.fleet_report
+    signature = report.event_signature if report else ()
+    return hashlib.sha256(repr(signature).encode("utf-8")).hexdigest()[:12]
+
+
+def _mean_ms(values: Sequence[float]) -> str:
+    if not values:
+        return "-"
+    return "%.0f" % (1000.0 * sum(values) / len(values))
+
+
+def run_fleet_chaos(
+    scenarios: Optional[Sequence[str]] = None,
+    num_nodes: int = DEFAULT_FLEET_NODES,
+    mixes: Optional[Sequence[str]] = None,
+    executions: int = DEFAULT_FLEET_EXECUTIONS,
+    warmup: int = 3,
+    seed: int = 0,
+    vectorized: bool = False,
+) -> FigureResult:
+    """Run the fleet scenario catalog and tabulate fleet-wide QoS.
+
+    Each row is one scenario over a fresh fleet: fleet-wide FG deadline
+    attainment (stranded executions count as missed), failover traffic,
+    detection/recovery latencies, and the event-signature digest that
+    the cross-backend determinism check compares.
+
+    Baseline deadlines are warmed through the parallel sweep engine
+    first, exactly like the single-node suite, so the serial fleet
+    cells find them cached.
+    """
+    scenario_names = (
+        tuple(scenarios) if scenarios else FLEET_SCENARIO_NAMES
+    )
+    mix_names = tuple(mixes) if mixes else (DEFAULT_FLEET_MIX,)
+    warm_sweep = run_grid(
+        [mix_by_name(name) for name in mix_names],
+        [BASELINE],
+        executions=executions,
+        warmup=warmup,
+        seed=seed,
+    )
+    rows: List[Tuple[object, ...]] = []
+    failover_enabled = True
+    for name in scenario_names:
+        result = run_fleet_cell(
+            name,
+            num_nodes=num_nodes,
+            mix_names=mix_names,
+            executions=executions,
+            warmup=warmup,
+            seed=seed,
+            vectorized=vectorized,
+        )
+        report = result.fleet_report
+        if report is None:
+            raise ExperimentError(
+                "fleet chaos run of %r produced no fleet report" % name
+            )
+        failover_enabled = report.failover_enabled
+        rows.append((
+            name,
+            num_nodes,
+            "%.3f" % result.fg_success_ratio,
+            report.total_injected,
+            result.failovers,
+            result.failover_retries,
+            result.stranded_executions,
+            _mean_ms(result.time_to_detection_s),
+            _mean_ms(result.time_to_recovery_s),
+            report.quarantines,
+            report.sheds,
+            _signature_digest(result),
+        ))
+    return FigureResult(
+        name="fleet-chaos",
+        title="Fleet QoS under node-fault scenarios (failover %s)"
+        % ("on" if failover_enabled else "OFF"),
+        headers=(
+            "Scenario", "Nodes", "Attain", "Injected", "Failover",
+            "Retries", "Stranded", "TTDms", "TTRms", "Quar", "Shed",
+            "Signature",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "attainment counts stranded executions as missed; "
+            "signature digests are identical across backends",
+            "failover kill switch: REPRO_FLEET_FAILOVER=0; heartbeat "
+            "knobs: REPRO_FLEET_SUSPECT_S / REPRO_FLEET_DEAD_S",
+        ) + tuple(
+            "baseline warm-up %s" % line for line in sweep_summary(warm_sweep)
+        ),
     )

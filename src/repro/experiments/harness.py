@@ -459,6 +459,35 @@ class PolicySession:
         """Completed executions per FG task so far."""
         return [len(self._records[p.pid]) for p in self._fg_procs]
 
+    @property
+    def deadlines(self) -> Optional[Tuple[float, ...]]:
+        """The session's per-task deadlines (None for self-judged runs).
+
+        The fleet control plane hands these to replacement sessions so
+        a re-placed stream is judged against the *original* goalposts,
+        not deadlines recomputed for its shortened execution count.
+        """
+        if self._deadlines is None:
+            return None
+        return tuple(self._deadlines)
+
+    def measured_records(self) -> Tuple[Tuple[Tuple[float, float], ...], ...]:
+        """Post-warmup ``(end_s, duration_s)`` pairs per FG task so far.
+
+        Valid at any point of the run (not just once done): the fleet
+        control plane uses it for partial-credit accounting of sessions
+        a node fault cut short.  Times are the session machine's own
+        clock.
+        """
+        warmup, target = self._warmup, self._target
+        return tuple(
+            tuple(
+                (r.end_s, r.duration_s)
+                for r in self._records[p.pid][warmup:target]
+            )
+            for p in self._fg_procs
+        )
+
     def tick(self) -> None:
         """Advance the node by one simulator tick.
 

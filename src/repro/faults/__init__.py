@@ -9,6 +9,17 @@ harness plumbs plans through ``run_policy(..., fault_plan=...)``; the
 fault/degradation accounting per scenario.  See ``docs/robustness.md``.
 """
 
+from repro.faults.fleet import (
+    FLEET_SCENARIO_NAMES,
+    FLEET_SCENARIOS,
+    NODE_FAULT_KINDS,
+    ZERO_NODE_FAULTS,
+    FleetFaultReport,
+    FleetSchedule,
+    NodeFaultPlan,
+    NodeFaultSpec,
+    fleet_scenario,
+)
 from repro.faults.injector import FaultEvent, FaultInjector, FaultySystem
 from repro.faults.plan import (
     GLITCH_FACTOR,
@@ -21,15 +32,24 @@ from repro.faults.plan import (
 from repro.faults.report import FaultReport, merge_counts
 
 __all__ = [
+    "FLEET_SCENARIO_NAMES",
+    "FLEET_SCENARIOS",
     "GLITCH_FACTOR",
+    "NODE_FAULT_KINDS",
     "SCENARIO_NAMES",
     "SCENARIOS",
     "ZERO_FAULTS",
+    "ZERO_NODE_FAULTS",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "FaultReport",
     "FaultySystem",
+    "FleetFaultReport",
+    "FleetSchedule",
+    "NodeFaultPlan",
+    "NodeFaultSpec",
+    "fleet_scenario",
     "merge_counts",
     "scenario",
 ]

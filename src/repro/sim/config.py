@@ -201,6 +201,21 @@ ENV_KERNEL_DISK_CACHE = "REPRO_KERNEL_DISK_CACHE"
 #: Work-stealing sweep dispatch kill switch (``0``/``off``/``false``).
 ENV_STEAL = "REPRO_STEAL"
 
+#: Fleet failover kill switch (``0`` disables stream re-placement).
+ENV_FLEET_FAILOVER = "REPRO_FLEET_FAILOVER"
+
+#: Heartbeat gap (seconds) before the fleet monitor suspects a node.
+ENV_FLEET_SUSPECT_S = "REPRO_FLEET_SUSPECT_S"
+
+#: Heartbeat gap (seconds) before the fleet monitor declares a node dead.
+ENV_FLEET_DEAD_S = "REPRO_FLEET_DEAD_S"
+
+#: Default suspect/dead heartbeat-gap thresholds of the fleet control
+#: plane, in fleet-virtual seconds (about 5 and 12 drive blocks at the
+#: paper's 1 ms tick).
+DEFAULT_FLEET_SUSPECT_S = 0.15
+DEFAULT_FLEET_DEAD_S = 0.4
+
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -335,6 +350,29 @@ KNOBS: Tuple[EnvKnob, ...] = (
         # Pinned by tests/experiments/test_warm_pool.py.
         ENV_STEAL, "steal_enabled", "flag", "1", None,
         "Work-stealing sweep dispatch (bit-identical either way).",
+    ),
+    EnvKnob(
+        # Result-relevant only for *node-faulted* fleet runs, which are
+        # never disk-cached (ClusterResult never enters the result
+        # cache, mirroring the single-node chaos path); zero-fault fleet
+        # runs install no control plane at all, so the knob cannot reach
+        # them — pinned by the zero-node-fault bit-identity tests.
+        ENV_FLEET_FAILOVER, "fleet_failover_enabled", "flag", "1", None,
+        "Fleet failover kill switch (no-failover chaos baseline).",
+    ),
+    EnvKnob(
+        # Same cache story as REPRO_FLEET_FAILOVER: only the uncached
+        # fleet chaos path reads the threshold.
+        ENV_FLEET_SUSPECT_S, "env_fleet_suspect_s", "float",
+        str(DEFAULT_FLEET_SUSPECT_S), None,
+        "Heartbeat gap before the fleet monitor suspects a node.",
+    ),
+    EnvKnob(
+        # Same cache story as REPRO_FLEET_FAILOVER: only the uncached
+        # fleet chaos path reads the threshold.
+        ENV_FLEET_DEAD_S, "env_fleet_dead_s", "float",
+        str(DEFAULT_FLEET_DEAD_S), None,
+        "Heartbeat gap before the fleet monitor declares a node dead.",
     ),
 )
 
@@ -539,6 +577,56 @@ def steal_enabled() -> bool:
     """
     flag = os.environ.get(ENV_STEAL, "").strip().lower()
     return flag not in ("0", "off", "false")
+
+
+def fleet_failover_enabled() -> bool:
+    """False when ``REPRO_FLEET_FAILOVER=0`` disables stream re-placement.
+
+    With failover off the fleet control plane still monitors heartbeats
+    and accounts detection times, but never re-places streams off dead
+    nodes — the no-failover baseline the fleet chaos regression tests
+    compare against.  Zero-node-fault runs install no control plane at
+    all, so the knob cannot affect them.
+    """
+    return os.environ.get(ENV_FLEET_FAILOVER, "1") != "0"
+
+
+def _env_positive_float(name: str, default: float) -> float:
+    """A required-positive float knob with a constant default."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            "%s must be a number, got %r" % (name, raw)
+        )
+    if value <= 0:
+        raise ConfigurationError(
+            "%s must be > 0, got %r" % (name, raw)
+        )
+    return value
+
+
+def env_fleet_suspect_s() -> float:
+    """``REPRO_FLEET_SUSPECT_S``: gap before a node turns suspect.
+
+    Raises:
+        ConfigurationError: if the variable is set but not a positive
+            number.
+    """
+    return _env_positive_float(ENV_FLEET_SUSPECT_S, DEFAULT_FLEET_SUSPECT_S)
+
+
+def env_fleet_dead_s() -> float:
+    """``REPRO_FLEET_DEAD_S``: gap before a node is declared dead.
+
+    Raises:
+        ConfigurationError: if the variable is set but not a positive
+            number.
+    """
+    return _env_positive_float(ENV_FLEET_DEAD_S, DEFAULT_FLEET_DEAD_S)
 
 
 def knob_fingerprint() -> Tuple[Tuple[str, Optional[str]], ...]:

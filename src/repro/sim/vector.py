@@ -190,6 +190,19 @@ class MultiCell:
         """The driven machines, in cell-index order."""
         return list(self._machines)
 
+    def add_cell(self, machine) -> int:
+        """Adopt ``machine`` as a new cell; returns its cell index.
+
+        The fleet control plane uses this when a failover spawns a
+        replacement session mid-run: the new machine simply joins the
+        cell axis and fuses (or not) by the same fingerprint rules as
+        the initial cells.  Adding a cell never perturbs existing ones —
+        cells share no state and are only grouped per ``run_ticks``
+        call.
+        """
+        self._machines.append(machine)
+        return len(self._machines) - 1
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------

@@ -67,8 +67,29 @@ class TestCluster:
                            executions=EXECS, warmup=2)
         other = ClusterNode("n", mix_by_name("ferret rs"), BASELINE,
                             executions=EXECS, warmup=2)
-        with pytest.raises(ExperimentError):
+        with pytest.raises(ExperimentError, match="duplicated: 'n'"):
             Cluster([node, other])
+
+    def test_duplicate_names_all_named(self):
+        def node(name):
+            return ClusterNode(name, mix_by_name("ferret rs"), BASELINE,
+                               executions=EXECS, warmup=2)
+
+        with pytest.raises(ExperimentError, match="'a', 'b'"):
+            Cluster([node("a"), node("b"), node("a"), node("b"), node("c")])
+
+    def test_node_labels_reported(self):
+        nodes = [
+            ClusterNode("base", mix_by_name("ferret rs"), BASELINE,
+                        executions=EXECS, warmup=2, seed=3),
+            ClusterNode("managed", mix_by_name("ferret rs"), DIRIGENT,
+                        executions=EXECS, warmup=2, seed=4),
+        ]
+        outcome = Cluster(nodes).run()
+        assert outcome.node_labels == {
+            "base": ("ferret rs", "Baseline", 3),
+            "managed": ("ferret rs", "Dirigent", 4),
+        }
 
     def test_empty_cluster_rejected(self):
         with pytest.raises(ExperimentError):

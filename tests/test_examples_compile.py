@@ -26,3 +26,14 @@ def test_example_has_docstring_and_main(path):
     source = path.read_text()
     assert source.lstrip().startswith('"""')
     assert 'if __name__ == "__main__":' in source
+
+
+def test_cluster_consolidation_smoke(capsys):
+    """The cluster example actually runs (tiny sizes), fleet demo included."""
+    import importlib
+
+    module = importlib.import_module("examples.cluster_consolidation")
+    module.main(executions=6, rack_nodes=2)
+    out = capsys.readouterr().out
+    assert "cluster-wide FG success" in out
+    assert "fleet attainment" in out
